@@ -1,0 +1,35 @@
+//! The Coign application and scenario suite.
+//!
+//! Synthetic reconstructions of the paper's three test applications. The
+//! originals are proprietary Microsoft binaries; these reconstructions
+//! preserve what the Coign experiments actually exercise — the
+//! *communication structure*: who talks to whom, how often, with what
+//! payloads, which interfaces are non-remotable, and which instances share
+//! instantiation context. See `DESIGN.md` for the substitution argument.
+//!
+//! * [`octarine`] — the component-mad word processor (~70 component
+//!   classes): a large GUI forest joined by non-remotable window-site
+//!   interfaces, a storage-backed document pipeline, text/table/music
+//!   document types, and the chatty table-vs-text page-placement
+//!   negotiation behind the paper's Figure 8.
+//! * [`photodraw`] — the image composer: sprite-cache hierarchy passing
+//!   pixels through shared memory (non-remotable), a composition reader,
+//!   and the high-level property sets that Coign moves to the server.
+//! * [`benefits`] — the MSDN 3-tier client/server sample: a small Visual
+//!   Basic front end, middle-tier business logic with result-caching
+//!   components, and an ODBC boundary pinned to the server.
+//! * [`scenarios`] — the 23 profiling scenarios of the paper's Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benefits;
+pub mod common;
+pub mod octarine;
+pub mod photodraw;
+pub mod scenarios;
+
+pub use benefits::Benefits;
+pub use octarine::Octarine;
+pub use photodraw::PhotoDraw;
+pub use scenarios::{all_scenarios, app_by_name, Scenario};

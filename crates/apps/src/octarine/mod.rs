@@ -1,0 +1,194 @@
+//! Octarine — the component-granularity word processor.
+//!
+//! A synthetic reconstruction of the Microsoft Research prototype the paper
+//! profiles: ~70 component classes across a GUI forest, a storage-backed
+//! document pipeline, and three document types (text, table, sheet music)
+//! whose fragments combine into one document. Scenario names follow the
+//! paper's Table 1 (`o_*`).
+
+pub mod components;
+pub mod gui;
+pub mod script;
+
+use crate::common::{call, IDLE_PUMP, WIDGET_BUILD, WIDGET_PAINT, WIDGET_REGISTER_IDLE};
+use coign::application::Application;
+use coign_com::{AppImage, Clsid, ComError, ComResult, ComRuntime, Iid, InterfacePtr, Value};
+
+/// The Octarine application.
+#[derive(Debug, Default)]
+pub struct Octarine;
+
+/// The scenario names of the paper's Table 1 for Octarine.
+pub const SCENARIOS: [&str; 12] = [
+    "o_newdoc", "o_newmus", "o_newtbl", "o_oldtb0", "o_oldtb3", "o_oldwp0", "o_oldwp3", "o_oldwp7",
+    "o_oldbth", "o_offtb3", "o_offwp7", "o_bigone",
+];
+
+/// One document operation: (kind, pages, embedded tables).
+type DocOp = (&'static str, i32, i32);
+
+fn ops_for(scenario: &str) -> ComResult<Vec<DocOp>> {
+    Ok(match scenario {
+        "o_newdoc" => vec![("newtext", 0, 0)],
+        "o_newmus" => vec![("newmusic", 0, 0)],
+        "o_newtbl" => vec![("newtable", 0, 0)],
+        "o_oldtb0" => vec![("table", 5, 0)],
+        "o_oldtb3" => vec![("table", 150, 0)],
+        "o_fig5" => vec![("text", 35, 0)], // the 35-page document of Figure 5
+        "o_oldwp0" => vec![("text", 5, 0)],
+        "o_oldwp3" => vec![("text", 13, 0)],
+        "o_oldwp7" => vec![("text", 208, 0)],
+        "o_oldbth" => vec![("both", 5, 11)],
+        "o_offtb3" => vec![("newtext", 0, 0), ("table", 150, 0)],
+        "o_offwp7" => vec![("newtext", 0, 0), ("text", 208, 0)],
+        "o_bigone" => {
+            let mut ops = Vec::new();
+            for s in SCENARIOS.iter().take(11) {
+                ops.extend(ops_for(s)?);
+            }
+            ops
+        }
+        other => return Err(ComError::App(format!("octarine has no scenario `{other}`"))),
+    })
+}
+
+/// Builds the application shell: window forest, idle loop, two idle rounds.
+pub(crate) fn build_shell(rt: &ComRuntime) -> ComResult<(InterfacePtr, InterfacePtr)> {
+    let window = rt.create_instance(Clsid::from_name("OctAppWindow"), Iid::from_name("IWidget"))?;
+    call(rt, &window, WIDGET_BUILD, vec![Value::Interface(None)])?;
+    let idle = rt.create_instance(Clsid::from_name("OctIdleLoop"), Iid::from_name("IIdleLoop"))?;
+    call(
+        rt,
+        &window,
+        WIDGET_REGISTER_IDLE,
+        vec![Value::Interface(Some(idle.clone()))],
+    )?;
+    Ok((window, idle))
+}
+
+impl Application for Octarine {
+    fn name(&self) -> &str {
+        "octarine"
+    }
+
+    fn register(&self, rt: &ComRuntime) {
+        gui::register(rt);
+        components::register(rt);
+    }
+
+    fn scenarios(&self) -> Vec<&'static str> {
+        SCENARIOS.to_vec()
+    }
+
+    fn run_scenario(&self, rt: &ComRuntime, scenario: &str) -> ComResult<()> {
+        let ops = ops_for(scenario)?;
+        let (window, idle) = build_shell(rt)?;
+        let manager =
+            rt.create_instance(Clsid::from_name("OctDocManager"), Iid::from_name("IDocMgr"))?;
+        for (kind, pages, tables) in ops {
+            let view =
+                rt.create_instance(Clsid::from_name("OctPageView"), Iid::from_name("IPageView"))?;
+            call(
+                rt,
+                &manager,
+                components::doc_mgr_method(kind),
+                vec![
+                    Value::I4(pages),
+                    Value::I4(tables),
+                    Value::Interface(Some(view)),
+                ],
+            )?;
+            // The user keeps the app alive: idle round + repaint per
+            // document.
+            call(rt, &idle, IDLE_PUMP, vec![Value::I4(2)])?;
+            call(rt, &window, WIDGET_PAINT, vec![])?;
+        }
+        Ok(())
+    }
+
+    fn image(&self) -> AppImage {
+        AppImage::new(
+            "octarine.exe",
+            vec![
+                Clsid::from_name("OctAppWindow"),
+                Clsid::from_name("OctDocManager"),
+                Clsid::from_name("OctStory"),
+                Clsid::from_name("OctTableModel"),
+                Clsid::from_name("OctMusicSheet"),
+            ],
+        )
+    }
+
+    fn default_placement(&self, _class_name: &str) -> coign_com::MachineId {
+        // Octarine ships as a desktop application: everything on the
+        // client; only the data files (the store components, which static
+        // analysis pins) live on the server.
+        coign_com::MachineId::CLIENT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_run_raw() {
+        let app = Octarine;
+        for scenario in [
+            "o_newdoc", "o_newmus", "o_newtbl", "o_oldtb0", "o_oldwp0", "o_oldbth",
+        ] {
+            let rt = ComRuntime::single_machine();
+            app.register(&rt);
+            app.run_scenario(&rt, scenario)
+                .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+            assert!(rt.instance_count() > 100, "{scenario} too small");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        let app = Octarine;
+        let rt = ComRuntime::single_machine();
+        app.register(&rt);
+        assert!(app.run_scenario(&rt, "o_nope").is_err());
+    }
+
+    #[test]
+    fn text_document_scales_instances_with_pages() {
+        let app = Octarine;
+        let count_for = |scenario: &str| {
+            let rt = ComRuntime::single_machine();
+            app.register(&rt);
+            app.run_scenario(&rt, scenario).unwrap();
+            rt.instance_count()
+        };
+        let small = count_for("o_oldwp0");
+        let large = count_for("o_oldwp7");
+        // Larger documents add page stubs.
+        assert!(large > small + 150, "small={small} large={large}");
+    }
+
+    #[test]
+    fn mixed_document_builds_table_models() {
+        let app = Octarine;
+        let rt = ComRuntime::single_machine();
+        app.register(&rt);
+        app.run_scenario(&rt, "o_oldbth").unwrap();
+        let models = rt
+            .instances_snapshot()
+            .iter()
+            .filter(|i| i.clsid == Clsid::from_name("OctTableModel"))
+            .count();
+        assert_eq!(models, 11);
+    }
+
+    #[test]
+    fn bigone_synthesizes_all_scenarios() {
+        let app = Octarine;
+        let rt = ComRuntime::single_machine();
+        app.register(&rt);
+        app.run_scenario(&rt, "o_bigone").unwrap();
+        // One shell + eleven scenarios' worth of documents.
+        assert!(rt.instance_count() > 1_000);
+    }
+}

@@ -1,0 +1,227 @@
+//! Scenario scripts — the Visual Test analog.
+//!
+//! "For advanced profiling, scenarios can be driven by an automated testing
+//! tool, such as Visual Test" (§2). This module gives Octarine a small,
+//! line-oriented scenario-script language so profiling runs can be authored
+//! as data instead of code:
+//!
+//! ```text
+//! # open a 35-page text document, let the app idle, repaint
+//! open text 35
+//! idle 2
+//! paint
+//! open both 5 tables=11
+//! new music
+//! ```
+//!
+//! Commands:
+//! * `open <text|table|both|music> <pages> [tables=N]` — open a document.
+//! * `new <text|table|music>` — create a fresh document from a template.
+//! * `idle <rounds>` — pump the idle loop.
+//! * `paint` — repaint the window forest.
+//! * `#` — comment; blank lines are ignored.
+
+use crate::common::{call, IDLE_PUMP, WIDGET_PAINT};
+use coign_com::{Clsid, ComError, ComResult, ComRuntime, Iid, InterfacePtr, Value};
+
+/// One parsed script command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Open an existing document: `(kind, pages, embedded tables)`.
+    Open(String, i32, i32),
+    /// Create a new document of the given kind.
+    New(String),
+    /// Pump the idle loop for `n` rounds.
+    Idle(i32),
+    /// Repaint the application window.
+    Paint,
+}
+
+/// Parses a scenario script. Errors name the offending line.
+pub fn parse_script(text: &str) -> ComResult<Vec<ScriptOp>> {
+    let mut ops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fail = |what: &str| {
+            Err(ComError::App(format!(
+                "script line {}: {what}: `{line}`",
+                lineno + 1
+            )))
+        };
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("open") => {
+                let Some(kind) = words.next() else {
+                    return fail("missing document kind");
+                };
+                if !["text", "table", "both", "music"].contains(&kind) {
+                    return fail("unknown document kind");
+                }
+                let Some(pages) = words.next().and_then(|w| w.parse::<i32>().ok()) else {
+                    return fail("missing or invalid page count");
+                };
+                if pages < 0 {
+                    return fail("negative page count");
+                }
+                let mut tables = 0;
+                if let Some(extra) = words.next() {
+                    match extra
+                        .strip_prefix("tables=")
+                        .and_then(|v| v.parse::<i32>().ok())
+                    {
+                        Some(t) if t >= 0 => tables = t,
+                        _ => return fail("expected `tables=N`"),
+                    }
+                }
+                ops.push(ScriptOp::Open(kind.to_string(), pages, tables));
+            }
+            Some("new") => {
+                let Some(kind) = words.next() else {
+                    return fail("missing document kind");
+                };
+                if !["text", "table", "music"].contains(&kind) {
+                    return fail("unknown document kind");
+                }
+                ops.push(ScriptOp::New(kind.to_string()));
+            }
+            Some("idle") => {
+                let Some(rounds) = words.next().and_then(|w| w.parse::<i32>().ok()) else {
+                    return fail("missing or invalid round count");
+                };
+                ops.push(ScriptOp::Idle(rounds));
+            }
+            Some("paint") => ops.push(ScriptOp::Paint),
+            _ => return fail("unknown command"),
+        }
+        if words.next().is_some() && !matches!(ops.last(), Some(ScriptOp::Open(..))) {
+            return fail("trailing tokens");
+        }
+    }
+    Ok(ops)
+}
+
+/// Executes parsed script operations against a runtime with Octarine's
+/// classes registered. Builds the application shell first, like every
+/// built-in scenario.
+pub fn run_ops(rt: &ComRuntime, ops: &[ScriptOp]) -> ComResult<()> {
+    let (window, idle) = super::build_shell(rt)?;
+    let manager =
+        rt.create_instance(Clsid::from_name("OctDocManager"), Iid::from_name("IDocMgr"))?;
+    for op in ops {
+        match op {
+            ScriptOp::Open(kind, pages, tables) => {
+                open_document(rt, &manager, kind, *pages, *tables)?;
+            }
+            ScriptOp::New(kind) => {
+                open_document(rt, &manager, &format!("new{kind}"), 0, 0)?;
+            }
+            ScriptOp::Idle(rounds) => {
+                call(rt, &idle, IDLE_PUMP, vec![Value::I4(*rounds)])?;
+            }
+            ScriptOp::Paint => {
+                call(rt, &window, WIDGET_PAINT, vec![])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn open_document(
+    rt: &ComRuntime,
+    manager: &InterfacePtr,
+    kind: &str,
+    pages: i32,
+    tables: i32,
+) -> ComResult<()> {
+    let view = rt.create_instance(Clsid::from_name("OctPageView"), Iid::from_name("IPageView"))?;
+    call(
+        rt,
+        manager,
+        super::components::doc_mgr_method(kind),
+        vec![
+            Value::I4(pages),
+            Value::I4(tables),
+            Value::Interface(Some(view)),
+        ],
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Octarine;
+    use coign::application::Application;
+
+    #[test]
+    fn parse_accepts_the_command_set() {
+        let ops = parse_script(
+            "# comment\n\
+             open text 35\n\
+             \n\
+             idle 2\n\
+             paint\n\
+             open both 5 tables=11\n\
+             new music\n",
+        )
+        .unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                ScriptOp::Open("text".into(), 35, 0),
+                ScriptOp::Idle(2),
+                ScriptOp::Paint,
+                ScriptOp::Open("both".into(), 5, 11),
+                ScriptOp::New("music".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "open",
+            "open pdf 5",
+            "open text",
+            "open text five",
+            "open text -3",
+            "open text 5 rows=3",
+            "idle",
+            "idle many",
+            "launch missiles",
+            "new",
+            "new spreadsheet",
+        ] {
+            let err = parse_script(bad).unwrap_err();
+            assert!(err.to_string().contains("script line 1"), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn scripts_execute_like_scenarios() {
+        // The script equivalent of o_oldwp0 creates the same population as
+        // the built-in scenario.
+        let script = "open text 5\nidle 2\npaint\n";
+        let rt = ComRuntime::single_machine();
+        Octarine.register(&rt);
+        run_ops(&rt, &parse_script(script).unwrap()).unwrap();
+        let scripted = rt.instance_count();
+
+        let rt2 = ComRuntime::single_machine();
+        Octarine.register(&rt2);
+        Octarine.run_scenario(&rt2, "o_oldwp0").unwrap();
+        assert_eq!(scripted, rt2.instance_count());
+    }
+
+    #[test]
+    fn scripts_compose_multiple_documents() {
+        let script = "new text\nopen table 5\nidle 1\npaint\nopen both 2 tables=3\n";
+        let rt = ComRuntime::single_machine();
+        Octarine.register(&rt);
+        run_ops(&rt, &parse_script(script).unwrap()).unwrap();
+        assert!(rt.instance_count() > 400);
+    }
+}

@@ -1,0 +1,209 @@
+//! The profiling-scenario catalog — the paper's Table 1.
+
+use crate::{Benefits, Octarine, PhotoDraw};
+use coign::application::Application;
+use std::sync::Arc;
+
+/// One entry of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario id, e.g. `"o_oldtb3"`.
+    pub name: &'static str,
+    /// Application the scenario drives.
+    pub app: &'static str,
+    /// The paper's description.
+    pub description: &'static str,
+}
+
+/// Every scenario of Table 1, in the paper's order.
+pub const TABLE1: [Scenario; 23] = [
+    Scenario {
+        name: "o_newdoc",
+        app: "octarine",
+        description: "Create text document.",
+    },
+    Scenario {
+        name: "o_newmus",
+        app: "octarine",
+        description: "Create music document.",
+    },
+    Scenario {
+        name: "o_newtbl",
+        app: "octarine",
+        description: "Create table document.",
+    },
+    Scenario {
+        name: "o_oldtb0",
+        app: "octarine",
+        description: "View 5-page table.",
+    },
+    Scenario {
+        name: "o_oldtb3",
+        app: "octarine",
+        description: "View 150-page table.",
+    },
+    Scenario {
+        name: "o_oldwp0",
+        app: "octarine",
+        description: "View 5-page text document.",
+    },
+    Scenario {
+        name: "o_oldwp3",
+        app: "octarine",
+        description: "View 13-page text document.",
+    },
+    Scenario {
+        name: "o_oldwp7",
+        app: "octarine",
+        description: "View 208-page text document.",
+    },
+    Scenario {
+        name: "o_oldbth",
+        app: "octarine",
+        description: "View 5-page text doc. with tables.",
+    },
+    Scenario {
+        name: "o_offtb3",
+        app: "octarine",
+        description: "o_newdoc then o_oldtb3.",
+    },
+    Scenario {
+        name: "o_offwp7",
+        app: "octarine",
+        description: "o_newdoc then o_oldwp7.",
+    },
+    Scenario {
+        name: "o_bigone",
+        app: "octarine",
+        description: "All of the above in one scenario.",
+    },
+    Scenario {
+        name: "p_newdoc",
+        app: "photodraw",
+        description: "Create new image.",
+    },
+    Scenario {
+        name: "p_newmsr",
+        app: "photodraw",
+        description: "Create new composition.",
+    },
+    Scenario {
+        name: "p_oldcur",
+        app: "photodraw",
+        description: "View line drawing.",
+    },
+    Scenario {
+        name: "p_oldmsr",
+        app: "photodraw",
+        description: "View composition.",
+    },
+    Scenario {
+        name: "p_offcur",
+        app: "photodraw",
+        description: "p_newdoc then p_oldcur.",
+    },
+    Scenario {
+        name: "p_offmsr",
+        app: "photodraw",
+        description: "p_newdoc then p_oldmsr.",
+    },
+    Scenario {
+        name: "p_bigone",
+        app: "photodraw",
+        description: "All of the above in one scenario.",
+    },
+    Scenario {
+        name: "b_vueone",
+        app: "benefits",
+        description: "View records for an employee.",
+    },
+    Scenario {
+        name: "b_addone",
+        app: "benefits",
+        description: "Add new employee.",
+    },
+    Scenario {
+        name: "b_delone",
+        app: "benefits",
+        description: "Delete employee.",
+    },
+    Scenario {
+        name: "b_bigone",
+        app: "benefits",
+        description: "All of the above in one scenario.",
+    },
+];
+
+/// All scenarios of Table 1.
+pub fn all_scenarios() -> &'static [Scenario] {
+    &TABLE1
+}
+
+/// Instantiates an application by name.
+pub fn app_by_name(name: &str) -> Option<Arc<dyn Application>> {
+    match name {
+        "octarine" => Some(Arc::new(Octarine)),
+        "photodraw" => Some(Arc::new(PhotoDraw)),
+        "benefits" => Some(Arc::new(Benefits::default())),
+        _ => None,
+    }
+}
+
+/// The non-`bigone` profiling scenarios of one application.
+pub fn profiling_scenarios(app: &str) -> Vec<&'static str> {
+    TABLE1
+        .iter()
+        .filter(|s| s.app == app && !s.name.ends_with("bigone"))
+        .map(|s| s.name)
+        .collect()
+}
+
+/// The `bigone` scenario of one application.
+pub fn bigone(app: &str) -> Option<&'static str> {
+    TABLE1
+        .iter()
+        .find(|s| s.app == app && s.name.ends_with("bigone"))
+        .map(|s| s.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_23_scenarios() {
+        assert_eq!(TABLE1.len(), 23);
+        assert_eq!(TABLE1.iter().filter(|s| s.app == "octarine").count(), 12);
+        assert_eq!(TABLE1.iter().filter(|s| s.app == "photodraw").count(), 7);
+        assert_eq!(TABLE1.iter().filter(|s| s.app == "benefits").count(), 4);
+    }
+
+    #[test]
+    fn every_scenario_is_supported_by_its_app() {
+        for scenario in TABLE1 {
+            let app = app_by_name(scenario.app).unwrap();
+            assert!(
+                app.scenarios().contains(&scenario.name),
+                "{} missing from {}",
+                scenario.name,
+                scenario.app
+            );
+        }
+    }
+
+    #[test]
+    fn profiling_scenarios_exclude_bigone() {
+        let oct = profiling_scenarios("octarine");
+        assert_eq!(oct.len(), 11);
+        assert!(!oct.contains(&"o_bigone"));
+        assert_eq!(bigone("octarine"), Some("o_bigone"));
+        assert_eq!(bigone("photodraw"), Some("p_bigone"));
+        assert_eq!(bigone("benefits"), Some("b_bigone"));
+        assert_eq!(bigone("nothing"), None);
+    }
+
+    #[test]
+    fn unknown_app_yields_none() {
+        assert!(app_by_name("excel").is_none());
+    }
+}

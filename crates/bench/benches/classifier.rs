@@ -1,0 +1,40 @@
+//! Benchmarks instance-classifier descriptor construction and interning —
+//! the per-instantiation cost Coign pays at runtime.
+
+use coign::application::Application;
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::logger::NullLogger;
+use coign::rte::CoignRte;
+use coign_apps::Octarine;
+use coign_com::ComRuntime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_classify_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_o_newdoc");
+    group.sample_size(10);
+    for kind in ClassifierKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let app = Octarine;
+                    let rt = ComRuntime::single_machine();
+                    app.register(&rt);
+                    let classifier = Arc::new(InstanceClassifier::new(kind));
+                    rt.add_hook(Arc::new(CoignRte::profiling(
+                        classifier.clone(),
+                        Arc::new(NullLogger),
+                    )));
+                    app.run_scenario(&rt, "o_newdoc").unwrap();
+                    classifier.classification_count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify_scenario);
+criterion_main!(benches);

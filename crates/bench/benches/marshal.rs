@@ -1,0 +1,31 @@
+//! Benchmarks DCOM deep-copy size measurement — the hot loop of the
+//! profiling informer.
+
+use coign_com::Value;
+use coign_dcom::value_size;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn deep_value(depth: usize, width: usize) -> Value {
+    if depth == 0 {
+        return Value::Struct(vec![
+            Value::I4(1),
+            Value::Str("leaf".into()),
+            Value::Blob(512),
+        ]);
+    }
+    Value::Array((0..width).map(|_| deep_value(depth - 1, width)).collect())
+}
+
+fn bench_marshal(c: &mut Criterion) {
+    let shallow = deep_value(1, 8);
+    let deep = deep_value(4, 4);
+    c.bench_function("value_size_shallow", |b| {
+        b.iter(|| value_size(std::hint::black_box(&shallow)).unwrap())
+    });
+    c.bench_function("value_size_deep", |b| {
+        b.iter(|| value_size(std::hint::black_box(&deep)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_marshal);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks the three max-flow/min-cut algorithms on communication-shaped
+//! graphs (sparse, with pinned terminals), across graph sizes.
+
+use coign_flow::{min_cut, FlowNetwork, MaxFlowAlgorithm, INFINITE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a graph shaped like a concrete ICC graph: `n` classification
+/// nodes, source/sink pins, sparse weighted edges.
+fn icc_like_graph(n: usize, seed: u64) -> FlowNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let source = n;
+    let sink = n + 1;
+    let mut g = FlowNetwork::new(n + 2);
+    // Spanning chain plus random chords.
+    for i in 1..n {
+        g.add_undirected(i - 1, i, rng.gen_range(1..10_000));
+    }
+    for _ in 0..(n * 3) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            g.add_undirected(u, v, rng.gen_range(1..10_000));
+        }
+    }
+    // Pin ~10 % of nodes to each side.
+    for i in 0..n / 10 {
+        g.add_undirected(source, i * 10, INFINITE);
+        g.add_undirected(i * 10 + 5 % n, sink, INFINITE);
+    }
+    g
+}
+
+fn bench_mincut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mincut");
+    for &n in &[50usize, 200, 800] {
+        for alg in MaxFlowAlgorithm::ALL {
+            group.bench_with_input(BenchmarkId::new(format!("{alg:?}"), n), &n, |b, &n| {
+                let template = icc_like_graph(n, 42);
+                b.iter(|| {
+                    let mut g = template.clone();
+                    min_cut(&mut g, n, n + 1, alg).cut_value
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mincut);
+criterion_main!(benches);

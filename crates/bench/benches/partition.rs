@@ -1,0 +1,44 @@
+//! Benchmarks the end-to-end analysis pipeline (profile → constraints →
+//! concrete graph → lift-to-front cut) and the network-profile fit.
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::runtime::{choose_distribution, profile_scenario};
+use coign_apps::{Benefits, Octarine};
+use coign_dcom::{NetworkModel, NetworkProfile};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+
+    // Pre-profile once; the analysis step is what we're measuring.
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let run = profile_scenario(&Octarine, "o_oldbth", &classifier).unwrap();
+    let net = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+    group.bench_function("analyze_octarine_bth", |b| {
+        b.iter(|| {
+            choose_distribution(&Octarine, &run.profile, &net)
+                .unwrap()
+                .predicted_comm_us
+        })
+    });
+
+    let classifier2 = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let run2 = profile_scenario(&Benefits::default(), "b_bigone", &classifier2).unwrap();
+    group.bench_function("analyze_benefits_bigone", |b| {
+        b.iter(|| {
+            choose_distribution(&Benefits::default(), &run2.profile, &net)
+                .unwrap()
+                .predicted_comm_us
+        })
+    });
+
+    group.bench_function("network_profile_fit", |b| {
+        b.iter(|| NetworkProfile::measure(&NetworkModel::ethernet_10baset(), 40, 7).alpha_us)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation: how the choice of instance classifier affects distribution
+//! quality.
+//!
+//! The paper argues (§3.4) that automatic partitioning depends on instance
+//! classifiers that preserve distribution granularity: the static-type
+//! classifier "must assign all instances to the same machine — a
+//! debilitating feature", and the incremental classifier "fails miserably
+//! for dynamic, commercial applications".
+//!
+//! This experiment makes the failure measurable. One profile covering both
+//! a small text document (optimal: stay whole) and a large table document
+//! (optimal: move the reader and table model to the server) is analyzed
+//! with different classifiers, and the resulting *single* distribution is
+//! executed against both scenarios:
+//!
+//! * IFCB keeps the two documents' readers apart (different instantiation
+//!   contexts) and serves both scenarios optimally.
+//! * ST merges every `OctDocReader` into one classification and must pick
+//!   one placement for both — whichever document loses, loses badly.
+//! * The incremental classifier cannot re-recognize instances in the
+//!   distributed run at all: placements fall back to the client and the
+//!   big document's savings evaporate.
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::runtime::{choose_distribution, profile_scenario, run_default, run_distributed};
+use coign_apps::Octarine;
+use coign_bench::{network, network_profile, render_table, HARNESS_SEED};
+use coign_com::ComResult;
+use std::sync::Arc;
+
+const SCENARIOS: [&str; 2] = ["o_oldwp0", "o_oldtb3"];
+
+fn savings_for(kind: ClassifierKind) -> ComResult<Vec<f64>> {
+    let app = Octarine;
+    let classifier = Arc::new(InstanceClassifier::new(kind));
+    // One merged profile covering both usage patterns...
+    let mut merged = coign::profile::IccProfile::new();
+    for scenario in SCENARIOS {
+        merged.merge(&profile_scenario(&app, scenario, &classifier)?.profile);
+    }
+    // ...one distribution...
+    let dist = choose_distribution(&app, &merged, &network_profile())?;
+    // ...executed against each scenario.
+    let mut out = Vec::new();
+    for scenario in SCENARIOS {
+        let default = run_default(&app, scenario, network(), HARNESS_SEED)?;
+        let coign = run_distributed(&app, scenario, &classifier, &dist, network(), HARNESS_SEED)?;
+        let saving = (default.stats.comm_us as f64 - coign.stats.comm_us as f64)
+            / default.stats.comm_us.max(1) as f64;
+        out.push(saving);
+    }
+    Ok(out)
+}
+
+fn main() {
+    println!("Ablation: classifier choice vs. distribution quality");
+    println!("(one distribution optimized for the combined o_oldwp0 + o_oldtb3 profile)\n");
+    let mut rows = Vec::new();
+    for kind in [
+        ClassifierKind::Ifcb,
+        ClassifierKind::Stcb,
+        ClassifierKind::Pcb,
+        ClassifierKind::St,
+        ClassifierKind::Incremental,
+    ] {
+        let savings = savings_for(kind).expect("ablation run");
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{:+.0}%", savings[0] * 100.0),
+            format!("{:+.0}%", savings[1] * 100.0),
+            format!("{:+.0}%", (savings[0] + savings[1]) / 2.0 * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Classifier", "o_oldwp0 savings", "o_oldtb3 savings", "mean"],
+            &rows,
+        )
+    );
+    println!("Negative savings = the classifier's merged placements made that");
+    println!("scenario *slower* than the non-distributed default.");
+}

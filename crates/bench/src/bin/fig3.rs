@@ -1,0 +1,178 @@
+//! Figure 3 — Summary of Classifiers.
+//!
+//! Reconstructs the paper's worked example with real components:
+//!
+//! ```text
+//! A::V() { ... a->W()  ... }   // internal call within instance a
+//! A::W() { ... b1->X() ... }
+//! B::X() { ... b2->Y() ... }
+//! B::Y() { ... c->Z()  ... }
+//! C::Z() { ... CoCreateInstance(D) }
+//! ```
+//!
+//! and prints every classifier's descriptor for the instantiation of `D`.
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::logger::NullLogger;
+use coign::rte::CoignRte;
+use coign_com::idl::InterfaceBuilder;
+use coign_com::{
+    ApiImports, CallCtx, Clsid, ComError, ComObject, ComResult, ComRuntime, Iid, Message, PType,
+    Value,
+};
+use std::sync::Arc;
+
+struct AImpl;
+impl ComObject for AImpl {
+    fn invoke(
+        &self,
+        ctx: &CallCtx<'_>,
+        _iid: Iid,
+        method: u32,
+        msg: &mut Message,
+    ) -> ComResult<()> {
+        let rt = ctx.rt();
+        match method {
+            // V: internal call to our own W, passing b1 through.
+            0 => {
+                let me = rt.make_ptr(ctx.self_id(), Iid::from_name("IA"))?;
+                let mut fwd = Message::new(vec![msg.args[0].clone()]);
+                me.call(rt, 1, &mut fwd)
+            }
+            // W: call b1.X().
+            1 => {
+                let b1 = msg.arg(0).and_then(Value::as_interface).cloned().unwrap();
+                b1.call(rt, 0, &mut Message::empty())
+            }
+            other => Err(ComError::App(format!("IA has no method {other}"))),
+        }
+    }
+}
+
+struct BImpl;
+impl ComObject for BImpl {
+    fn invoke(
+        &self,
+        ctx: &CallCtx<'_>,
+        _iid: Iid,
+        method: u32,
+        _msg: &mut Message,
+    ) -> ComResult<()> {
+        let rt = ctx.rt();
+        match method {
+            // X: create the second B instance and call its Y.
+            0 => {
+                let b2 = ctx.create(Clsid::from_name("B"), Iid::from_name("IB"))?;
+                b2.call(rt, 1, &mut Message::empty())
+            }
+            // Y: create c and call its Z.
+            1 => {
+                let c = ctx.create(Clsid::from_name("C"), Iid::from_name("IC"))?;
+                c.call(rt, 0, &mut Message::empty())
+            }
+            other => Err(ComError::App(format!("IB has no method {other}"))),
+        }
+    }
+}
+
+struct CImpl;
+impl ComObject for CImpl {
+    fn invoke(
+        &self,
+        ctx: &CallCtx<'_>,
+        _iid: Iid,
+        _method: u32,
+        _msg: &mut Message,
+    ) -> ComResult<()> {
+        // Z: CoCreateInstance(D).
+        ctx.create(Clsid::from_name("D"), Iid::from_name("ID"))?;
+        Ok(())
+    }
+}
+
+struct DImpl;
+impl ComObject for DImpl {
+    fn invoke(
+        &self,
+        _ctx: &CallCtx<'_>,
+        _iid: Iid,
+        _method: u32,
+        _msg: &mut Message,
+    ) -> ComResult<()> {
+        Ok(())
+    }
+}
+
+fn register(rt: &ComRuntime) {
+    let ia = InterfaceBuilder::new("IA")
+        .method("V", |m| {
+            m.input("b1", PType::Interface(Iid::from_name("IB")))
+        })
+        .method("W", |m| {
+            m.input("b1", PType::Interface(Iid::from_name("IB")))
+        })
+        .build();
+    let ib = InterfaceBuilder::new("IB")
+        .method("X", |m| m)
+        .method("Y", |m| m)
+        .build();
+    let ic = InterfaceBuilder::new("IC").method("Z", |m| m).build();
+    let id = InterfaceBuilder::new("ID").method("Noop", |m| m).build();
+    rt.registry()
+        .register("A", vec![ia], ApiImports::NONE, |_, _| Arc::new(AImpl));
+    rt.registry()
+        .register("B", vec![ib], ApiImports::NONE, |_, _| Arc::new(BImpl));
+    rt.registry()
+        .register("C", vec![ic], ApiImports::NONE, |_, _| Arc::new(CImpl));
+    rt.registry()
+        .register("D", vec![id], ApiImports::NONE, |_, _| Arc::new(DImpl));
+}
+
+fn main() {
+    println!("Figure 3. Summary of Classifiers\n");
+    println!("Program control flow:");
+    println!("  A::V() {{ a->W() }}  A::W() {{ b1->X() }}  B::X() {{ b2->Y() }}");
+    println!("  B::Y() {{ c->Z() }}  C::Z() {{ CoCreateInstance(D) }}\n");
+    for kind in ClassifierKind::ALL {
+        let rt = ComRuntime::single_machine();
+        register(&rt);
+        let classifier = Arc::new(InstanceClassifier::new(kind));
+        rt.add_hook(Arc::new(CoignRte::profiling(
+            classifier.clone(),
+            Arc::new(NullLogger),
+        )));
+
+        let a = rt
+            .create_instance(Clsid::from_name("A"), Iid::from_name("IA"))
+            .unwrap();
+        let b1 = rt
+            .create_instance(Clsid::from_name("B"), Iid::from_name("IB"))
+            .unwrap();
+        let mut v = Message::new(vec![Value::Interface(Some(b1))]);
+        a.call(&rt, 0, &mut v).unwrap();
+
+        let d_instance = rt
+            .instances_snapshot()
+            .into_iter()
+            .find(|i| i.clsid == Clsid::from_name("D"))
+            .expect("D was created");
+        let class = classifier.classification_of(d_instance.id).unwrap();
+        let descriptor = classifier.descriptor(class).unwrap();
+        let names = |c: Clsid| {
+            for n in ["A", "B", "C", "D"] {
+                if Clsid::from_name(n) == c {
+                    return n.to_string();
+                }
+            }
+            "?".to_string()
+        };
+        println!(
+            "{:<28} {}",
+            format!("{}:", kind.name()),
+            descriptor.render(&names)
+        );
+    }
+    println!();
+    println!("(m0/m1 are vtable slots: A::m0=V, A::m1=W, B::m0=X, B::m1=Y, C::m0=Z;");
+    println!(" c:<n> names the classification previously assigned to the executing instance.)");
+}

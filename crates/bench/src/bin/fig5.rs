@@ -1,0 +1,37 @@
+//! Figure 5 — Octarine Distribution (text document).
+//!
+//! Octarine loads and displays the first page of a 35-page, text-only
+//! document. The paper: Coign places only two of 458 components on the
+//! server — one reads the document from storage, the other provides
+//! information about the properties of the text. The non-distributable
+//! interfaces connect components of the GUI.
+
+use coign_apps::Octarine;
+use coign_bench::figure_for;
+
+fn main() {
+    let fig = figure_for(&Octarine, "o_fig5").expect("figure run");
+    println!("Figure 5. Octarine Distribution (35-page text document)\n");
+    println!("Components in the application:        {}", fig.total);
+    println!("Placed on the server by Coign:        {}", fig.server);
+    println!(
+        "(plus {} pinned storage component(s) — the document file)",
+        fig.pinned_storage
+    );
+    println!(
+        "Non-distributable interface pairs:    {}",
+        fig.non_remotable_pairs
+    );
+    println!();
+    println!("Server-side components:");
+    for (class, n) in &fig.server_classes {
+        println!("  {n:>3} x {class}");
+    }
+    println!();
+    println!(
+        "Communication time: default {:.3} s -> Coign {:.3} s",
+        fig.comm_secs.0, fig.comm_secs.1
+    );
+    println!();
+    println!("Paper: 2 of 458 components on the server (document reader + text properties).");
+}

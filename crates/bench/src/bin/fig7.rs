@@ -1,0 +1,30 @@
+//! Figure 7 — Octarine with Multi-page Table.
+//!
+//! With a document containing a single five-page table, Coign locates only
+//! a single component (the document reader) on the server.
+
+use coign_apps::Octarine;
+use coign_bench::figure_for;
+
+fn main() {
+    let fig = figure_for(&Octarine, "o_oldtb0").expect("figure run");
+    println!("Figure 7. Octarine with Multi-page Table (5-page table document)\n");
+    println!("Components in the application:        {}", fig.total);
+    println!("Placed on the server by Coign:        {}", fig.server);
+    println!(
+        "(plus {} pinned storage component(s) — the document file)",
+        fig.pinned_storage
+    );
+    println!();
+    println!("Server-side components:");
+    for (class, n) in &fig.server_classes {
+        println!("  {n:>3} x {class}");
+    }
+    println!();
+    println!(
+        "Communication time: default {:.3} s -> Coign {:.3} s",
+        fig.comm_secs.0, fig.comm_secs.1
+    );
+    println!();
+    println!("Paper: 1 of 476 components on the server.");
+}

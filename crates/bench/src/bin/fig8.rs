@@ -1,0 +1,35 @@
+//! Figure 8 — Octarine with Tables and Text.
+//!
+//! With a five-page text document containing fewer than a dozen embedded
+//! tables, the optimal distribution changes radically: the complex page
+//! placement negotiations between the table components and the text
+//! components move to the server (their output to the rest of the
+//! application is minimal). Paper: 281 of 786 components on the server.
+
+use coign_apps::Octarine;
+use coign_bench::figure_for;
+
+fn main() {
+    let fig = figure_for(&Octarine, "o_oldbth").expect("figure run");
+    println!("Figure 8. Octarine with Tables and Text (5 pages + 11 embedded tables)\n");
+    println!("Components in the application:        {}", fig.total);
+    println!("Placed on the server by Coign:        {}", fig.server);
+    println!(
+        "(plus {} pinned storage component(s) — the document file)",
+        fig.pinned_storage
+    );
+    println!();
+    println!("Server-side components (the page-placement negotiation cluster):");
+    for (class, n) in &fig.server_classes {
+        println!("  {n:>3} x {class}");
+    }
+    println!();
+    println!(
+        "Communication time: default {:.3} s -> Coign {:.3} s",
+        fig.comm_secs.0, fig.comm_secs.1
+    );
+    println!();
+    println!("Paper: 281 of 786 components on the server.");
+    println!("Compare Figure 5 (text only: 2 on the server) — the same application,");
+    println!("a different document mix, a radically different optimal distribution.");
+}

@@ -1,0 +1,46 @@
+//! Network-profiler convergence: how the statistical sampling of DCOM
+//! round trips (§2) converges on the true cost model as the sample budget
+//! grows, and what that does to prediction error.
+
+use coign_bench::render_table;
+use coign_dcom::{NetworkModel, NetworkProfile};
+
+fn main() {
+    let network = NetworkModel::ethernet_10baset();
+    let truth = NetworkProfile::exact(&network);
+    println!("Network-profiler convergence (10BaseT Ethernet, ±5% jitter)\n");
+    let mut rows = Vec::new();
+    for samples in [1usize, 2, 5, 10, 40, 160, 640] {
+        // Average absolute α/β error over independent measurement seeds.
+        let trials = 32;
+        let mut alpha_err = 0.0;
+        let mut beta_err = 0.0;
+        let mut predict_err = 0.0;
+        for seed in 0..trials {
+            let fit = NetworkProfile::measure(&network, samples, 1000 + seed);
+            alpha_err += (fit.alpha_us - truth.alpha_us).abs() / truth.alpha_us;
+            beta_err +=
+                (fit.beta_us_per_byte - truth.beta_us_per_byte).abs() / truth.beta_us_per_byte;
+            // Error predicting a representative 8 KB message.
+            predict_err +=
+                (fit.predict_us(8_192) - truth.predict_us(8_192)).abs() / truth.predict_us(8_192);
+        }
+        let n = trials as f64;
+        rows.push(vec![
+            samples.to_string(),
+            format!("{:.2}%", alpha_err / n * 100.0),
+            format!("{:.2}%", beta_err / n * 100.0),
+            format!("{:.2}%", predict_err / n * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["samples/size", "α error", "β error", "8KB prediction error"],
+            &rows,
+        )
+    );
+    println!("With the harness default (40 samples per size), the fitted model is");
+    println!("within a fraction of a percent of the true link — the headroom behind");
+    println!("Table 5's small prediction errors.");
+}

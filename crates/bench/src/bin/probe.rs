@@ -1,0 +1,44 @@
+//! Development probe: one-line distribution summaries for the scenarios
+//! behind the paper's figures and headline rows — the quick feedback loop
+//! used while tuning the synthetic applications. For the full formatted
+//! reproductions use `repro_all` or the individual `figN`/`tableN`
+//! binaries.
+
+use coign_apps::{Benefits, Octarine, PhotoDraw};
+use coign_bench::figure_for;
+
+fn main() {
+    let cases: Vec<(&str, Box<dyn coign::application::Application>)> = vec![
+        ("o_fig5", Box::new(Octarine)),
+        ("o_oldwp0", Box::new(Octarine)),
+        ("o_oldwp3", Box::new(Octarine)),
+        ("o_oldwp7", Box::new(Octarine)),
+        ("o_oldtb0", Box::new(Octarine)),
+        ("o_oldtb3", Box::new(Octarine)),
+        ("o_oldbth", Box::new(Octarine)),
+        ("p_oldmsr", Box::new(PhotoDraw)),
+        ("b_vueone", Box::new(Benefits::default())),
+        ("b_bigone", Box::new(Benefits::default())),
+    ];
+    for (scenario, app) in cases {
+        match figure_for(app.as_ref(), scenario) {
+            Ok(fig) => {
+                println!(
+                    "{:<10} total={:<5} server={:<4} pinned={} nonremot={} comm {:.3}s -> {:.3}s ({:.0}%)",
+                    fig.scenario,
+                    fig.total,
+                    fig.server,
+                    fig.pinned_storage,
+                    fig.non_remotable_pairs,
+                    fig.comm_secs.0,
+                    fig.comm_secs.1,
+                    100.0 * (fig.comm_secs.0 - fig.comm_secs.1) / fig.comm_secs.0.max(1e-9),
+                );
+                for (class, n) in &fig.server_classes {
+                    println!("             server: {n:>4} x {class}");
+                }
+            }
+            Err(e) => println!("{scenario}: ERROR {e}"),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Runs the complete reproduction: every table and figure, in paper order.
+//!
+//! `cargo run -p coign-bench --release --bin repro_all` regenerates the
+//! data behind `EXPERIMENTS.md` in one shot.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "fig8",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("{}", "=".repeat(78));
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("{}", "=".repeat(78));
+    println!("All tables and figures reproduced.");
+}

@@ -1,0 +1,29 @@
+//! Table 1 — Profiling Scenarios.
+//!
+//! Prints the scenario suite and verifies every scenario actually runs,
+//! reporting the number of component instances each one creates.
+
+use coign_apps::scenarios::{all_scenarios, app_by_name};
+use coign_bench::render_table;
+use coign_com::ComRuntime;
+
+fn main() {
+    println!("Table 1. Profiling Scenarios\n");
+    let mut rows = Vec::new();
+    for scenario in all_scenarios() {
+        let app = app_by_name(scenario.app).expect("known app");
+        let rt = ComRuntime::single_machine();
+        app.register(&rt);
+        app.run_scenario(&rt, scenario.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        rows.push(vec![
+            scenario.name.to_string(),
+            scenario.description.to_string(),
+            rt.instance_count().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Scenario", "Description", "Instances"], &rows)
+    );
+}

@@ -1,0 +1,47 @@
+//! Table 2 — Classifier Accuracy.
+//!
+//! Runs all seven instance classifiers through every Octarine profiling
+//! scenario (everything except `o_bigone`), then through `o_bigone`, and
+//! reports: classifications identified while profiling, new classifications
+//! first seen in `bigone`, average instances per classification in
+//! `bigone`, and the average correlation between each `bigone` instance's
+//! communication vector and its classification's profiled vector.
+
+use coign::classifier::ClassifierKind;
+use coign::metrics::evaluate_classifier;
+use coign_apps::scenarios::{bigone, profiling_scenarios};
+use coign_apps::Octarine;
+use coign_bench::{network_profile, render_table};
+
+fn main() {
+    let app = Octarine;
+    let net = network_profile();
+    let scenarios = profiling_scenarios("octarine");
+    let big = bigone("octarine").expect("octarine has a bigone");
+    println!("Table 2. Classifier Accuracy (Octarine, bigone scenario)\n");
+    let mut rows = Vec::new();
+    for kind in ClassifierKind::ALL {
+        let eval =
+            evaluate_classifier(&app, kind, None, &scenarios, big, &net).expect("evaluation");
+        rows.push(vec![
+            kind.name().to_string(),
+            eval.profiled_classifications.to_string(),
+            eval.new_classifications.to_string(),
+            format!("{:.1}", eval.avg_instances_per_classification),
+            format!("{:.3}", eval.avg_correlation),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Instance Classifier",
+                "Profiled Classifications",
+                "New (bigone)",
+                "Instances/Class",
+                "Avg Correlation",
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 3 — Accuracy as a Function of Stack Depth.
+//!
+//! The internal-function called-by (IFCB) classifier evaluated at limited
+//! stack-walk depths: both the number of classifications and the average
+//! correlation should increase with depth and saturate.
+
+use coign::classifier::ClassifierKind;
+use coign::metrics::evaluate_classifier;
+use coign_apps::scenarios::{bigone, profiling_scenarios};
+use coign_apps::Octarine;
+use coign_bench::{network_profile, render_table};
+
+fn main() {
+    let app = Octarine;
+    let net = network_profile();
+    let scenarios = profiling_scenarios("octarine");
+    let big = bigone("octarine").expect("octarine has a bigone");
+    println!("Table 3. IFCB Accuracy as a Function of Stack Depth (Octarine)\n");
+    let depths: [(Option<usize>, &str); 7] = [
+        (Some(1), "1"),
+        (Some(2), "2"),
+        (Some(3), "3"),
+        (Some(4), "4"),
+        (Some(8), "8"),
+        (Some(16), "16"),
+        (None, "Complete"),
+    ];
+    let mut rows = Vec::new();
+    for (depth, label) in depths {
+        let eval = evaluate_classifier(&app, ClassifierKind::Ifcb, depth, &scenarios, big, &net)
+            .expect("evaluation");
+        rows.push(vec![
+            label.to_string(),
+            eval.profiled_classifications.to_string(),
+            format!("{:.1}", eval.avg_instances_per_classification),
+            format!("{:.3}", eval.avg_correlation),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Stack-Walk Depth",
+                "Profiled Classifications",
+                "Instances/Class",
+                "Avg Correlation",
+            ],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,32 @@
+//! Table 4 — Reduction in Communication Time.
+//!
+//! For every scenario of Table 1: communication time under the default
+//! (as-shipped) distribution versus the Coign-chosen distribution, and the
+//! relative savings. As in the paper, the application is optimized for the
+//! scenario, data files live on the server, and the network is an isolated
+//! 10BaseT Ethernet.
+
+use coign_apps::scenarios::{all_scenarios, app_by_name};
+use coign_bench::{optimize_and_run, render_table};
+
+fn main() {
+    println!("Table 4. Reduction in Communication Time\n");
+    let mut rows = Vec::new();
+    for scenario in all_scenarios() {
+        let app = app_by_name(scenario.app).expect("known app");
+        let outcome = optimize_and_run(app.as_ref(), scenario.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        rows.push(vec![
+            scenario.name.to_string(),
+            format!("{:.3}", outcome.default_report.comm_secs()),
+            format!("{:.3}", outcome.coign_report.comm_secs()),
+            format!("{:.0}%", outcome.savings() * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Scenario", "Default (s)", "Coign (s)", "Savings"], &rows,)
+    );
+    println!("Communication time for the default distribution of the application");
+    println!("(as shipped by the developer) and for the Coign-chosen distribution.");
+}

@@ -1,0 +1,38 @@
+//! Table 5 — Accuracy of Prediction Models.
+//!
+//! Predicted application execution time (compute from profiling plus the
+//! α/β network model applied to cross-machine traffic) versus measured
+//! execution time of the distributed run, per scenario, with the signed
+//! relative error. The application is optimized for the chosen scenario
+//! before execution.
+
+use coign_apps::scenarios::{all_scenarios, app_by_name};
+use coign_bench::{network_profile, optimize_and_run, render_table};
+
+fn main() {
+    println!("Table 5. Accuracy of Prediction Models\n");
+    let net = network_profile();
+    let mut rows = Vec::new();
+    let mut worst: i64 = 0;
+    for scenario in all_scenarios() {
+        let app = app_by_name(scenario.app).expect("known app");
+        let outcome = optimize_and_run(app.as_ref(), scenario.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        let row = outcome.prediction(&net);
+        worst = worst.max(row.error_pct().abs());
+        rows.push(vec![
+            scenario.name.to_string(),
+            format!("{:.3}", row.predicted_us / 1e6),
+            format!("{:.3}", row.measured_us / 1e6),
+            format!("{:+}%", row.error_pct()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Scenario", "Predicted (s)", "Measured (s)", "Error"],
+            &rows,
+        )
+    );
+    println!("Largest absolute error: {worst}%");
+}

@@ -1,0 +1,483 @@
+//! The Coign tool chain as file-based commands.
+//!
+//! The paper's second usage model (§6): "Coign is applied onsite by the
+//! application user or system administrator. The user enables application
+//! profiling through a simple GUI … the GUI triggers post-profiling
+//! analysis and writes the distribution model into the application. In
+//! essence, the user has created a customized version of the distributed
+//! application without any knowledge of the underlying details."
+//!
+//! This crate is that front end, minus the GUI: each command reads an
+//! application image from disk, transforms it, and writes it back — the
+//! instrumented binary is a real artifact that survives between commands.
+//!
+//! ```text
+//! coign instrument octarine app.cimg     # insert the Coign runtime
+//! coign profile app.cimg o_oldwp7        # run a scenario, accumulate logs
+//! coign analyze app.cimg ethernet        # cut the graph, realize the result
+//! coign show app.cimg                    # inspect the configuration record
+//! coign run app.cimg o_oldwp7            # execute distributed, report times
+//! coign hotspots app.cimg                # communication hot spots (§6)
+//! coign script app.cimg steps.txt        # profile a scripted scenario
+//! coign dot app.cimg graph.dot           # export the ICC graph (Figs 4-8)
+//! coign strip app.cimg                   # restore the original binary
+//! ```
+
+use coign::analysis::Distribution;
+use coign::application::Application;
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::config::RuntimeMode;
+use coign::report;
+use coign::rewriter;
+use coign::runtime::{choose_distribution, profile_scenario, run_distributed};
+use coign_apps::scenarios::app_by_name;
+use coign_com::{AppImage, ComError, ComResult, ComRuntime, MachineId};
+use coign_dcom::{NetworkModel, NetworkProfile};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Samples per size when measuring a network profile.
+const PROFILE_SAMPLES: usize = 40;
+/// Seed for the CLI's deterministic measurements.
+const SEED: u64 = 0x000C_0161;
+
+/// Resolves the application that owns an image (by the image's name).
+pub fn app_for_image(image: &AppImage) -> ComResult<Arc<dyn Application>> {
+    let name = image.name.trim_end_matches(".exe");
+    app_by_name(name).ok_or_else(|| {
+        ComError::App(format!(
+            "no application registered for image `{}` (known: octarine, photodraw, benefits)",
+            image.name
+        ))
+    })
+}
+
+/// Parses a network name.
+pub fn network_by_name(name: &str) -> ComResult<NetworkModel> {
+    Ok(match name {
+        "ethernet" | "10baset" => NetworkModel::ethernet_10baset(),
+        "isdn" => NetworkModel::isdn(),
+        "atm" => NetworkModel::atm155(),
+        "san" => NetworkModel::san(),
+        other => {
+            return Err(ComError::App(format!(
+                "unknown network `{other}` (use ethernet, isdn, atm, or san)"
+            )))
+        }
+    })
+}
+
+fn load(path: &Path) -> ComResult<AppImage> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| ComError::App(format!("cannot read {}: {e}", path.display())))?;
+    AppImage::decode(&bytes)
+}
+
+fn store(path: &Path, image: &AppImage) -> ComResult<()> {
+    std::fs::write(path, image.encode())
+        .map_err(|e| ComError::App(format!("cannot write {}: {e}", path.display())))
+}
+
+/// `coign instrument <app> <image>` — writes a freshly instrumented image.
+pub fn cmd_instrument(app_name: &str, path: &Path) -> ComResult<String> {
+    let app = app_by_name(app_name)
+        .ok_or_else(|| ComError::App(format!("unknown application `{app_name}`")))?;
+    let mut image = app.image();
+    let classifier = InstanceClassifier::new(ClassifierKind::Ifcb);
+    rewriter::instrument(&mut image, &classifier);
+    store(path, &image)?;
+    Ok(format!(
+        "instrumented {} -> {} ({} bytes; {} loads first)",
+        image.name,
+        path.display(),
+        image.encode().len(),
+        rewriter::COIGN_RTE_DLL
+    ))
+}
+
+/// `coign profile <image> <scenario>` — runs one profiling scenario and
+/// accumulates the summarized log into the image's configuration record.
+pub fn cmd_profile(path: &Path, scenario: &str) -> ComResult<String> {
+    let mut image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    let app = app_for_image(&image)?;
+    let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
+    let run = profile_scenario(app.as_ref(), scenario, &classifier)?;
+    rewriter::accumulate_profile(&mut image, &run.profile)?;
+    // Persist the classifier's grown descriptor table too.
+    let mut record = rewriter::read_config(&image)?;
+    record.classifier = classifier.encode();
+    image.set_config_record(record.encode());
+    store(path, &image)?;
+    Ok(format!(
+        "profiled {scenario}: {} messages, {} bytes, {} instances ({} classifications so far)",
+        run.profile.total_messages(),
+        run.profile.total_bytes(),
+        run.report.total_instances(),
+        classifier.classification_count(),
+    ))
+}
+
+/// `coign analyze <image> [network]` — chooses a distribution for the
+/// accumulated profile and realizes it in the image.
+pub fn cmd_analyze(path: &Path, network_name: &str) -> ComResult<String> {
+    let mut image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    if record.profile.total_messages() == 0 {
+        return Err(ComError::App(
+            "no profile accumulated yet — run `coign profile` first".to_string(),
+        ));
+    }
+    let app = app_for_image(&image)?;
+    let classifier = InstanceClassifier::decode(&record.classifier)?;
+    let network = network_by_name(network_name)?;
+    let profile = NetworkProfile::measure(&network, PROFILE_SAMPLES, SEED);
+    let distribution: Distribution = choose_distribution(app.as_ref(), &record.profile, &profile)?;
+    let (client, server) = (
+        distribution.count_on(MachineId::CLIENT),
+        distribution.count_on(MachineId::SERVER),
+    );
+    let predicted = distribution.predicted_comm_us;
+    rewriter::realize(&mut image, &classifier, &distribution)?;
+    store(path, &image)?;
+    Ok(format!(
+        "analyzed for {}: {client} classification(s) on the client, {server} on the server; \
+         predicted communication {:.1} ms; {} now loads first",
+        profile.network_name,
+        predicted / 1000.0,
+        rewriter::COIGN_LITE_DLL,
+    ))
+}
+
+/// `coign run <image> <scenario>` — executes a realized image distributed.
+pub fn cmd_run(path: &Path, scenario: &str, network_name: &str) -> ComResult<String> {
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    if record.mode != RuntimeMode::Distributed {
+        return Err(ComError::App(
+            "image is not realized — run `coign analyze` first".to_string(),
+        ));
+    }
+    let distribution = record
+        .distribution
+        .ok_or_else(|| ComError::App("record carries no distribution".to_string()))?;
+    let app = app_for_image(&image)?;
+    let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
+    let network = network_by_name(network_name)?;
+    let report = run_distributed(
+        app.as_ref(),
+        scenario,
+        &classifier,
+        &distribution,
+        network,
+        SEED,
+    )?;
+    Ok(format!(
+        "ran {scenario} distributed: {} instance(s) on the server of {}, \
+         {:.3} s communication, {:.3} s total, {} cross-machine call(s)",
+        report.server_instances(),
+        report.total_instances(),
+        report.comm_secs(),
+        report.exec_secs(),
+        report.stats.cross_machine_calls,
+    ))
+}
+
+/// `coign show <image>` — prints the configuration record.
+pub fn cmd_show(path: &Path) -> ComResult<String> {
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "image:      {} ({} bytes)\n",
+        image.name,
+        image.encode().len()
+    ));
+    out.push_str(&format!(
+        "imports:    {}\n",
+        image
+            .imports
+            .iter()
+            .map(|i| i.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "mode:       {}\n",
+        match record.mode {
+            RuntimeMode::Profiling => "profiling",
+            RuntimeMode::Distributed => "distributed (lightweight runtime)",
+        }
+    ));
+    out.push_str(&format!(
+        "scenarios:  {}\n",
+        record.profile.scenarios.join(", ")
+    ));
+    out.push_str(&format!(
+        "profile:    {} messages, {} bytes, {} classifications, {} non-remotable pair(s)\n",
+        record.profile.total_messages(),
+        record.profile.total_bytes(),
+        record.profile.classifications().len(),
+        record.profile.non_remotable.len(),
+    ));
+    if let Some(dist) = &record.distribution {
+        out.push_str(&format!(
+            "distribution: {} client / {} server, predicted {:.1} ms on {}\n",
+            dist.count_on(MachineId::CLIENT),
+            dist.count_on(MachineId::SERVER),
+            dist.predicted_comm_us / 1000.0,
+            dist.network_name,
+        ));
+    }
+    Ok(out)
+}
+
+/// `coign hotspots <image>` — the developer-feedback report (§6).
+pub fn cmd_hotspots(path: &Path, top: usize) -> ComResult<String> {
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    let app = app_for_image(&image)?;
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let names = report::interface_names(&rt);
+    let network = NetworkProfile::measure(&NetworkModel::ethernet_10baset(), PROFILE_SAMPLES, SEED);
+    let spots = report::hotspots(
+        &record.profile,
+        &network,
+        record.distribution.as_ref(),
+        &names,
+    );
+    let mut out = String::from("communication hot spots (heaviest first):\n");
+    for spot in spots.iter().take(top) {
+        out.push_str(&format!(
+            "  {:<18} m{:<3} {:>9} msgs {:>12} bytes {:>10.1} ms {}\n",
+            spot.interface,
+            spot.method,
+            spot.messages,
+            spot.bytes,
+            spot.predicted_us / 1000.0,
+            if spot.crosses_cut {
+                "[crosses cut]"
+            } else {
+                ""
+            },
+        ));
+    }
+    if let Some(dist) = &record.distribution {
+        let candidates =
+            report::caching_candidates(&record.profile, &network, dist, &names, 10, 2_048);
+        if !candidates.is_empty() {
+            out.push_str("per-interface caching candidates (semi-custom marshaling):\n");
+            for cand in candidates.iter().take(top) {
+                out.push_str(&format!(
+                    "  {:<18} m{:<3} {:>7} calls, avg {:>5} B, could save {:>8.1} ms\n",
+                    cand.interface,
+                    cand.method,
+                    cand.calls,
+                    cand.avg_message_bytes,
+                    cand.potential_savings_us / 1000.0,
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `coign script <image> <script>` — profiles a scripted scenario (the
+/// Visual Test analog; Octarine only) and accumulates the log.
+pub fn cmd_script(path: &Path, script_path: &Path) -> ComResult<String> {
+    use coign::classifier::InstanceClassifier as Ic;
+    use coign::logger::ProfilingLogger;
+    use coign::rte::CoignRte;
+    use coign_apps::octarine::script::{parse_script, run_ops};
+
+    let mut image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    let app = app_for_image(&image)?;
+    if app.name() != "octarine" {
+        return Err(ComError::App(format!(
+            "scenario scripts are only supported for octarine, not {}",
+            app.name()
+        )));
+    }
+    let text = std::fs::read_to_string(script_path)
+        .map_err(|e| ComError::App(format!("cannot read {}: {e}", script_path.display())))?;
+    let ops = parse_script(&text)?;
+
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let classifier = Arc::new(Ic::decode(&record.classifier)?);
+    classifier.begin_execution();
+    let logger = Arc::new(ProfilingLogger::new());
+    logger.set_scenario(&format!("script:{}", script_path.display()));
+    rt.add_hook(Arc::new(CoignRte::profiling(
+        classifier.clone(),
+        logger.clone(),
+    )));
+    run_ops(&rt, &ops)?;
+    let profile = logger.take_profile();
+
+    rewriter::accumulate_profile(&mut image, &profile)?;
+    let mut record = rewriter::read_config(&image)?;
+    record.classifier = classifier.encode();
+    image.set_config_record(record.encode());
+    store(path, &image)?;
+    Ok(format!(
+        "scripted profile ({} op(s)): {} messages, {} bytes, {} instances",
+        ops.len(),
+        profile.total_messages(),
+        profile.total_bytes(),
+        rt.instance_count(),
+    ))
+}
+
+/// `coign dot <image> <out.dot>` — exports the communication graph in
+/// Graphviz form (the textual equivalent of the paper's figures).
+pub fn cmd_dot(path: &Path, out: &Path) -> ComResult<String> {
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    let app = app_for_image(&image)?;
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let names = report::class_names(&rt);
+    let network = NetworkProfile::measure(&NetworkModel::ethernet_10baset(), PROFILE_SAMPLES, SEED);
+    let dot = report::to_dot(
+        &record.profile,
+        &network,
+        record.distribution.as_ref(),
+        &names,
+    );
+    std::fs::write(out, &dot)
+        .map_err(|e| ComError::App(format!("cannot write {}: {e}", out.display())))?;
+    Ok(format!(
+        "wrote {} ({} nodes, render with `dot -Tsvg`)",
+        out.display(),
+        record.profile.classifications().len(),
+    ))
+}
+
+/// `coign strip <image>` — removes all Coign artifacts from the image.
+pub fn cmd_strip(path: &Path) -> ComResult<String> {
+    let mut image = load(path)?;
+    rewriter::strip(&mut image);
+    store(path, &image)?;
+    Ok(format!(
+        "stripped {} back to its original shape",
+        image.name
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_image(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("coign_cli_test_{tag}_{}.cimg", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn full_cli_workflow_on_octarine() {
+        let path = temp_image("wf");
+        let msg = cmd_instrument("octarine", &path).unwrap();
+        assert!(msg.contains("coignrte.dll"));
+
+        let msg = cmd_profile(&path, "o_oldtb3").unwrap();
+        assert!(msg.contains("messages"));
+
+        let msg = cmd_show(&path).unwrap();
+        assert!(msg.contains("mode:       profiling"));
+        assert!(msg.contains("o_oldtb3"));
+
+        let msg = cmd_analyze(&path, "ethernet").unwrap();
+        assert!(msg.contains("server"));
+
+        let msg = cmd_show(&path).unwrap();
+        assert!(msg.contains("distributed"));
+
+        let msg = cmd_run(&path, "o_oldtb3", "ethernet").unwrap();
+        assert!(msg.contains("cross-machine"));
+
+        let msg = cmd_hotspots(&path, 5).unwrap();
+        assert!(msg.contains("hot spots"));
+
+        let msg = cmd_strip(&path).unwrap();
+        assert!(msg.contains("stripped"));
+        // After stripping, the record is gone.
+        assert!(cmd_show(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profiles_accumulate_across_invocations() {
+        let path = temp_image("acc");
+        cmd_instrument("benefits", &path).unwrap();
+        cmd_profile(&path, "b_vueone").unwrap();
+        cmd_profile(&path, "b_addone").unwrap();
+        let show = cmd_show(&path).unwrap();
+        assert!(show.contains("b_vueone, b_addone"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_requires_a_profile() {
+        let path = temp_image("noprof");
+        cmd_instrument("photodraw", &path).unwrap();
+        let err = cmd_analyze(&path, "ethernet").unwrap_err();
+        assert!(err.to_string().contains("no profile"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_requires_realization() {
+        let path = temp_image("norun");
+        cmd_instrument("octarine", &path).unwrap();
+        cmd_profile(&path, "o_newdoc").unwrap();
+        let err = cmd_run(&path, "o_newdoc", "ethernet").unwrap_err();
+        assert!(err.to_string().contains("not realized"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scripted_profiling_and_dot_export() {
+        let img = temp_image("script");
+        let script = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("coign_script_{}.txt", std::process::id()));
+            std::fs::write(&p, "open table 5\nidle 1\npaint\n").unwrap();
+            p
+        };
+        cmd_instrument("octarine", &img).unwrap();
+        let msg = cmd_script(&img, &script).unwrap();
+        assert!(msg.contains("scripted profile (3 op(s))"));
+        cmd_analyze(&img, "ethernet").unwrap();
+
+        let dot_path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("coign_dot_{}.dot", std::process::id()));
+            p
+        };
+        let msg = cmd_dot(&img, &dot_path).unwrap();
+        assert!(msg.contains("nodes"));
+        let dot = std::fs::read_to_string(&dot_path).unwrap();
+        assert!(dot.starts_with("graph icc {"));
+
+        // Scripts are octarine-only.
+        let pd = temp_image("pdscript");
+        cmd_instrument("photodraw", &pd).unwrap();
+        assert!(cmd_script(&pd, &script).is_err());
+
+        for p in [img, script, dot_path, pd] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(cmd_instrument("excel", &temp_image("bad")).is_err());
+        assert!(network_by_name("token-ring").is_err());
+        assert!(cmd_show(Path::new("/nonexistent/image.cimg")).is_err());
+    }
+}

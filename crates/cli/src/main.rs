@@ -1,0 +1,61 @@
+//! `coign` — the tool-chain CLI. See the crate docs for the workflow.
+
+use coign_cli::{
+    cmd_analyze, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile, cmd_run, cmd_script, cmd_show,
+    cmd_strip,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+coign — automatic distributed partitioning (OSDI '99 reproduction)
+
+USAGE:
+  coign instrument <app> <image>        instrument an application (octarine|photodraw|benefits)
+  coign profile    <image> <scenario>   run a profiling scenario, accumulate the log
+  coign analyze    <image> [network]    choose & realize a distribution (ethernet|isdn|atm|san)
+  coign run        <image> <scenario> [network]   execute distributed
+  coign show       <image>              inspect the configuration record
+  coign hotspots   <image> [top]        communication hot spots & caching candidates
+  coign script     <image> <script>     profile a scripted scenario (octarine)
+  coign dot        <image> <out.dot>    export the ICC graph in Graphviz form
+  coign strip      <image>              restore the original binary
+";
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    let arg = |i: usize| -> Result<&str, String> {
+        args.get(i)
+            .map(String::as_str)
+            .ok_or_else(|| USAGE.to_string())
+    };
+    let result = match arg(0)? {
+        "instrument" => cmd_instrument(arg(1)?, Path::new(arg(2)?)),
+        "profile" => cmd_profile(Path::new(arg(1)?), arg(2)?),
+        "analyze" => cmd_analyze(Path::new(arg(1)?), arg(2).unwrap_or("ethernet")),
+        "run" => cmd_run(Path::new(arg(1)?), arg(2)?, arg(3).unwrap_or("ethernet")),
+        "show" => cmd_show(Path::new(arg(1)?)),
+        "hotspots" => {
+            let top = arg(2).ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+            cmd_hotspots(Path::new(arg(1)?), top)
+        }
+        "script" => cmd_script(Path::new(arg(1)?), Path::new(arg(2)?)),
+        "dot" => cmd_dot(Path::new(arg(1)?), Path::new(arg(2)?)),
+        "strip" => cmd_strip(Path::new(arg(1)?)),
+        _ => return Err(USAGE.to_string()),
+    };
+    result.map_err(|e| format!("error: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(message) => {
+            println!("{message}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

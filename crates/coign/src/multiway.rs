@@ -1,0 +1,302 @@
+//! Multiway partitioning — the paper's ≥3-machine future work.
+//!
+//! "The problem of partitioning applications across three or more machines
+//! is provably NP-hard. Numerous heuristic algorithms exist for multi-way
+//! graph cutting." (§2). This module applies the isolation-heuristic
+//! multiway cut from `coign_flow::multiway` to real application profiles:
+//! constraints pin classifications to named machines (GUI → client,
+//! storage/database → the data server, programmer pins anywhere), and the
+//! heuristic assigns everything else to minimize cross-machine
+//! communication time.
+
+use crate::analysis::Distribution;
+use crate::classifier::ClassificationId;
+use crate::icc::IccGraph;
+use crate::profile::IccProfile;
+use coign_com::{ClassRegistry, ComError, ComResult, MachineId};
+use coign_dcom::NetworkProfile;
+use coign_flow::{multiway_cut, FlowNetwork, MaxFlowAlgorithm, INFINITE};
+use std::collections::HashMap;
+
+/// A placement constraint for multiway partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MultiwayConstraint {
+    /// The classification must run on the given machine.
+    Pin(ClassificationId, MachineId),
+    /// The two classifications must share a machine.
+    Colocate(ClassificationId, ClassificationId),
+}
+
+/// Derives pins for a three-tier topology from static API analysis:
+/// GUI importers to `client`, storage/database importers to `data_server`.
+/// The application root is always pinned to the client.
+pub fn derive_tier_constraints(
+    profile: &IccProfile,
+    registry: &ClassRegistry,
+    client: MachineId,
+    data_server: MachineId,
+) -> Vec<MultiwayConstraint> {
+    let mut constraints = vec![MultiwayConstraint::Pin(ClassificationId::ROOT, client)];
+    let mut classes: Vec<_> = profile.class_of.iter().collect();
+    classes.sort();
+    for (class, clsid) in classes {
+        let Ok(desc) = registry.get(*clsid) else {
+            continue;
+        };
+        if desc.imports.uses_gui() {
+            constraints.push(MultiwayConstraint::Pin(*class, client));
+        }
+        if desc.imports.uses_storage() {
+            constraints.push(MultiwayConstraint::Pin(*class, data_server));
+        }
+    }
+    constraints
+}
+
+/// Partitions a profile across `machine_count` machines.
+///
+/// Builds the concrete ICC graph, adds one terminal node per machine wired
+/// to its pinned classifications with infinite edges, and runs the
+/// isolation heuristic (within `2 − 2/k` of the optimal multiway cut).
+///
+/// Every machine must pin at least one classification (a terminal with no
+/// pull would trivially attract nothing); the client terminal always has
+/// the application root.
+pub fn analyze_multiway(
+    profile: &IccProfile,
+    network: &NetworkProfile,
+    constraints: &[MultiwayConstraint],
+    machine_count: usize,
+) -> ComResult<Distribution> {
+    if machine_count < 2 {
+        return Err(ComError::App(
+            "multiway analysis needs at least two machines".to_string(),
+        ));
+    }
+    let graph = IccGraph::build(profile, network);
+    let n = graph.node_count();
+    let mut flow = FlowNetwork::new(n + machine_count);
+    for ((a, b), weight) in &graph.weights_us {
+        flow.add_undirected(*a, *b, IccGraph::capacity_of(*weight));
+    }
+    for (a, b) in &graph.non_remotable {
+        flow.add_undirected(*a, *b, INFINITE);
+    }
+
+    // Terminal node for machine m is n + m.
+    let mut pinned_machines = vec![false; machine_count];
+    for constraint in constraints {
+        match constraint {
+            MultiwayConstraint::Pin(class, machine) => {
+                let m = machine.0 as usize;
+                if m >= machine_count {
+                    return Err(ComError::App(format!(
+                        "constraint pins {class} to {machine}, outside the \
+                         {machine_count}-machine topology"
+                    )));
+                }
+                if let Some(&node) = graph.index.get(class) {
+                    flow.add_undirected(node, n + m, INFINITE);
+                    pinned_machines[m] = true;
+                }
+            }
+            MultiwayConstraint::Colocate(a, b) => {
+                if let (Some(&na), Some(&nb)) = (graph.index.get(a), graph.index.get(b)) {
+                    if na != nb {
+                        flow.add_undirected(na, nb, INFINITE);
+                    }
+                }
+            }
+        }
+    }
+    if let Some(empty) = pinned_machines.iter().position(|p| !p) {
+        return Err(ComError::App(format!(
+            "machine {} has no pinned classification; every machine needs an anchor",
+            MachineId(empty as u16)
+        )));
+    }
+
+    let terminals: Vec<usize> = (0..machine_count).map(|m| n + m).collect();
+    let cut = multiway_cut(&flow, &terminals, MaxFlowAlgorithm::Dinic);
+
+    // A severed infinite edge means contradictory constraints.
+    if cut.cut_value >= INFINITE {
+        return Err(ComError::App(
+            "multiway constraints are contradictory: the cut severs an \
+             infinite-capacity edge"
+                .to_string(),
+        ));
+    }
+
+    let mut placement = HashMap::with_capacity(n);
+    for (node, class) in graph.nodes.iter().enumerate() {
+        placement.insert(*class, MachineId(cut.assignment[node] as u16));
+    }
+    // Predicted cross-machine communication under this assignment.
+    let predicted: f64 = graph
+        .weights_us
+        .iter()
+        .filter(|((a, b), _)| cut.assignment[*a] != cut.assignment[*b])
+        .map(|(_, w)| w)
+        .sum();
+
+    Ok(Distribution {
+        placement,
+        predicted_comm_us: predicted,
+        network_name: graph.network_name,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coign_com::{Clsid, Iid};
+    use coign_dcom::NetworkModel;
+
+    fn c(n: u32) -> ClassificationId {
+        ClassificationId(n)
+    }
+
+    const CLIENT: MachineId = MachineId(0);
+    const MIDDLE: MachineId = MachineId(1);
+    const DB: MachineId = MachineId(2);
+
+    /// root ↔ form(1) heavy, form ↔ logic(2) light, logic ↔ store(3) heavy.
+    fn tiered_profile() -> IccProfile {
+        let iid = Iid::from_name("IX");
+        let mut p = IccProfile::new();
+        for (id, name) in [(1, "Form"), (2, "Logic"), (3, "Store")] {
+            p.record_instance(c(id), Clsid::from_name(name));
+        }
+        for _ in 0..100 {
+            p.record_message(ClassificationId::ROOT, c(1), iid, 0, 200);
+        }
+        p.record_message(c(1), c(2), iid, 0, 500);
+        for _ in 0..100 {
+            p.record_message(c(2), c(3), iid, 0, 8_000);
+        }
+        p
+    }
+
+    fn network() -> NetworkProfile {
+        NetworkProfile::exact(&NetworkModel::ethernet_10baset())
+    }
+
+    #[test]
+    fn three_way_cut_respects_affinities() {
+        let profile = tiered_profile();
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(2), MIDDLE),
+            MultiwayConstraint::Pin(c(3), DB),
+        ];
+        let dist = analyze_multiway(&profile, &network(), &constraints, 3).unwrap();
+        // The form follows the root (heavy edge); the store stays pinned;
+        // with the store pinned to DB and logic to MIDDLE, their heavy edge
+        // is the unavoidable cost.
+        assert_eq!(dist.machine_of(c(1)), CLIENT);
+        assert_eq!(dist.machine_of(c(2)), MIDDLE);
+        assert_eq!(dist.machine_of(c(3)), DB);
+        assert!(dist.predicted_comm_us > 0.0);
+    }
+
+    #[test]
+    fn unpinned_heavy_talker_follows_its_peer() {
+        let profile = tiered_profile();
+        // Only pin root, middle anchor, and db anchor; classification 1
+        // (form) is free and should join the client, 2 free→? pin only 3.
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(2), MIDDLE),
+            MultiwayConstraint::Pin(c(3), DB),
+        ];
+        let dist = analyze_multiway(&profile, &network(), &constraints, 3).unwrap();
+        assert_eq!(dist.machine_of(c(1)), CLIENT);
+    }
+
+    #[test]
+    fn colocate_binds_across_machines() {
+        let profile = tiered_profile();
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(2), MIDDLE),
+            MultiwayConstraint::Pin(c(3), DB),
+            // Tie the form to the logic.
+            MultiwayConstraint::Colocate(c(1), c(2)),
+        ];
+        let dist = analyze_multiway(&profile, &network(), &constraints, 3).unwrap();
+        assert_eq!(dist.machine_of(c(1)), dist.machine_of(c(2)));
+    }
+
+    #[test]
+    fn unanchored_machine_is_rejected() {
+        let profile = tiered_profile();
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(3), DB),
+        ];
+        let err = analyze_multiway(&profile, &network(), &constraints, 3).unwrap_err();
+        assert!(err.to_string().contains("no pinned classification"));
+    }
+
+    #[test]
+    fn out_of_range_pin_is_rejected() {
+        let profile = tiered_profile();
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(2), MachineId(7)),
+        ];
+        assert!(analyze_multiway(&profile, &network(), &constraints, 3).is_err());
+    }
+
+    #[test]
+    fn two_way_multiway_matches_exact_cut_cost() {
+        // With k = 2 the isolation heuristic degenerates to one exact
+        // min cut, so it must match the two-way analysis engine.
+        let profile = tiered_profile();
+        let constraints2 = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(3), MachineId(1)),
+        ];
+        let multi = analyze_multiway(&profile, &network(), &constraints2, 2).unwrap();
+        let exact = crate::analysis::analyze(
+            &profile,
+            &network(),
+            &[
+                crate::constraints::Constraint::PinClient(ClassificationId::ROOT),
+                crate::constraints::Constraint::PinServer(c(3)),
+            ],
+            MaxFlowAlgorithm::LiftToFront,
+        )
+        .unwrap();
+        assert!((multi.predicted_comm_us - exact.predicted_comm_us).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tier_constraints_derive_from_imports() {
+        use coign_com::{ApiImports, ComRuntime};
+        use std::sync::Arc;
+        struct Nop;
+        impl coign_com::ComObject for Nop {
+            fn invoke(
+                &self,
+                _ctx: &coign_com::CallCtx<'_>,
+                _iid: Iid,
+                _method: u32,
+                _msg: &mut coign_com::Message,
+            ) -> ComResult<()> {
+                Ok(())
+            }
+        }
+        let rt = ComRuntime::single_machine();
+        rt.registry()
+            .register("Form", vec![], ApiImports::GUI, |_, _| Arc::new(Nop));
+        rt.registry()
+            .register("Store", vec![], ApiImports::DATABASE, |_, _| Arc::new(Nop));
+        let profile = tiered_profile();
+        let constraints = derive_tier_constraints(&profile, rt.registry(), CLIENT, DB);
+        assert!(constraints.contains(&MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT)));
+        assert!(constraints.contains(&MultiwayConstraint::Pin(c(1), CLIENT)));
+        assert!(constraints.contains(&MultiwayConstraint::Pin(c(3), DB)));
+    }
+}

@@ -1,0 +1,197 @@
+//! The binary rewriter.
+//!
+//! Starting with the original binary files for an application, the rewriter
+//! makes exactly two modifications (§2 of the paper):
+//!
+//! 1. It inserts an entry into the **first slot** of the application's DLL
+//!    import table to load the Coign runtime, so the runtime loads and
+//!    executes before the application or any of its DLLs and can instrument
+//!    the COM library in the application's address space.
+//! 2. It adds a **configuration record** data segment at the end of the
+//!    binary, telling the runtime how to profile the application and how to
+//!    classify components during execution.
+//!
+//! After analysis, the rewriter replaces the profiling instrumentation with
+//! the lightweight runtime and writes the chosen distribution into the
+//! configuration record.
+
+use crate::analysis::Distribution;
+use crate::classifier::InstanceClassifier;
+use crate::config::{ConfigRecord, RuntimeMode};
+use crate::profile::IccProfile;
+use coign_com::{AppImage, ComError, ComResult};
+
+/// Import-table entry of the full (profiling) Coign runtime.
+pub const COIGN_RTE_DLL: &str = "coignrte.dll";
+
+/// Import-table entry of the lightweight (distribution) runtime.
+pub const COIGN_LITE_DLL: &str = "coignlte.dll";
+
+/// Instruments an application binary for profiling.
+///
+/// Idempotent: re-instrumenting resets the configuration record.
+pub fn instrument(image: &mut AppImage, classifier: &InstanceClassifier) {
+    image.remove_import(COIGN_LITE_DLL);
+    image.insert_import_first(COIGN_RTE_DLL);
+    let record = ConfigRecord::profiling(classifier.encode());
+    image.set_config_record(record.encode());
+}
+
+/// Reads the configuration record out of an instrumented binary.
+pub fn read_config(image: &AppImage) -> ComResult<ConfigRecord> {
+    let bytes = image.config_record().ok_or_else(|| {
+        ComError::Codec(format!(
+            "image {} carries no Coign configuration record",
+            image.name
+        ))
+    })?;
+    ConfigRecord::decode(bytes)
+}
+
+/// Accumulates a profiling run's summarized log into the binary's
+/// configuration record (the storage-saving alternative to log files: the
+/// record's summaries merge communication from similar interface calls).
+pub fn accumulate_profile(image: &mut AppImage, run: &IccProfile) -> ComResult<()> {
+    let mut record = read_config(image)?;
+    record.profile.merge(run);
+    image.set_config_record(record.encode());
+    Ok(())
+}
+
+/// Rewrites the binary to realize a chosen distribution.
+///
+/// The profiling instrumentation is removed from the import table; in its
+/// place the lightweight runtime is loaded to enforce the distribution
+/// chosen by the graph-cutting algorithm.
+pub fn realize(
+    image: &mut AppImage,
+    classifier: &InstanceClassifier,
+    distribution: &Distribution,
+) -> ComResult<()> {
+    let mut record = read_config(image)?;
+    record.mode = RuntimeMode::Distributed;
+    record.classifier = classifier.encode();
+    record.distribution = Some(distribution.clone());
+    image.remove_import(COIGN_RTE_DLL);
+    image.insert_import_first(COIGN_LITE_DLL);
+    image.set_config_record(record.encode());
+    Ok(())
+}
+
+/// Restores the original (un-instrumented) binary.
+pub fn strip(image: &mut AppImage) {
+    image.remove_import(COIGN_RTE_DLL);
+    image.remove_import(COIGN_LITE_DLL);
+    image.remove_section(coign_com::image::CONFIG_SECTION);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{ClassificationId, ClassifierKind};
+    use coign_com::{Clsid, MachineId};
+    use std::collections::HashMap;
+
+    fn image() -> AppImage {
+        AppImage::new("octarine.exe", vec![Clsid::from_name("Story")])
+    }
+
+    fn classifier() -> InstanceClassifier {
+        InstanceClassifier::new(ClassifierKind::Ifcb)
+    }
+
+    #[test]
+    fn instrument_adds_import_first_and_record() {
+        let mut img = image();
+        instrument(&mut img, &classifier());
+        assert_eq!(img.imports[0].name, COIGN_RTE_DLL);
+        let record = read_config(&img).unwrap();
+        assert_eq!(record.mode, RuntimeMode::Profiling);
+        assert!(record.distribution.is_none());
+    }
+
+    #[test]
+    fn instrument_is_idempotent() {
+        let mut img = image();
+        instrument(&mut img, &classifier());
+        instrument(&mut img, &classifier());
+        assert_eq!(
+            img.imports
+                .iter()
+                .filter(|i| i.name == COIGN_RTE_DLL)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn uninstrumented_image_has_no_config() {
+        assert!(read_config(&image()).is_err());
+    }
+
+    #[test]
+    fn profiles_accumulate_in_the_record() {
+        let mut img = image();
+        instrument(&mut img, &classifier());
+        let mut run = IccProfile::new();
+        run.record_instance(ClassificationId(1), Clsid::from_name("Story"));
+        run.scenarios.push("o_newdoc".into());
+        accumulate_profile(&mut img, &run).unwrap();
+        accumulate_profile(&mut img, &run).unwrap();
+        let record = read_config(&img).unwrap();
+        assert_eq!(record.profile.instances[&ClassificationId(1)], 2);
+        assert_eq!(record.profile.scenarios.len(), 2);
+    }
+
+    #[test]
+    fn realize_swaps_runtime_and_writes_distribution() {
+        let mut img = image();
+        let cl = classifier();
+        instrument(&mut img, &cl);
+        let mut placement = HashMap::new();
+        placement.insert(ClassificationId(1), MachineId::SERVER);
+        let dist = Distribution {
+            placement,
+            predicted_comm_us: 42.0,
+            network_name: "10BaseT Ethernet".into(),
+        };
+        realize(&mut img, &cl, &dist).unwrap();
+        assert_eq!(img.imports[0].name, COIGN_LITE_DLL);
+        assert!(!img.has_import(COIGN_RTE_DLL));
+        let record = read_config(&img).unwrap();
+        assert_eq!(record.mode, RuntimeMode::Distributed);
+        assert_eq!(record.distribution.unwrap(), dist);
+    }
+
+    #[test]
+    fn realize_requires_prior_instrumentation() {
+        let mut img = image();
+        let dist = Distribution {
+            placement: HashMap::new(),
+            predicted_comm_us: 0.0,
+            network_name: "x".into(),
+        };
+        assert!(realize(&mut img, &classifier(), &dist).is_err());
+    }
+
+    #[test]
+    fn strip_restores_original_shape() {
+        let original = image();
+        let mut img = image();
+        instrument(&mut img, &classifier());
+        strip(&mut img);
+        assert_eq!(img, original);
+    }
+
+    #[test]
+    fn image_roundtrips_with_config_through_bytes() {
+        // The instrumented binary survives save/load — the rewriter writes
+        // real bytes, not in-memory-only state.
+        let mut img = image();
+        instrument(&mut img, &classifier());
+        let bytes = img.encode();
+        let back = AppImage::decode(&bytes).unwrap();
+        let record = read_config(&back).unwrap();
+        assert_eq!(record.mode, RuntimeMode::Profiling);
+    }
+}

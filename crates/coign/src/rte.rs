@@ -1,0 +1,359 @@
+//! The Coign Runtime Executive (§3.1 of the paper).
+//!
+//! The RTE provides low-level services to the other Coign runtime
+//! components: it traps component instantiation requests, wraps every COM
+//! interface pointer with instrumentation, tracks binaries loaded into the
+//! address space, and provides access to the configuration record. It is the
+//! single [`RuntimeHook`] Coign installs into the component runtime.
+//!
+//! The RTE runs in one of two modes:
+//!
+//! * **Profiling** — instantiations proceed locally; every interface is
+//!   wrapped with the (expensive, precise) profiling informer; all events go
+//!   to the information logger.
+//! * **Distributed** — the instance classifier identifies each
+//!   about-to-be-instantiated component, the component factory relocates the
+//!   request to its assigned machine, and interfaces are wrapped with the
+//!   lightweight distribution informer that routes cross-machine calls
+//!   through the DCOM transport.
+
+use crate::classifier::InstanceClassifier;
+use crate::drift::DriftMonitor;
+use crate::factory::ComponentFactory;
+use crate::informer::{DistributionInvoker, OverheadMeter, ProfilingInvoker};
+use crate::logger::InfoLogger;
+use coign_com::{
+    Clsid, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr, RuntimeHook,
+};
+use coign_dcom::Transport;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which runtime configuration the RTE realizes.
+enum RteMode {
+    Profiling,
+    Distributed {
+        factory: ComponentFactory,
+        transport: Arc<Transport>,
+        drift: Option<Arc<DriftMonitor>>,
+    },
+}
+
+/// The Coign Runtime Executive.
+pub struct CoignRte {
+    mode: RteMode,
+    classifier: Arc<InstanceClassifier>,
+    logger: Arc<dyn InfoLogger>,
+    overhead: Arc<OverheadMeter>,
+    /// Binaries observed in the address space (RTE address-space tracking).
+    images: Mutex<Vec<String>>,
+}
+
+impl CoignRte {
+    /// Creates a profiling-mode RTE.
+    pub fn profiling(classifier: Arc<InstanceClassifier>, logger: Arc<dyn InfoLogger>) -> Self {
+        CoignRte {
+            mode: RteMode::Profiling,
+            classifier,
+            logger,
+            overhead: Arc::new(OverheadMeter::new()),
+            images: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a distributed-mode RTE realizing the given placement.
+    pub fn distributed(
+        classifier: Arc<InstanceClassifier>,
+        logger: Arc<dyn InfoLogger>,
+        factory: ComponentFactory,
+        transport: Arc<Transport>,
+    ) -> Self {
+        Self::distributed_with_monitor(classifier, logger, factory, transport, None)
+    }
+
+    /// Creates a distributed-mode RTE that additionally counts messages for
+    /// usage-drift detection.
+    pub fn distributed_with_monitor(
+        classifier: Arc<InstanceClassifier>,
+        logger: Arc<dyn InfoLogger>,
+        factory: ComponentFactory,
+        transport: Arc<Transport>,
+        drift: Option<Arc<DriftMonitor>>,
+    ) -> Self {
+        CoignRte {
+            mode: RteMode::Distributed {
+                factory,
+                transport,
+                drift,
+            },
+            classifier,
+            logger,
+            overhead: Arc::new(OverheadMeter::new()),
+            images: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The classifier in use.
+    pub fn classifier(&self) -> &Arc<InstanceClassifier> {
+        &self.classifier
+    }
+
+    /// The information logger in use.
+    pub fn logger(&self) -> &Arc<dyn InfoLogger> {
+        &self.logger
+    }
+
+    /// Total instrumentation overhead charged so far, microseconds.
+    pub fn overhead_us(&self) -> u64 {
+        self.overhead.total_us()
+    }
+
+    /// Records a binary loaded into the application's address space.
+    pub fn track_image(&self, name: &str) {
+        self.images.lock().push(name.to_string());
+    }
+
+    /// Binaries observed so far.
+    pub fn images(&self) -> Vec<String> {
+        self.images.lock().clone()
+    }
+
+    /// True when running in distributed (lightweight) mode.
+    pub fn is_distributed(&self) -> bool {
+        matches!(self.mode, RteMode::Distributed { .. })
+    }
+}
+
+impl RuntimeHook for CoignRte {
+    fn fulfill_create(
+        &self,
+        rt: &ComRuntime,
+        req: &CreateRequest,
+    ) -> Option<ComResult<InterfacePtr>> {
+        match &self.mode {
+            RteMode::Profiling => None,
+            RteMode::Distributed { factory, .. } => {
+                // Classify the about-to-be-instantiated component from the
+                // current call stack, then let the factory route it.
+                let class = self.classifier.classify_pending(rt, req.clsid);
+                let machine = factory.place(class, req.clsid, rt.current_machine());
+                Some(rt.create_direct(req.clsid, req.iid, Some(machine)))
+            }
+        }
+    }
+
+    fn instance_created(&self, rt: &ComRuntime, id: InstanceId, clsid: Clsid) {
+        let class = self.classifier.classify_instance(rt, id, clsid);
+        self.logger.log_instance_created(id, clsid, class);
+    }
+
+    fn instance_released(&self, _rt: &ComRuntime, id: InstanceId) {
+        self.logger.log_instance_released(id);
+    }
+
+    fn wrap_interface(&self, _rt: &ComRuntime, ptr: InterfacePtr) -> InterfacePtr {
+        if !self.is_distributed() {
+            self.logger.log_interface_created(ptr.owner(), ptr.iid());
+        }
+        match &self.mode {
+            RteMode::Profiling => ProfilingInvoker::wrap(
+                ptr,
+                self.classifier.clone(),
+                self.logger.clone(),
+                self.overhead.clone(),
+            ),
+            RteMode::Distributed {
+                transport, drift, ..
+            } => DistributionInvoker::wrap_with_drift(
+                ptr,
+                transport.clone(),
+                self.overhead.clone(),
+                drift.as_ref().map(|m| (self.classifier.clone(), m.clone())),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{ClassificationId, ClassifierKind};
+    use crate::logger::ProfilingLogger;
+    use coign_com::idl::InterfaceBuilder;
+    use coign_com::registry::ApiImports;
+    use coign_com::{CallCtx, ComObject, Iid, MachineId, Message, PType, Value};
+    use coign_dcom::NetworkModel;
+    use std::collections::HashMap;
+
+    /// A document reader: `Read()` returns a 100 KB blob.
+    struct Reader;
+    impl ComObject for Reader {
+        fn invoke(
+            &self,
+            _ctx: &CallCtx<'_>,
+            _iid: Iid,
+            _method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            msg.set(0, Value::Blob(100_000));
+            Ok(())
+        }
+    }
+
+    /// A viewer that creates a reader and pulls data from it.
+    struct Viewer {
+        reader_clsid: Clsid,
+        reader_iid: Iid,
+    }
+    impl ComObject for Viewer {
+        fn invoke(
+            &self,
+            ctx: &CallCtx<'_>,
+            _iid: Iid,
+            _method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            let reader = ctx.create(self.reader_clsid, self.reader_iid)?;
+            let mut inner = Message::outputs(1);
+            reader.call(ctx.rt(), 0, &mut inner)?;
+            msg.set(0, inner.args[0].clone());
+            Ok(())
+        }
+    }
+
+    fn register_app(rt: &ComRuntime) -> (Clsid, Iid) {
+        let ireader = InterfaceBuilder::new("IReader")
+            .method("Read", |m| m.output("data", PType::Blob))
+            .build();
+        let reader_iid = ireader.iid;
+        let reader_clsid =
+            rt.registry()
+                .register("Reader", vec![ireader], ApiImports::STORAGE, |_, _| {
+                    Arc::new(Reader)
+                });
+        let iviewer = InterfaceBuilder::new("IViewer")
+            .method("Show", |m| m.output("data", PType::Blob))
+            .build();
+        let viewer_iid = iviewer.iid;
+        let viewer_clsid =
+            rt.registry()
+                .register("Viewer", vec![iviewer], ApiImports::GUI, move |_, _| {
+                    Arc::new(Viewer {
+                        reader_clsid,
+                        reader_iid,
+                    })
+                });
+        (viewer_clsid, viewer_iid)
+    }
+
+    #[test]
+    fn profiling_mode_observes_nested_communication() {
+        let rt = ComRuntime::single_machine();
+        let (viewer_clsid, viewer_iid) = register_app(&rt);
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let logger = Arc::new(ProfilingLogger::new());
+        let rte = Arc::new(CoignRte::profiling(classifier.clone(), logger.clone()));
+        rt.add_hook(rte.clone());
+
+        let viewer = rt.create_instance(viewer_clsid, viewer_iid).unwrap();
+        let mut msg = Message::outputs(1);
+        viewer.call(&rt, 0, &mut msg).unwrap();
+
+        // Both instances classified.
+        assert_eq!(classifier.stats().instances, 2);
+        // Root→viewer and viewer→reader calls were logged.
+        let profile = logger.snapshot_profile();
+        assert_eq!(profile.total_messages(), 4);
+        // The 100 KB payload is visible in the summarized bytes, twice
+        // (reader→viewer reply and viewer→root reply).
+        assert!(profile.total_bytes() > 200_000);
+        assert!(rte.overhead_us() > 0);
+        assert!(!rte.is_distributed());
+    }
+
+    #[test]
+    fn distributed_mode_relocates_and_charges() {
+        // Profile first to learn classifications.
+        let rt = ComRuntime::client_server();
+        let (viewer_clsid, viewer_iid) = register_app(&rt);
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let logger = Arc::new(ProfilingLogger::new());
+        let rte = Arc::new(CoignRte::profiling(classifier.clone(), logger.clone()));
+        rt.add_hook(rte);
+        let viewer = rt.create_instance(viewer_clsid, viewer_iid).unwrap();
+        let mut msg = Message::outputs(1);
+        viewer.call(&rt, 0, &mut msg).unwrap();
+
+        let viewer_class = classifier.classification_of(viewer.owner()).unwrap();
+        // Find the reader's classification: the other one.
+        let bindings = classifier.bindings();
+        let reader_class = *bindings
+            .values()
+            .find(|&&c| c != viewer_class)
+            .expect("reader classified");
+
+        // Distributed run: reader on the server, viewer on the client.
+        let rt2 = ComRuntime::client_server();
+        register_app(&rt2);
+        let mut placement = HashMap::new();
+        placement.insert(viewer_class, MachineId::CLIENT);
+        placement.insert(reader_class, MachineId::SERVER);
+        classifier.begin_execution();
+        let factory = ComponentFactory::new(placement, MachineId::CLIENT, 2);
+        let transport = Arc::new(Transport::new(NetworkModel::ethernet_10baset(), 7));
+        let rte2 = Arc::new(CoignRte::distributed(
+            classifier.clone(),
+            Arc::new(crate::logger::NullLogger),
+            factory,
+            transport,
+        ));
+        rt2.add_hook(rte2.clone());
+
+        let viewer2 = rt2.create_instance(viewer_clsid, viewer_iid).unwrap();
+        assert_eq!(
+            rt2.instance(viewer2.owner()).unwrap().machine(),
+            MachineId::CLIENT
+        );
+        let mut msg2 = Message::outputs(1);
+        viewer2.call(&rt2, 0, &mut msg2).unwrap();
+
+        // The reader was created on the server...
+        let reader_inst = rt2
+            .instances_snapshot()
+            .into_iter()
+            .find(|i| i.clsid == Clsid::from_name("Reader"))
+            .unwrap();
+        assert_eq!(reader_inst.machine(), MachineId::SERVER);
+        // ...and its 100 KB reply crossed the network.
+        let stats = rt2.stats();
+        assert!(stats.bytes > 100_000);
+        assert!(stats.comm_us > 0);
+        assert_eq!(stats.cross_machine_calls, 1);
+        assert!(rte2.is_distributed());
+    }
+
+    #[test]
+    fn rte_tracks_loaded_images() {
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::St));
+        let rte = CoignRte::profiling(classifier, Arc::new(crate::logger::NullLogger));
+        rte.track_image("octarine.exe");
+        rte.track_image("mso97.dll");
+        assert_eq!(rte.images(), vec!["octarine.exe", "mso97.dll"]);
+    }
+
+    #[test]
+    fn root_calls_classify_as_root() {
+        let rt = ComRuntime::single_machine();
+        let (viewer_clsid, viewer_iid) = register_app(&rt);
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let logger = Arc::new(ProfilingLogger::new());
+        rt.add_hook(Arc::new(CoignRte::profiling(classifier, logger.clone())));
+        let viewer = rt.create_instance(viewer_clsid, viewer_iid).unwrap();
+        viewer.call(&rt, 0, &mut Message::outputs(1)).unwrap();
+        let profile = logger.snapshot_profile();
+        assert!(profile
+            .edges
+            .keys()
+            .any(|k| k.from == ClassificationId::ROOT));
+    }
+}

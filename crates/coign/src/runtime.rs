@@ -1,0 +1,596 @@
+//! End-to-end Coign runs: profiling, default, and distributed executions.
+//!
+//! This module assembles the pieces into the workflows of the paper's
+//! Figure 1:
+//!
+//! * [`profile_scenario`] — run one scenario under the profiling runtime,
+//!   returning the summarized profile and per-instance data.
+//! * [`profile_scenarios`] — run a scenario suite and merge the logs.
+//! * [`choose_distribution`] — the analysis step: constraints + profile +
+//!   network profile → minimum-cut distribution.
+//! * [`run_distributed`] — execute a scenario with the lightweight runtime
+//!   realizing a chosen distribution, measuring real (simulated)
+//!   communication time.
+//! * [`run_default`] — execute a scenario in the application's as-shipped
+//!   distribution (for the paper's Table 4 baseline).
+//! * [`run_raw`] — execute without any instrumentation (overhead baseline).
+
+use crate::analysis::{analyze, Distribution};
+use crate::application::Application;
+use crate::classifier::{ClassificationId, InstanceClassifier};
+use crate::constraints::{derive_static_constraints, resolve_named_constraints, Constraint};
+use crate::factory::ComponentFactory;
+use crate::informer::{DistributionInvoker, OverheadMeter};
+use crate::logger::{PairTraffic, ProfilingLogger};
+use crate::profile::IccProfile;
+use crate::rte::CoignRte;
+use coign_com::{
+    Clsid, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr, MachineId, RtStats,
+    RuntimeHook,
+};
+use coign_dcom::{NetworkModel, NetworkProfile, Transport};
+use coign_flow::MaxFlowAlgorithm;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Measurements from one scenario execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Runtime statistics (compute, communication, messages, bytes).
+    pub stats: RtStats,
+    /// Total simulated wall-clock time, microseconds.
+    pub clock_us: u64,
+    /// Instrumentation overhead included in `clock_us`, microseconds.
+    pub overhead_us: u64,
+    /// Live instances per machine at scenario end.
+    pub instances_per_machine: Vec<usize>,
+    /// Per-instance `(class, machine)` placement at scenario end.
+    pub instance_placements: Vec<(Clsid, MachineId)>,
+}
+
+impl RunReport {
+    /// Total live instances at scenario end.
+    pub fn total_instances(&self) -> usize {
+        self.instances_per_machine.iter().sum()
+    }
+
+    /// Instances on the server (machine 1) at scenario end.
+    pub fn server_instances(&self) -> usize {
+        self.instances_per_machine
+            .get(MachineId::SERVER.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Communication time in seconds (Table 4's unit).
+    pub fn comm_secs(&self) -> f64 {
+        self.stats.comm_us as f64 / 1e6
+    }
+
+    /// Execution time in seconds (Table 5's unit).
+    pub fn exec_secs(&self) -> f64 {
+        self.clock_us as f64 / 1e6
+    }
+}
+
+fn count_per_machine(rt: &ComRuntime) -> Vec<usize> {
+    let mut counts = vec![0usize; rt.machines().len()];
+    for instance in rt.instances_snapshot() {
+        let m = instance.machine().0 as usize;
+        if m < counts.len() {
+            counts[m] += 1;
+        }
+    }
+    counts
+}
+
+/// Static fallback pins: storage/database classes live on the data machine
+/// (the topology's last machine) even when a classification was never
+/// profiled — the data file does not move just because the profile is
+/// stale.
+fn storage_class_pins(rt: &ComRuntime) -> HashMap<Clsid, MachineId> {
+    let data_machine = MachineId((rt.machines().len() - 1) as u16);
+    rt.registry()
+        .all()
+        .into_iter()
+        .filter(|desc| desc.imports.uses_storage())
+        .map(|desc| (desc.clsid, data_machine))
+        .collect()
+}
+
+fn placements(rt: &ComRuntime) -> Vec<(Clsid, MachineId)> {
+    rt.instances_snapshot()
+        .iter()
+        .map(|i| (i.clsid, i.machine()))
+        .collect()
+}
+
+/// Result of one profiling execution.
+#[derive(Debug, Clone)]
+pub struct ProfileRun {
+    /// The summarized communication profile of this run.
+    pub profile: IccProfile,
+    /// Per-instance-pair traffic (for communication vectors).
+    pub instance_pairs: HashMap<(InstanceId, InstanceId), PairTraffic>,
+    /// Instance → classification binding of this run.
+    pub instance_classes: HashMap<InstanceId, ClassificationId>,
+    /// Execution measurements.
+    pub report: RunReport,
+}
+
+/// Runs one scenario under the profiling runtime.
+///
+/// The classifier is shared across calls so that classifications accumulate
+/// over the whole scenario suite (its per-execution state is reset here).
+pub fn profile_scenario(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+) -> ComResult<ProfileRun> {
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    classifier.begin_execution();
+    let logger = Arc::new(ProfilingLogger::new());
+    logger.set_scenario(scenario);
+    let rte = Arc::new(CoignRte::profiling(classifier.clone(), logger.clone()));
+    rt.add_hook(rte.clone());
+
+    app.run_scenario(&rt, scenario)?;
+
+    let instance_pairs = logger.instance_pairs();
+    let instance_classes = logger.instance_classes();
+    let profile = logger.take_profile();
+    Ok(ProfileRun {
+        profile,
+        instance_pairs,
+        instance_classes,
+        report: RunReport {
+            stats: rt.stats(),
+            clock_us: rt.clock().now_us(),
+            overhead_us: rte.overhead_us(),
+            instances_per_machine: count_per_machine(&rt),
+            instance_placements: placements(&rt),
+        },
+    })
+}
+
+/// Profiles a suite of scenarios and merges their logs.
+pub fn profile_scenarios(
+    app: &dyn Application,
+    scenarios: &[&str],
+    classifier: &Arc<InstanceClassifier>,
+) -> ComResult<IccProfile> {
+    let mut merged = IccProfile::new();
+    for scenario in scenarios {
+        let run = profile_scenario(app, scenario, classifier)?;
+        merged.merge(&run.profile);
+    }
+    Ok(merged)
+}
+
+/// Derives the full constraint set for an application: static API analysis
+/// plus the programmer's explicit constraints.
+pub fn derive_constraints(app: &dyn Application, profile: &IccProfile) -> Vec<Constraint> {
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let mut constraints = derive_static_constraints(profile, rt.registry());
+    constraints.extend(resolve_named_constraints(
+        profile,
+        &app.explicit_constraints(),
+    ));
+    constraints
+}
+
+/// The analysis step: chooses the minimum-communication-time distribution
+/// for the given network using the lift-to-front algorithm.
+pub fn choose_distribution(
+    app: &dyn Application,
+    profile: &IccProfile,
+    network: &NetworkProfile,
+) -> ComResult<Distribution> {
+    let constraints = derive_constraints(app, profile);
+    analyze(
+        profile,
+        network,
+        &constraints,
+        MaxFlowAlgorithm::LiftToFront,
+    )
+}
+
+/// Executes a scenario with the lightweight runtime realizing
+/// `distribution`. The classifier must be the one used during profiling
+/// (its descriptor table maps new instantiations onto profiled
+/// classifications).
+pub fn run_distributed(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    network: NetworkModel,
+    seed: u64,
+) -> ComResult<RunReport> {
+    run_distributed_on(
+        app,
+        scenario,
+        classifier,
+        distribution,
+        ComRuntime::client_server(),
+        network,
+        seed,
+    )
+}
+
+/// Executes a scenario under `distribution` with usage-drift monitoring:
+/// the distribution informer counts messages (cheaply) and the returned
+/// monitor reports how far observed usage drifted from `baseline` — the
+/// trigger for the paper's "silently enable profiling to re-optimize"
+/// loop (§6).
+pub fn run_distributed_monitored(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    baseline: &IccProfile,
+    network: NetworkModel,
+    seed: u64,
+) -> ComResult<(RunReport, Arc<crate::drift::DriftMonitor>)> {
+    let rt = ComRuntime::client_server();
+    app.register(&rt);
+    classifier.begin_execution();
+    let factory = ComponentFactory::with_class_pins(
+        distribution.placement.clone(),
+        storage_class_pins(&rt),
+        MachineId::CLIENT,
+        rt.machines().len(),
+    );
+    let transport = Arc::new(Transport::new(network, seed));
+    let monitor = Arc::new(crate::drift::DriftMonitor::from_profile(baseline));
+    let rte = Arc::new(CoignRte::distributed_with_monitor(
+        classifier.clone(),
+        Arc::new(crate::logger::NullLogger),
+        factory,
+        transport,
+        Some(monitor.clone()),
+    ));
+    rt.add_hook(rte.clone());
+
+    app.run_scenario(&rt, scenario)?;
+
+    let report = RunReport {
+        stats: rt.stats(),
+        clock_us: rt.clock().now_us(),
+        overhead_us: rte.overhead_us(),
+        instances_per_machine: count_per_machine(&rt),
+        instance_placements: placements(&rt),
+    };
+    Ok((report, monitor))
+}
+
+/// Executes a scenario under `distribution` on an arbitrary topology —
+/// used for the ≥3-machine distributions of [`crate::multiway`].
+pub fn run_distributed_on(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    rt: ComRuntime,
+    network: NetworkModel,
+    seed: u64,
+) -> ComResult<RunReport> {
+    app.register(&rt);
+    classifier.begin_execution();
+    let factory = ComponentFactory::with_class_pins(
+        distribution.placement.clone(),
+        storage_class_pins(&rt),
+        MachineId::CLIENT,
+        rt.machines().len(),
+    );
+    let transport = Arc::new(Transport::new(network, seed));
+    let rte = Arc::new(CoignRte::distributed(
+        classifier.clone(),
+        Arc::new(crate::logger::NullLogger),
+        factory,
+        transport,
+    ));
+    rt.add_hook(rte.clone());
+
+    app.run_scenario(&rt, scenario)?;
+
+    Ok(RunReport {
+        stats: rt.stats(),
+        clock_us: rt.clock().now_us(),
+        overhead_us: rte.overhead_us(),
+        instances_per_machine: count_per_machine(&rt),
+        instance_placements: placements(&rt),
+    })
+}
+
+/// Places instances by *class* according to a fixed table — how an
+/// application ships: the developer assigned classes (not instances) to
+/// tiers. Interfaces are wrapped with the distribution informer so
+/// cross-machine calls cost real time.
+struct StaticPlacementRte {
+    placement: HashMap<Clsid, MachineId>,
+    transport: Arc<Transport>,
+    overhead: Arc<OverheadMeter>,
+}
+
+impl RuntimeHook for StaticPlacementRte {
+    fn fulfill_create(
+        &self,
+        rt: &ComRuntime,
+        req: &CreateRequest,
+    ) -> Option<ComResult<InterfacePtr>> {
+        let machine = self
+            .placement
+            .get(&req.clsid)
+            .copied()
+            .unwrap_or(MachineId::CLIENT);
+        Some(rt.create_direct(req.clsid, req.iid, Some(machine)))
+    }
+
+    fn wrap_interface(&self, _rt: &ComRuntime, ptr: InterfacePtr) -> InterfacePtr {
+        DistributionInvoker::wrap(ptr, self.transport.clone(), self.overhead.clone())
+    }
+}
+
+/// Executes a scenario in the application's default (as-shipped)
+/// distribution: every class placed per [`Application::default_placement`].
+pub fn run_default(
+    app: &dyn Application,
+    scenario: &str,
+    network: NetworkModel,
+    seed: u64,
+) -> ComResult<RunReport> {
+    let rt = ComRuntime::client_server();
+    app.register(&rt);
+    // Data files are placed on the server for both the default and the
+    // Coign-chosen distributions (§4.5): storage/database classes override
+    // the application's own placement.
+    let placement: HashMap<Clsid, MachineId> = rt
+        .registry()
+        .all()
+        .into_iter()
+        .map(|desc| {
+            let machine = if desc.imports.uses_storage() {
+                MachineId::SERVER
+            } else {
+                app.default_placement(&desc.name)
+            };
+            (desc.clsid, machine)
+        })
+        .collect();
+    let transport = Arc::new(Transport::new(network, seed));
+    let overhead = Arc::new(OverheadMeter::new());
+    rt.add_hook(Arc::new(StaticPlacementRte {
+        placement,
+        transport,
+        overhead: overhead.clone(),
+    }));
+
+    app.run_scenario(&rt, scenario)?;
+
+    Ok(RunReport {
+        stats: rt.stats(),
+        clock_us: rt.clock().now_us(),
+        overhead_us: overhead.total_us(),
+        instances_per_machine: count_per_machine(&rt),
+        instance_placements: placements(&rt),
+    })
+}
+
+/// Executes a scenario with no instrumentation at all (overhead baseline:
+/// the original application on one machine).
+pub fn run_raw(app: &dyn Application, scenario: &str) -> ComResult<RunReport> {
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    app.run_scenario(&rt, scenario)?;
+    Ok(RunReport {
+        stats: rt.stats(),
+        clock_us: rt.clock().now_us(),
+        overhead_us: 0,
+        instances_per_machine: count_per_machine(&rt),
+        instance_placements: placements(&rt),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierKind;
+    use coign_com::idl::InterfaceBuilder;
+    use coign_com::registry::ApiImports;
+    use coign_com::{AppImage, CallCtx, ComObject, Iid, Message, PType, Value};
+
+    /// A minimal two-component application: a GUI shell that repeatedly
+    /// pulls a large document from a storage-backed reader.
+    struct MiniApp;
+
+    struct Shell {
+        reader_clsid: Clsid,
+        reader_iid: Iid,
+    }
+    impl ComObject for Shell {
+        fn invoke(
+            &self,
+            ctx: &CallCtx<'_>,
+            _iid: Iid,
+            _method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            ctx.compute(200);
+            let reader = ctx.create(self.reader_clsid, self.reader_iid)?;
+            let mut total = 0u64;
+            for _ in 0..20 {
+                let mut inner = Message::outputs(1);
+                reader.call(ctx.rt(), 0, &mut inner)?;
+                total += inner.arg(0).and_then(Value::as_blob).unwrap_or(0);
+            }
+            msg.set(0, Value::I8(total as i64));
+            Ok(())
+        }
+    }
+
+    struct DocReader;
+    impl ComObject for DocReader {
+        fn invoke(
+            &self,
+            ctx: &CallCtx<'_>,
+            _iid: Iid,
+            _method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            ctx.compute(50);
+            msg.set(0, Value::Blob(50_000));
+            Ok(())
+        }
+    }
+
+    impl Application for MiniApp {
+        fn name(&self) -> &str {
+            "miniapp"
+        }
+        fn register(&self, rt: &ComRuntime) {
+            let ireader = InterfaceBuilder::new("IMiniReader")
+                .method("Read", |m| m.output("data", PType::Blob))
+                .build();
+            let reader_iid = ireader.iid;
+            let reader_clsid =
+                rt.registry()
+                    .register("MiniReader", vec![ireader], ApiImports::STORAGE, |_, _| {
+                        Arc::new(DocReader)
+                    });
+            let ishell = InterfaceBuilder::new("IMiniShell")
+                .method("Run", |m| m.output("total", PType::I8))
+                .build();
+            rt.registry()
+                .register("MiniShell", vec![ishell], ApiImports::GUI, move |_, _| {
+                    Arc::new(Shell {
+                        reader_clsid,
+                        reader_iid,
+                    })
+                });
+        }
+        fn scenarios(&self) -> Vec<&'static str> {
+            vec!["m_run"]
+        }
+        fn run_scenario(&self, rt: &ComRuntime, _scenario: &str) -> ComResult<()> {
+            let ishell = Iid::from_name("IMiniShell");
+            let shell = rt.create_instance(Clsid::from_name("MiniShell"), ishell)?;
+            shell.call(rt, 0, &mut Message::outputs(1))?;
+            Ok(())
+        }
+        fn image(&self) -> AppImage {
+            AppImage::new("miniapp.exe", vec![Clsid::from_name("MiniShell")])
+        }
+        fn default_placement(&self, _class: &str) -> MachineId {
+            // Desktop app: everything on the client (data served remotely is
+            // modeled inside the reader in this miniature).
+            MachineId::CLIENT
+        }
+    }
+
+    #[test]
+    fn end_to_end_pipeline_reduces_communication() {
+        let app = MiniApp;
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let profile = profile_scenarios(&app, &["m_run"], &classifier).unwrap();
+        assert!(profile.total_messages() > 0);
+
+        let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+        let dist = choose_distribution(&app, &profile, &network).unwrap();
+        // The storage-pinned reader lands on the server; the GUI shell
+        // stays on the client; the heavy link is *inside* the call pattern,
+        // so the cut severs the shell↔reader edge — the cheapest place.
+        let report = run_distributed(
+            &app,
+            "m_run",
+            &classifier,
+            &dist,
+            NetworkModel::ethernet_10baset(),
+            42,
+        )
+        .unwrap();
+        assert_eq!(report.total_instances(), 2);
+        assert_eq!(report.server_instances(), 1);
+        assert!(report.stats.comm_us > 0);
+        assert!(report.stats.cross_machine_calls >= 20);
+    }
+
+    #[test]
+    fn profiling_reports_overhead_and_instances() {
+        let app = MiniApp;
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let run = profile_scenario(&app, "m_run", &classifier).unwrap();
+        assert!(run.report.overhead_us > 0);
+        assert_eq!(run.report.total_instances(), 2);
+        assert_eq!(run.instance_classes.len(), 2);
+        assert!(!run.instance_pairs.is_empty());
+        // Profile captured the 20 × 50 KB replies.
+        assert!(run.profile.total_bytes() > 1_000_000);
+    }
+
+    #[test]
+    fn raw_run_has_zero_overhead() {
+        let app = MiniApp;
+        let report = run_raw(&app, "m_run").unwrap();
+        assert_eq!(report.overhead_us, 0);
+        assert_eq!(report.stats.comm_us, 0);
+        assert!(report.stats.compute_us > 0);
+    }
+
+    #[test]
+    fn profiling_overhead_is_bounded() {
+        // The paper: profiling adds up to 85 % (typically ~45 %). Our model
+        // charges per call + per KB; verify it lands in a sane band
+        // relative to the raw run rather than dwarfing it.
+        let app = MiniApp;
+        let raw = run_raw(&app, "m_run").unwrap();
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let prof = profile_scenario(&app, "m_run", &classifier).unwrap();
+        assert!(prof.report.clock_us > raw.clock_us);
+        let overhead_frac = (prof.report.clock_us - raw.clock_us) as f64 / raw.clock_us as f64;
+        assert!(overhead_frac < 2.0, "overhead {overhead_frac} too large");
+    }
+
+    #[test]
+    fn default_run_places_data_files_on_server() {
+        let app = MiniApp;
+        let report = run_default(&app, "m_run", NetworkModel::ethernet_10baset(), 3).unwrap();
+        // The shell stays on the client, but the storage-importing reader
+        // (the "data file") is pinned to the server, so the 20 × 50 KB
+        // document pulls cross the network.
+        assert_eq!(report.server_instances(), 1);
+        assert!(report.stats.comm_us > 0);
+        assert!(report.stats.bytes > 1_000_000);
+    }
+
+    #[test]
+    fn distributed_runs_are_deterministic_per_seed() {
+        let app = MiniApp;
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let profile = profile_scenarios(&app, &["m_run"], &classifier).unwrap();
+        let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+        let dist = choose_distribution(&app, &profile, &network).unwrap();
+        let a = run_distributed(
+            &app,
+            "m_run",
+            &classifier,
+            &dist,
+            NetworkModel::ethernet_10baset(),
+            9,
+        )
+        .unwrap();
+        let b = run_distributed(
+            &app,
+            "m_run",
+            &classifier,
+            &dist,
+            NetworkModel::ethernet_10baset(),
+            9,
+        )
+        .unwrap();
+        assert_eq!(a.clock_us, b.clock_us);
+        assert_eq!(a.stats, b.stats);
+    }
+}

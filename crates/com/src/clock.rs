@@ -1,0 +1,90 @@
+//! Virtual time for the simulation.
+//!
+//! All execution-time and communication-time numbers in the reproduction are
+//! *simulated*: components charge compute time explicitly and the transport
+//! layer charges message latencies. A single monotone clock is correct for
+//! the client/server model because DCOM calls are synchronous — compute on
+//! either machine and time on the wire strictly serialize.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotonically advancing virtual clock counting microseconds.
+///
+/// Cloning a `SimClock` yields a handle to the same underlying clock.
+///
+/// # Examples
+///
+/// ```
+/// use coign_com::SimClock;
+/// let clock = SimClock::new();
+/// let handle = clock.clone();
+/// clock.advance_us(250);
+/// assert_eq!(handle.now_us(), 250);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.micros.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock by `us` microseconds and returns the new time.
+    pub fn advance_us(&self, us: u64) -> u64 {
+        self.micros.fetch_add(us, Ordering::Relaxed) + us
+    }
+
+    /// Resets the clock to zero (between scenario runs).
+    pub fn reset(&self) {
+        self.micros.store(0, Ordering::Relaxed);
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now_us() as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now_us(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        assert_eq!(c.advance_us(10), 10);
+        assert_eq!(c.advance_us(5), 15);
+        assert_eq!(c.now_us(), 15);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_us(100);
+        assert_eq!(b.now_us(), 100);
+        b.reset();
+        assert_eq!(a.now_us(), 0);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let c = SimClock::new();
+        c.advance_us(2_500_000);
+        assert!((c.now_secs() - 2.5).abs() < 1e-12);
+    }
+}

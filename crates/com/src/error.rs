@@ -1,0 +1,104 @@
+//! Error types for the simCOM substrate.
+
+use crate::guid::{Clsid, Iid};
+use std::fmt;
+
+/// Result alias used throughout the simCOM substrate.
+pub type ComResult<T> = Result<T, ComError>;
+
+/// Errors produced by the component model.
+///
+/// These stand in for COM `HRESULT` failure codes; like `HRESULT`s they are
+/// propagated across interface calls rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComError {
+    /// No class with the given CLSID is registered (`REGDB_E_CLASSNOTREG`).
+    UnknownClass(Clsid),
+    /// The component does not implement the requested interface
+    /// (`E_NOINTERFACE`).
+    NoInterface {
+        /// The class that was queried.
+        clsid: Clsid,
+        /// The interface that was requested.
+        iid: Iid,
+    },
+    /// A method index was out of range for the interface vtable.
+    BadMethod {
+        /// Interface that was called.
+        iid: Iid,
+        /// Method index that was out of range.
+        method: u32,
+    },
+    /// A call argument did not match the IDL signature.
+    BadParam {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An attempt was made to marshal a non-remotable value (e.g. a raw
+    /// shared-memory pointer) across machines (`E_NOTIMPL` from the standard
+    /// marshaler).
+    NotRemotable {
+        /// Interface whose call could not be marshaled.
+        iid: Iid,
+        /// Description of the offending parameter.
+        detail: String,
+    },
+    /// The referenced component instance no longer exists.
+    DeadInstance(u64),
+    /// A configuration record or profile log failed to decode.
+    Codec(String),
+    /// Application-defined failure surfaced through an interface call.
+    App(String),
+}
+
+impl fmt::Display for ComError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComError::UnknownClass(clsid) => write!(f, "unknown class {clsid}"),
+            ComError::NoInterface { clsid, iid } => {
+                write!(f, "class {clsid} does not implement interface {iid}")
+            }
+            ComError::BadMethod { iid, method } => {
+                write!(f, "interface {iid} has no method #{method}")
+            }
+            ComError::BadParam { detail } => write!(f, "bad parameter: {detail}"),
+            ComError::NotRemotable { iid, detail } => {
+                write!(f, "interface {iid} is not remotable: {detail}")
+            }
+            ComError::DeadInstance(id) => write!(f, "instance #{id} has been released"),
+            ComError::Codec(detail) => write!(f, "codec error: {detail}"),
+            ComError::App(detail) => write!(f, "application error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ComError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guid::Guid;
+
+    #[test]
+    fn display_is_human_readable() {
+        let clsid = Clsid(Guid::from_name("TestClass"));
+        let iid = Iid(Guid::from_name("ITest"));
+        let err = ComError::NoInterface { clsid, iid };
+        let text = err.to_string();
+        assert!(text.contains("does not implement"));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        let a = ComError::Codec("truncated".into());
+        let b = ComError::Codec("truncated".into());
+        assert_eq!(a, b);
+        assert_ne!(a, ComError::Codec("other".into()));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let err: Box<dyn std::error::Error> = Box::new(ComError::DeadInstance(7));
+        assert!(err.to_string().contains("#7"));
+    }
+}

@@ -1,0 +1,304 @@
+//! MIDL-equivalent interface metadata.
+//!
+//! COM interfaces are described in IDL and compiled by MIDL into format
+//! strings and marshaling stubs; Coign's profiling informer consumes that
+//! metadata to walk every parameter of every call. This module is the
+//! simulation's equivalent: each [`InterfaceDesc`] carries the full method
+//! table with per-parameter directions and types, and records whether the
+//! interface is *remotable* (contains no opaque pointer parameters).
+
+use crate::guid::Iid;
+use crate::value::{PType, Value};
+use std::sync::Arc;
+
+/// Direction of a parameter: `[in]`, `[out]`, or `[in, out]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamDir {
+    /// Marshaled with the request only.
+    In,
+    /// Marshaled with the reply only.
+    Out,
+    /// Marshaled with both the request and the reply.
+    InOut,
+}
+
+impl ParamDir {
+    /// Returns true if the parameter travels with the request message.
+    pub fn in_request(self) -> bool {
+        matches!(self, ParamDir::In | ParamDir::InOut)
+    }
+
+    /// Returns true if the parameter travels with the reply message.
+    pub fn in_reply(self) -> bool {
+        matches!(self, ParamDir::Out | ParamDir::InOut)
+    }
+}
+
+/// Metadata for one parameter of an interface method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDesc {
+    /// Parameter name (for diagnostics only).
+    pub name: String,
+    /// Marshal direction.
+    pub dir: ParamDir,
+    /// Static type.
+    pub ty: PType,
+}
+
+impl ParamDesc {
+    /// Creates a parameter description.
+    pub fn new(name: &str, dir: ParamDir, ty: PType) -> Self {
+        ParamDesc {
+            name: name.to_string(),
+            dir,
+            ty,
+        }
+    }
+
+    /// Shorthand for an `[in]` parameter.
+    pub fn input(name: &str, ty: PType) -> Self {
+        Self::new(name, ParamDir::In, ty)
+    }
+
+    /// Shorthand for an `[out]` parameter.
+    pub fn output(name: &str, ty: PType) -> Self {
+        Self::new(name, ParamDir::Out, ty)
+    }
+
+    /// Shorthand for an `[in, out]` parameter.
+    pub fn inout(name: &str, ty: PType) -> Self {
+        Self::new(name, ParamDir::InOut, ty)
+    }
+}
+
+/// Metadata for one method of an interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDesc {
+    /// Method name (for diagnostics and classifier descriptors).
+    pub name: String,
+    /// Ordered parameter list.
+    pub params: Vec<ParamDesc>,
+}
+
+impl MethodDesc {
+    /// Creates a method description.
+    pub fn new(name: &str, params: Vec<ParamDesc>) -> Self {
+        MethodDesc {
+            name: name.to_string(),
+            params,
+        }
+    }
+
+    /// Returns true if every parameter type can cross a machine boundary.
+    pub fn is_remotable(&self) -> bool {
+        self.params.iter().all(|p| p.ty.is_remotable())
+    }
+
+    /// Validates an argument list against the signature.
+    ///
+    /// Checks arity and per-parameter structural conformance; `Null` is
+    /// accepted anywhere (out-parameters start as `Null`).
+    pub fn check_args(&self, args: &[Value]) -> Result<(), String> {
+        if args.len() != self.params.len() {
+            return Err(format!(
+                "method {} expects {} args, got {}",
+                self.name,
+                self.params.len(),
+                args.len()
+            ));
+        }
+        for (value, param) in args.iter().zip(&self.params) {
+            if !value.conforms_to(&param.ty) {
+                return Err(format!(
+                    "method {}: argument {:?} does not conform to parameter `{}` ({:?})",
+                    self.name, value, param.name, param.ty
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Full static metadata for a COM interface.
+///
+/// Interface descriptions are immutable and shared (`Arc`) between all
+/// interface pointers of that type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceDesc {
+    /// Interface identifier, derived from the name.
+    pub iid: Iid,
+    /// Interface name, e.g. `"IPropSet"`.
+    pub name: String,
+    /// Method table, indexed by method id.
+    pub methods: Vec<MethodDesc>,
+    /// True if every method of the interface can be remoted.
+    ///
+    /// A non-remotable (non-distributable) interface forces its two endpoint
+    /// components onto the same machine — the paper's solid black edges in
+    /// Figures 4 and 5.
+    pub remotable: bool,
+}
+
+impl InterfaceDesc {
+    /// Creates an interface description; remotability is computed from the
+    /// method signatures.
+    pub fn new(name: &str, methods: Vec<MethodDesc>) -> Arc<Self> {
+        let remotable = methods.iter().all(MethodDesc::is_remotable);
+        Arc::new(InterfaceDesc {
+            iid: Iid::from_name(name),
+            name: name.to_string(),
+            methods,
+            remotable,
+        })
+    }
+
+    /// Looks up a method by index.
+    pub fn method(&self, id: u32) -> Option<&MethodDesc> {
+        self.methods.get(id as usize)
+    }
+
+    /// Looks up a method index by name.
+    pub fn method_id(&self, name: &str) -> Option<u32> {
+        self.methods
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| i as u32)
+    }
+}
+
+/// Builder for interface descriptions, for ergonomic IDL-like definitions.
+///
+/// # Examples
+///
+/// ```
+/// use coign_com::idl::InterfaceBuilder;
+/// use coign_com::{ParamDir, PType};
+///
+/// let desc = InterfaceBuilder::new("IStream")
+///     .method("Read", |m| {
+///         m.input("count", PType::I4).output("data", PType::Blob)
+///     })
+///     .method("Seek", |m| m.input("pos", PType::I8))
+///     .build();
+/// assert!(desc.remotable);
+/// assert_eq!(desc.method_id("Seek"), Some(1));
+/// ```
+pub struct InterfaceBuilder {
+    name: String,
+    methods: Vec<MethodDesc>,
+}
+
+/// Builder for a single method signature.
+#[derive(Default)]
+pub struct MethodBuilder {
+    params: Vec<ParamDesc>,
+}
+
+impl MethodBuilder {
+    /// Adds an `[in]` parameter.
+    pub fn input(mut self, name: &str, ty: PType) -> Self {
+        self.params.push(ParamDesc::input(name, ty));
+        self
+    }
+
+    /// Adds an `[out]` parameter.
+    pub fn output(mut self, name: &str, ty: PType) -> Self {
+        self.params.push(ParamDesc::output(name, ty));
+        self
+    }
+
+    /// Adds an `[in, out]` parameter.
+    pub fn inout(mut self, name: &str, ty: PType) -> Self {
+        self.params.push(ParamDesc::inout(name, ty));
+        self
+    }
+}
+
+impl InterfaceBuilder {
+    /// Starts a new interface definition.
+    pub fn new(name: &str) -> Self {
+        InterfaceBuilder {
+            name: name.to_string(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds a method defined by the closure.
+    pub fn method(
+        mut self,
+        name: &str,
+        define: impl FnOnce(MethodBuilder) -> MethodBuilder,
+    ) -> Self {
+        let mb = define(MethodBuilder::default());
+        self.methods.push(MethodDesc::new(name, mb.params));
+        self
+    }
+
+    /// Finishes the definition.
+    pub fn build(self) -> Arc<InterfaceDesc> {
+        InterfaceDesc::new(&self.name, self.methods)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Arc<InterfaceDesc> {
+        InterfaceBuilder::new("ISample")
+            .method("Get", |m| {
+                m.input("key", PType::Str).output("value", PType::I4)
+            })
+            .method("Put", |m| {
+                m.input("key", PType::Str).input("value", PType::I4)
+            })
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_expected_table() {
+        let desc = sample();
+        assert_eq!(desc.methods.len(), 2);
+        assert_eq!(desc.method(0).unwrap().name, "Get");
+        assert_eq!(desc.method_id("Put"), Some(1));
+        assert_eq!(desc.method_id("Missing"), None);
+        assert!(desc.method(9).is_none());
+    }
+
+    #[test]
+    fn iid_derived_from_name() {
+        assert_eq!(sample().iid, Iid::from_name("ISample"));
+    }
+
+    #[test]
+    fn remotability_detects_opaque_params() {
+        let desc = InterfaceBuilder::new("ISharedMem")
+            .method("MapRegion", |m| m.input("handle", PType::Opaque))
+            .build();
+        assert!(!desc.remotable);
+        assert!(!desc.method(0).unwrap().is_remotable());
+    }
+
+    #[test]
+    fn param_directions() {
+        assert!(ParamDir::In.in_request() && !ParamDir::In.in_reply());
+        assert!(!ParamDir::Out.in_request() && ParamDir::Out.in_reply());
+        assert!(ParamDir::InOut.in_request() && ParamDir::InOut.in_reply());
+    }
+
+    #[test]
+    fn check_args_validates_arity() {
+        let desc = sample();
+        let m = desc.method(0).unwrap();
+        assert!(m.check_args(&[Value::Str("k".into())]).is_err());
+        assert!(m.check_args(&[Value::Str("k".into()), Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn check_args_validates_types() {
+        let desc = sample();
+        let m = desc.method(1).unwrap();
+        let err = m.check_args(&[Value::I4(1), Value::I4(2)]).unwrap_err();
+        assert!(err.contains("does not conform"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Interposition semantics under composition: multiple hooks, stacked
+//! wrappers, and QueryInterface through instrumented pointers — the
+//! properties Coign's runtime layering depends on.
+
+use coign_com::idl::InterfaceBuilder;
+use coign_com::interface::CallInfo;
+use coign_com::registry::ApiImports;
+use coign_com::{
+    CallCtx, Clsid, ComObject, ComResult, ComRuntime, CreateRequest, Iid, InterfacePtr, Invoker,
+    MachineId, Message, PType, RuntimeHook, Value,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Echo;
+impl ComObject for Echo {
+    fn invoke(
+        &self,
+        _ctx: &CallCtx<'_>,
+        _iid: Iid,
+        _method: u32,
+        msg: &mut Message,
+    ) -> ComResult<()> {
+        msg.set(1, msg.arg(0).cloned().unwrap_or(Value::Null));
+        Ok(())
+    }
+}
+
+fn setup() -> (ComRuntime, Clsid, Iid) {
+    let rt = ComRuntime::client_server();
+    let iface = InterfaceBuilder::new("IEchoT")
+        .method("Echo", |m| m.input("x", PType::I4).output("y", PType::I4))
+        .build();
+    let iid = iface.iid;
+    let clsid = rt
+        .registry()
+        .register("EchoT", vec![iface], ApiImports::NONE, |_, _| {
+            Arc::new(Echo)
+        });
+    (rt, clsid, iid)
+}
+
+/// A wrapper invoker that tags calls by bumping a counter.
+struct Tag {
+    inner: InterfacePtr,
+    count: Arc<AtomicU64>,
+}
+
+impl Invoker for Tag {
+    fn invoke(&self, rt: &ComRuntime, call: CallInfo<'_>, msg: &mut Message) -> ComResult<()> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.call(rt, call.method, msg)
+    }
+}
+
+/// A hook that wraps every pointer with a tagging invoker.
+struct TagHook {
+    count: Arc<AtomicU64>,
+}
+
+impl RuntimeHook for TagHook {
+    fn wrap_interface(&self, _rt: &ComRuntime, ptr: InterfacePtr) -> InterfacePtr {
+        let inner = ptr.clone();
+        ptr.wrap(Arc::new(Tag {
+            inner,
+            count: self.count.clone(),
+        }))
+    }
+}
+
+/// Wrappers stack: two hooks each wrap once; both see every call, and the
+/// call still reaches the object with intact semantics.
+#[test]
+fn wrap_hooks_compose() {
+    let (rt, clsid, iid) = setup();
+    let first = Arc::new(AtomicU64::new(0));
+    let second = Arc::new(AtomicU64::new(0));
+    rt.add_hook(Arc::new(TagHook {
+        count: first.clone(),
+    }));
+    rt.add_hook(Arc::new(TagHook {
+        count: second.clone(),
+    }));
+
+    let ptr = rt.create_instance(clsid, iid).unwrap();
+    let mut msg = Message::new(vec![Value::I4(7), Value::Null]);
+    ptr.call(&rt, 0, &mut msg).unwrap();
+
+    assert_eq!(msg.arg(1).unwrap().as_i4(), Some(7));
+    assert_eq!(first.load(Ordering::Relaxed), 1);
+    assert_eq!(second.load(Ordering::Relaxed), 1);
+}
+
+/// QueryInterface mints a fresh pointer that passes through the wrap hooks
+/// again — instrumentation cannot be bypassed by re-querying.
+#[test]
+fn query_interface_is_rewrapped() {
+    let (rt, clsid, iid) = setup();
+    let count = Arc::new(AtomicU64::new(0));
+    rt.add_hook(Arc::new(TagHook {
+        count: count.clone(),
+    }));
+
+    let ptr = rt.create_instance(clsid, iid).unwrap();
+    let again = rt.query_interface(&ptr, iid).unwrap();
+    let mut msg = Message::new(vec![Value::I4(1), Value::Null]);
+    again.call(&rt, 0, &mut msg).unwrap();
+    assert_eq!(
+        count.load(Ordering::Relaxed),
+        1,
+        "the re-queried pointer is instrumented"
+    );
+    assert_eq!(again.owner(), ptr.owner(), "same underlying instance");
+}
+
+/// The first hook that fulfills a creation wins; later hooks are not asked.
+#[test]
+fn first_fulfilling_hook_wins() {
+    struct PlaceAt {
+        machine: MachineId,
+        asked: Arc<AtomicU64>,
+    }
+    impl RuntimeHook for PlaceAt {
+        fn fulfill_create(
+            &self,
+            rt: &ComRuntime,
+            req: &CreateRequest,
+        ) -> Option<ComResult<InterfacePtr>> {
+            self.asked.fetch_add(1, Ordering::Relaxed);
+            Some(rt.create_direct(req.clsid, req.iid, Some(self.machine)))
+        }
+    }
+
+    let (rt, clsid, iid) = setup();
+    let first_asked = Arc::new(AtomicU64::new(0));
+    let second_asked = Arc::new(AtomicU64::new(0));
+    rt.add_hook(Arc::new(PlaceAt {
+        machine: MachineId::SERVER,
+        asked: first_asked.clone(),
+    }));
+    rt.add_hook(Arc::new(PlaceAt {
+        machine: MachineId::CLIENT,
+        asked: second_asked.clone(),
+    }));
+
+    let ptr = rt.create_instance(clsid, iid).unwrap();
+    assert_eq!(
+        rt.instance(ptr.owner()).unwrap().machine(),
+        MachineId::SERVER
+    );
+    assert_eq!(first_asked.load(Ordering::Relaxed), 1);
+    assert_eq!(second_asked.load(Ordering::Relaxed), 0);
+}
+
+/// A hook that declines (returns None) falls through to the next, and
+/// finally to default local creation.
+#[test]
+fn declining_hooks_fall_through() {
+    struct Decline {
+        asked: Arc<AtomicU64>,
+    }
+    impl RuntimeHook for Decline {
+        fn fulfill_create(
+            &self,
+            _rt: &ComRuntime,
+            _req: &CreateRequest,
+        ) -> Option<ComResult<InterfacePtr>> {
+            self.asked.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+    let (rt, clsid, iid) = setup();
+    let asked = Arc::new(AtomicU64::new(0));
+    rt.add_hook(Arc::new(Decline {
+        asked: asked.clone(),
+    }));
+    let ptr = rt.create_instance(clsid, iid).unwrap();
+    assert_eq!(asked.load(Ordering::Relaxed), 1);
+    // Default creation placed it with the creator (the root → client).
+    assert_eq!(
+        rt.instance(ptr.owner()).unwrap().machine(),
+        MachineId::CLIENT
+    );
+}
+
+/// clear_hooks removes instrumentation for *new* pointers; existing wrapped
+/// pointers keep their invoker chains (they own them).
+#[test]
+fn clear_hooks_affects_only_new_pointers() {
+    let (rt, clsid, iid) = setup();
+    let count = Arc::new(AtomicU64::new(0));
+    rt.add_hook(Arc::new(TagHook {
+        count: count.clone(),
+    }));
+    let wrapped = rt.create_instance(clsid, iid).unwrap();
+    rt.clear_hooks();
+    let bare = rt.create_instance(clsid, iid).unwrap();
+
+    let mut msg = Message::new(vec![Value::I4(1), Value::Null]);
+    wrapped.call(&rt, 0, &mut msg).unwrap();
+    let mut msg = Message::new(vec![Value::I4(1), Value::Null]);
+    bare.call(&rt, 0, &mut msg).unwrap();
+    assert_eq!(
+        count.load(Ordering::Relaxed),
+        1,
+        "only the old pointer is tagged"
+    );
+}
+
+/// Interface pointers passed through messages retain their wrappers: a
+/// component that hands out a pointer hands out the *instrumented* pointer.
+#[test]
+fn pointers_in_messages_stay_wrapped() {
+    struct Holder {
+        inner: parking_lot::Mutex<Option<InterfacePtr>>,
+    }
+    impl ComObject for Holder {
+        fn invoke(
+            &self,
+            _ctx: &CallCtx<'_>,
+            _iid: Iid,
+            method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            match method {
+                0 => {
+                    *self.inner.lock() = msg.args[0].as_interface().cloned();
+                    Ok(())
+                }
+                _ => {
+                    msg.set(0, Value::Interface(self.inner.lock().clone()));
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    let rt = ComRuntime::client_server();
+    let iecho = InterfaceBuilder::new("IEchoT")
+        .method("Echo", |m| m.input("x", PType::I4).output("y", PType::I4))
+        .build();
+    let echo_iid = iecho.iid;
+    let echo_clsid = rt
+        .registry()
+        .register("EchoT", vec![iecho], ApiImports::NONE, |_, _| {
+            Arc::new(Echo)
+        });
+    let iholder = InterfaceBuilder::new("IHolder")
+        .method("Put", |m| {
+            m.input("p", PType::Interface(Iid::from_name("IEchoT")))
+        })
+        .method("Get", |m| {
+            m.output("p", PType::Interface(Iid::from_name("IEchoT")))
+        })
+        .build();
+    let holder_iid = iholder.iid;
+    let holder_clsid = rt
+        .registry()
+        .register("Holder", vec![iholder], ApiImports::NONE, |_, _| {
+            Arc::new(Holder {
+                inner: parking_lot::Mutex::new(None),
+            })
+        });
+
+    let count = Arc::new(AtomicU64::new(0));
+    rt.add_hook(Arc::new(TagHook {
+        count: count.clone(),
+    }));
+
+    let echo = rt.create_instance(echo_clsid, echo_iid).unwrap();
+    let holder = rt.create_instance(holder_clsid, holder_iid).unwrap();
+    let mut put = Message::new(vec![Value::Interface(Some(echo))]);
+    holder.call(&rt, 0, &mut put).unwrap();
+    let mut get = Message::outputs(1);
+    holder.call(&rt, 1, &mut get).unwrap();
+    let retrieved = get.arg(0).unwrap().as_interface().cloned().unwrap();
+
+    let before = count.load(Ordering::Relaxed);
+    let mut call = Message::new(vec![Value::I4(5), Value::Null]);
+    retrieved.call(&rt, 0, &mut call).unwrap();
+    assert_eq!(
+        count.load(Ordering::Relaxed),
+        before + 1,
+        "the pointer that round-tripped through the holder is still wrapped"
+    );
+}

@@ -1,0 +1,29 @@
+//! DCOM-like transport simulation for the Coign reproduction.
+//!
+//! Coign measures inter-component communication by invoking portions of the
+//! DCOM code — interface proxies and stubs — *inside the application's
+//! address space*, so that profiling on one machine reports exactly the bytes
+//! that would cross the wire in a distribution. This crate reproduces the
+//! pieces of DCOM that Coign exercises:
+//!
+//! * [`marshal`] — deep-copy marshaling sizes for typed messages, including
+//!   the non-remotable cases (opaque pointers) that constrain distributions.
+//! * [`network`] — parameterized network cost models (10BaseT Ethernet, ISDN,
+//!   ATM, SAN) with seeded stochastic jitter.
+//! * [`profiler`] — the **network profiler**: statistical sampling of
+//!   simulated DCOM round-trips fitted to a linear `α + β·bytes` cost model.
+//! * [`transport`] — the remote-call path that charges request and reply
+//!   messages to the runtime when a call crosses machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod marshal;
+pub mod network;
+pub mod profiler;
+pub mod transport;
+
+pub use marshal::{message_reply_size, message_request_size, value_size};
+pub use network::NetworkModel;
+pub use profiler::NetworkProfile;
+pub use transport::Transport;

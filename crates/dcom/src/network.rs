@@ -1,0 +1,228 @@
+//! Parameterized network cost models.
+//!
+//! A [`NetworkModel`] answers one question: how many microseconds does a
+//! DCOM message of `n` bytes take on this network? The answer combines fixed
+//! per-message latency (protocol processing + propagation) with serialization
+//! time at the link bandwidth, plus a small seeded stochastic jitter so that
+//! measured times differ slightly from any fitted analytic model — the source
+//! of the small prediction errors in the paper's Table 5.
+//!
+//! Presets cover the network generations the paper's introduction names as
+//! stressing static distributions: ISDN, 10BaseT Ethernet, ATM, and SAN.
+
+use rand::Rng;
+
+/// A network cost model: `time(bytes) = latency + (bytes + overhead) / bw`,
+/// scaled by multiplicative jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Display name, e.g. `"10BaseT Ethernet"`.
+    pub name: String,
+    /// Fixed one-way per-message cost in microseconds (protocol stack +
+    /// propagation).
+    pub latency_us: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Framing overhead added to every message, in bytes.
+    pub overhead_bytes: u64,
+    /// Half-width of the uniform multiplicative jitter (0.05 = ±5 %).
+    pub jitter: f64,
+    /// Optional maximum transmission unit: when set, a message is
+    /// fragmented into `ceil(bytes / mtu)` packets, each paying the framing
+    /// overhead and a per-packet slice of the latency (protocol
+    /// processing). `None` models the link as a pure pipe.
+    pub mtu: Option<u64>,
+}
+
+impl NetworkModel {
+    /// Creates a custom model.
+    pub fn new(name: &str, latency_us: f64, bandwidth_bytes_per_sec: f64) -> Self {
+        NetworkModel {
+            name: name.to_string(),
+            latency_us,
+            bandwidth_bytes_per_sec,
+            overhead_bytes: 64,
+            jitter: 0.05,
+            mtu: None,
+        }
+    }
+
+    /// Returns this model with packet fragmentation at the given MTU.
+    ///
+    /// Fragmentation makes large transfers costlier than the pure-pipe
+    /// model: every packet repays the framing overhead plus 10 % of the
+    /// base latency for protocol processing.
+    pub fn with_mtu(mut self, mtu: u64) -> Self {
+        assert!(mtu > 0, "mtu must be positive");
+        self.mtu = Some(mtu);
+        self
+    }
+
+    /// Isolated 10BaseT Ethernet — the paper's experimental network
+    /// (10 Mb/s ≈ 1.25 MB/s, ~1 ms per-message software latency on
+    /// 200 MHz-class hosts).
+    pub fn ethernet_10baset() -> Self {
+        NetworkModel::new("10BaseT Ethernet", 1_000.0, 1.25e6)
+    }
+
+    /// 128 kb/s ISDN: low bandwidth, high latency.
+    pub fn isdn() -> Self {
+        NetworkModel::new("ISDN 128k", 10_000.0, 16e3)
+    }
+
+    /// 155 Mb/s ATM: high bandwidth, moderate latency.
+    pub fn atm155() -> Self {
+        NetworkModel::new("ATM OC-3", 300.0, 19.4e6)
+    }
+
+    /// System-area network: very high bandwidth, very low latency.
+    pub fn san() -> Self {
+        NetworkModel::new("SAN", 20.0, 125e6)
+    }
+
+    /// Same-machine loopback (used for sanity checks).
+    pub fn localhost() -> Self {
+        let mut m = NetworkModel::new("loopback", 5.0, 1e9);
+        m.jitter = 0.0;
+        m
+    }
+
+    /// Deterministic (jitter-free) one-way time for a message of `bytes`.
+    pub fn mean_time_us(&self, bytes: u64) -> f64 {
+        match self.mtu {
+            None => {
+                self.latency_us
+                    + (bytes + self.overhead_bytes) as f64 / self.bandwidth_bytes_per_sec * 1e6
+            }
+            Some(mtu) => {
+                let packets = bytes.div_ceil(mtu).max(1);
+                let wire_bytes = bytes + packets * self.overhead_bytes;
+                self.latency_us
+                    + (packets - 1) as f64 * self.latency_us * 0.1
+                    + wire_bytes as f64 / self.bandwidth_bytes_per_sec * 1e6
+            }
+        }
+    }
+
+    /// Sampled one-way time with multiplicative jitter from `rng`.
+    pub fn sample_time_us<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> f64 {
+        let base = self.mean_time_us(bytes);
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let factor = 1.0 + rng.gen_range(-self.jitter..=self.jitter);
+        base * factor
+    }
+
+    /// Deterministic round-trip time for a request/reply pair.
+    pub fn mean_round_trip_us(&self, request_bytes: u64, reply_bytes: u64) -> f64 {
+        self.mean_time_us(request_bytes) + self.mean_time_us(reply_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_time_has_latency_floor() {
+        let net = NetworkModel::ethernet_10baset();
+        assert!(net.mean_time_us(0) >= net.latency_us);
+    }
+
+    #[test]
+    fn mean_time_is_monotone_in_size() {
+        let net = NetworkModel::ethernet_10baset();
+        assert!(net.mean_time_us(10_000) > net.mean_time_us(100));
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed_for_bulk_transfers() {
+        let bytes = 1_000_000;
+        let isdn = NetworkModel::isdn().mean_time_us(bytes);
+        let enet = NetworkModel::ethernet_10baset().mean_time_us(bytes);
+        let atm = NetworkModel::atm155().mean_time_us(bytes);
+        let san = NetworkModel::san().mean_time_us(bytes);
+        assert!(isdn > enet && enet > atm && atm > san);
+    }
+
+    #[test]
+    fn latency_dominates_for_small_messages_on_fast_networks() {
+        // The bandwidth-to-latency tradeoff the paper's intro describes:
+        // ISDN→ATM changes the ratio by more than an order of magnitude.
+        let isdn = NetworkModel::isdn();
+        let atm = NetworkModel::atm155();
+        let small_ratio = isdn.mean_time_us(64) / atm.mean_time_us(64);
+        let big_ratio = isdn.mean_time_us(1_000_000) / atm.mean_time_us(1_000_000);
+        assert!(big_ratio / small_ratio > 10.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let net = NetworkModel::ethernet_10baset();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let t = net.sample_time_us(1000, &mut rng);
+            let mean = net.mean_time_us(1000);
+            assert!(t >= mean * (1.0 - net.jitter) - 1e-9);
+            assert!(t <= mean * (1.0 + net.jitter) + 1e-9);
+        }
+        // Same seed → same sequence.
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(
+            net.sample_time_us(500, &mut a).to_bits(),
+            net.sample_time_us(500, &mut b).to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let net = NetworkModel::localhost();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            net.sample_time_us(100, &mut rng).to_bits(),
+            net.mean_time_us(100).to_bits()
+        );
+    }
+
+    #[test]
+    fn mtu_fragmentation_costs_more_for_bulk() {
+        let pipe = NetworkModel::ethernet_10baset();
+        let framed = NetworkModel::ethernet_10baset().with_mtu(1_500);
+        // Small messages (one packet) cost the same.
+        assert!((framed.mean_time_us(500) - pipe.mean_time_us(500)).abs() < 1e-9);
+        // Bulk transfers pay per-packet overhead and processing.
+        assert!(framed.mean_time_us(1_000_000) > pipe.mean_time_us(1_000_000) * 1.05);
+        // Still monotone in size.
+        assert!(framed.mean_time_us(100_000) < framed.mean_time_us(200_000));
+    }
+
+    #[test]
+    fn mtu_packet_count_is_exact_at_boundaries() {
+        let m = NetworkModel::ethernet_10baset().with_mtu(1_000);
+        // 1000 bytes = 1 packet, 1001 = 2 packets: a visible step.
+        let one = m.mean_time_us(1_000);
+        let two = m.mean_time_us(1_001);
+        let step = two - one;
+        assert!(
+            step > m.latency_us * 0.09,
+            "expected a per-packet step, got {step}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu must be positive")]
+    fn zero_mtu_panics() {
+        NetworkModel::ethernet_10baset().with_mtu(0);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_directions() {
+        let net = NetworkModel::ethernet_10baset();
+        let rt = net.mean_round_trip_us(100, 200);
+        assert!((rt - net.mean_time_us(100) - net.mean_time_us(200)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Edmonds–Karp maximum flow (BFS augmenting paths).
+//!
+//! An independent baseline used to cross-validate the relabel-to-front
+//! implementation: both must report identical flow values on every graph
+//! (the max-flow value is unique even though flows are not). `O(V·E²)`.
+
+use crate::graph::{FlowNetwork, NodeId};
+use std::collections::VecDeque;
+
+/// Computes a maximum `s`–`t` flow with Edmonds–Karp.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+pub fn max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
+    assert_ne!(s, t, "source and sink must differ");
+    let mut total: u128 = 0;
+    loop {
+        // BFS for the shortest augmenting path, remembering arrival edges.
+        let mut pred: Vec<Option<usize>> = vec![None; g.node_count()];
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        let mut found = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &e in g.edges_of(u) {
+                let v = g.head(e);
+                if g.residual(e) > 0 && pred[v].is_none() && v != s {
+                    pred[v] = Some(e);
+                    if v == t {
+                        found = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = u64::MAX;
+        let mut v = t;
+        while v != s {
+            let e = pred[v].expect("path is connected");
+            bottleneck = bottleneck.min(g.residual(e));
+            v = g.head(e ^ 1);
+        }
+        // Augment.
+        let mut v = t;
+        while v != s {
+            let e = pred[v].expect("path is connected");
+            g.push_along(e, bottleneck);
+            v = g.head(e ^ 1);
+        }
+        total += u128::from(bottleneck);
+    }
+    debug_assert!(g.conservation_violations(s, t).is_empty());
+    u64::try_from(total).expect("flow exceeds u64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_answers() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 3);
+        assert_eq!(max_flow(&mut g, 0, 2), 3);
+    }
+
+    #[test]
+    fn clrs_example() {
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        let mut g = FlowNetwork::new(6);
+        g.add_edge(s, v1, 16);
+        g.add_edge(s, v2, 13);
+        g.add_edge(v1, v2, 10);
+        g.add_edge(v2, v1, 4);
+        g.add_edge(v1, v3, 12);
+        g.add_edge(v3, v2, 9);
+        g.add_edge(v2, v4, 14);
+        g.add_edge(v4, v3, 7);
+        g.add_edge(v3, t, 20);
+        g.add_edge(v4, t, 4);
+        assert_eq!(max_flow(&mut g, s, t), 23);
+    }
+
+    #[test]
+    fn zigzag_network_needs_back_edges() {
+        // Classic case where augmenting must undo flow via reverse edges.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(1, 3, 1);
+        g.add_edge(2, 3, 1);
+        assert_eq!(max_flow(&mut g, 0, 3), 2);
+    }
+
+    #[test]
+    fn no_path_means_zero() {
+        let mut g = FlowNetwork::new(2);
+        assert_eq!(max_flow(&mut g, 0, 1), 0);
+    }
+}

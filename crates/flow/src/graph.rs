@@ -1,0 +1,244 @@
+//! Residual flow-network representation shared by all algorithms.
+
+/// Node index within a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Capacity treated as uncuttable.
+///
+/// Large enough that no realistic communication graph sums to it, small
+/// enough that summing millions of infinite edges cannot overflow `u64`
+/// arithmetic inside the algorithms (excess bookkeeping uses `u128`).
+pub const INFINITE: u64 = u64::MAX / (1 << 22);
+
+#[derive(Debug, Clone)]
+struct RawEdge {
+    to: NodeId,
+    cap: u64,
+}
+
+/// A directed flow network with residual bookkeeping.
+///
+/// Edges are stored in pairs: edge `2k` and its reverse `2k + 1`. Capacities
+/// mutate as flow is pushed; [`FlowNetwork::reset`] restores the original
+/// capacities so several algorithms can run on the same instance.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    adj: Vec<Vec<usize>>,
+    edges: Vec<RawEdge>,
+    original_caps: Vec<u64>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            original_caps: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges (excluding the implicit reverses).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a directed edge `u → v` with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range (a programming error in the
+    /// graph construction, not a runtime condition).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, cap: u64) {
+        self.add_edge_with_reverse(u, v, cap, 0);
+    }
+
+    /// Adds an undirected edge: capacity `cap` in both directions.
+    ///
+    /// Communication edges are undirected — cutting the edge costs its
+    /// weight no matter which side initiates the calls.
+    pub fn add_undirected(&mut self, u: NodeId, v: NodeId, cap: u64) {
+        self.add_edge_with_reverse(u, v, cap, cap);
+    }
+
+    /// Adds an edge with explicit forward and reverse capacities.
+    pub fn add_edge_with_reverse(&mut self, u: NodeId, v: NodeId, cap: u64, rev_cap: u64) {
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
+        let fwd = self.edges.len();
+        self.edges.push(RawEdge { to: v, cap });
+        self.edges.push(RawEdge {
+            to: u,
+            cap: rev_cap,
+        });
+        self.original_caps.push(cap);
+        self.original_caps.push(rev_cap);
+        self.adj[u].push(fwd);
+        self.adj[v].push(fwd + 1);
+    }
+
+    /// Restores every edge to its original capacity (undoes all flow).
+    pub fn reset(&mut self) {
+        for (edge, cap) in self.edges.iter_mut().zip(&self.original_caps) {
+            edge.cap = *cap;
+        }
+    }
+
+    /// Residual capacity of edge `e`.
+    pub fn residual(&self, e: usize) -> u64 {
+        self.edges[e].cap
+    }
+
+    /// Original capacity of edge `e`.
+    pub fn original(&self, e: usize) -> u64 {
+        self.original_caps[e]
+    }
+
+    /// Head node of edge `e`.
+    pub fn head(&self, e: usize) -> NodeId {
+        self.edges[e].to
+    }
+
+    /// Edge indices leaving `u` (including reverse edges).
+    pub fn edges_of(&self, u: NodeId) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Flow currently on forward edge `e` (original − residual).
+    pub fn flow_on(&self, e: usize) -> u64 {
+        self.original_caps[e].saturating_sub(self.edges[e].cap)
+    }
+
+    pub(crate) fn push_along(&mut self, e: usize, amount: u64) {
+        self.edges[e].cap -= amount;
+        self.edges[e ^ 1].cap += amount;
+    }
+
+    /// Nodes reachable from `s` in the residual graph — the source side of
+    /// a minimum cut once a maximum flow has been established.
+    pub fn residual_reachable(&self, s: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let edge = &self.edges[e];
+                if edge.cap > 0 && !seen[edge.to] {
+                    seen[edge.to] = true;
+                    queue.push_back(edge.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Checks flow conservation at every node except `s` and `t`.
+    ///
+    /// Returns the list of violating nodes (empty when the flow is valid).
+    /// Used by tests and debug assertions.
+    pub fn conservation_violations(&self, s: NodeId, t: NodeId) -> Vec<NodeId> {
+        let mut net: Vec<i128> = vec![0; self.node_count()];
+        for base in (0..self.edges.len()).step_by(2) {
+            let flow = self.flow_on(base) as i128 - self.flow_on(base + 1) as i128;
+            // Positive flow travels along the forward edge.
+            let u = self.edges[base + 1].to;
+            let v = self.edges[base].to;
+            net[u] -= flow;
+            net[v] += flow;
+        }
+        (0..self.node_count())
+            .filter(|&n| n != s && n != t && net[n] != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 10);
+        g.add_undirected(1, 2, 5);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.residual(0), 10);
+        assert_eq!(g.residual(1), 0); // reverse of the directed edge
+        assert_eq!(g.residual(2), 5);
+        assert_eq!(g.residual(3), 5); // undirected: both directions
+        assert_eq!(g.head(0), 1);
+        assert_eq!(g.head(1), 0);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = FlowNetwork::new(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = FlowNetwork::new(1);
+        g.add_edge(0, 5, 1);
+    }
+
+    #[test]
+    fn push_and_reset() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 10);
+        g.push_along(0, 4);
+        assert_eq!(g.residual(0), 6);
+        assert_eq!(g.residual(1), 4);
+        assert_eq!(g.flow_on(0), 4);
+        g.reset();
+        assert_eq!(g.residual(0), 10);
+        assert_eq!(g.flow_on(0), 0);
+    }
+
+    #[test]
+    fn reachability_respects_residuals() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.push_along(0, 1); // saturate 0→1
+        let seen = g.residual_reachable(0);
+        assert!(seen[0] && !seen[1] && !seen[2]);
+    }
+
+    #[test]
+    fn conservation_detects_imbalance() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 5);
+        g.push_along(0, 3);
+        // Node 1 received 3 but forwarded 0 → violation.
+        assert_eq!(g.conservation_violations(0, 2), vec![1]);
+        g.push_along(2, 3);
+        assert!(g.conservation_violations(0, 2).is_empty());
+    }
+
+    #[test]
+    fn infinite_is_far_from_overflow() {
+        // A million infinite edges still fits in u64 arithmetic.
+        assert!(INFINITE.checked_mul(1 << 20).is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! Max-flow / min-cut algorithms for distributed partitioning.
+//!
+//! Coign chooses a two-machine distribution by cutting the concrete
+//! inter-component communication graph with the **lift-to-front
+//! (relabel-to-front) minimum-cut algorithm** of Cormen, Leiserson & Rivest.
+//! This crate implements that algorithm ([`push_relabel`]) plus two
+//! independent baselines ([`edmonds_karp`], [`dinic`]) used to cross-validate
+//! cut values in tests and benchmarks, and a heuristic multiway cut
+//! ([`multiway`]) for the paper's ≥3-machine future-work case (which is
+//! NP-hard to solve exactly).
+//!
+//! All algorithms operate on the shared residual-graph representation in
+//! [`graph`]. Location constraints are expressed with [`graph::INFINITE`]
+//! capacities: an infinite edge can never be cut, which is how pinned
+//! components and non-remotable interfaces are enforced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod graph;
+pub mod mincut;
+pub mod multiway;
+pub mod push_relabel;
+
+pub use graph::{FlowNetwork, NodeId, INFINITE};
+pub use mincut::{min_cut, CutResult, MaxFlowAlgorithm};
+pub use multiway::{multiway_cut, MultiwayCut};

@@ -1,0 +1,223 @@
+//! Minimum `s`–`t` cut extraction.
+//!
+//! By max-flow/min-cut duality, once a maximum flow is established the nodes
+//! reachable from the source in the residual graph form the source side of a
+//! minimum cut. For Coign, `s` is the client, `t` is the server, and the cut
+//! assigns every component classification to one machine while minimizing
+//! the total communication time crossing the network.
+
+use crate::graph::{FlowNetwork, NodeId};
+use crate::{dinic, edmonds_karp, push_relabel};
+
+/// Selects which maximum-flow algorithm drives the cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaxFlowAlgorithm {
+    /// Lift-to-front (relabel-to-front) — the algorithm used in the paper.
+    LiftToFront,
+    /// Edmonds–Karp baseline.
+    EdmondsKarp,
+    /// Dinic baseline.
+    Dinic,
+}
+
+impl MaxFlowAlgorithm {
+    /// All implemented algorithms (for cross-validation loops).
+    pub const ALL: [MaxFlowAlgorithm; 3] = [
+        MaxFlowAlgorithm::LiftToFront,
+        MaxFlowAlgorithm::EdmondsKarp,
+        MaxFlowAlgorithm::Dinic,
+    ];
+
+    /// Runs the selected algorithm.
+    pub fn run(self, g: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
+        match self {
+            MaxFlowAlgorithm::LiftToFront => push_relabel::max_flow(g, s, t),
+            MaxFlowAlgorithm::EdmondsKarp => edmonds_karp::max_flow(g, s, t),
+            MaxFlowAlgorithm::Dinic => dinic::max_flow(g, s, t),
+        }
+    }
+}
+
+/// Result of a two-way minimum cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutResult {
+    /// Total capacity crossing the cut (equals the max-flow value).
+    pub cut_value: u64,
+    /// `true` for nodes on the source (client) side.
+    pub source_side: Vec<bool>,
+}
+
+impl CutResult {
+    /// Number of nodes on the source side.
+    pub fn source_count(&self) -> usize {
+        self.source_side.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of nodes on the sink side.
+    pub fn sink_count(&self) -> usize {
+        self.source_side.len() - self.source_count()
+    }
+}
+
+/// Computes a minimum `s`–`t` cut of the network.
+///
+/// The network is left in its post-flow residual state; call
+/// [`FlowNetwork::reset`] to reuse it.
+pub fn min_cut(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    algorithm: MaxFlowAlgorithm,
+) -> CutResult {
+    let cut_value = algorithm.run(g, s, t);
+    let source_side = g.residual_reachable(s);
+    debug_assert!(source_side[s]);
+    debug_assert!(!source_side[t]);
+    CutResult {
+        cut_value,
+        source_side,
+    }
+}
+
+/// Sums the original capacities of forward edges crossing from the source
+/// side to the sink side — used by tests to confirm duality.
+pub fn crossing_capacity(g: &FlowNetwork, side: &[bool]) -> u64 {
+    let mut total = 0u64;
+    for u in 0..g.node_count() {
+        if !side[u] {
+            continue;
+        }
+        for &e in g.edges_of(u) {
+            let v = g.head(e);
+            if !side[v] {
+                total += g.original(e);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::INFINITE;
+
+    fn chain() -> FlowNetwork {
+        let mut g = FlowNetwork::new(5);
+        g.add_undirected(0, 1, 10);
+        g.add_undirected(1, 2, 2); // the cheap edge to cut
+        g.add_undirected(2, 3, 8);
+        g.add_undirected(3, 4, 9);
+        g
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_cut_value() {
+        let mut values = Vec::new();
+        for alg in MaxFlowAlgorithm::ALL {
+            let mut g = chain();
+            values.push(min_cut(&mut g, 0, 4, alg).cut_value);
+        }
+        assert!(values.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(values[0], 2);
+    }
+
+    #[test]
+    fn cut_separates_at_cheapest_edge() {
+        let mut g = chain();
+        let cut = min_cut(&mut g, 0, 4, MaxFlowAlgorithm::LiftToFront);
+        assert_eq!(cut.source_side, vec![true, true, false, false, false]);
+        assert_eq!(cut.source_count(), 2);
+        assert_eq!(cut.sink_count(), 3);
+    }
+
+    #[test]
+    fn duality_cut_equals_crossing_capacity() {
+        let mut g = chain();
+        let cut = min_cut(&mut g, 0, 4, MaxFlowAlgorithm::Dinic);
+        assert_eq!(crossing_capacity(&g, &cut.source_side), cut.cut_value);
+    }
+
+    #[test]
+    fn infinite_edge_is_never_cut() {
+        // 0 —INF— 1 —5— 2: the only finite cut is the 5 edge.
+        let mut g = FlowNetwork::new(3);
+        g.add_undirected(0, 1, INFINITE);
+        g.add_undirected(1, 2, 5);
+        let cut = min_cut(&mut g, 0, 2, MaxFlowAlgorithm::LiftToFront);
+        assert_eq!(cut.cut_value, 5);
+        assert!(cut.source_side[1], "node 1 must stay with the source");
+    }
+
+    #[test]
+    fn isolated_nodes_fall_on_source_side_or_sink_side_consistently() {
+        let mut g = FlowNetwork::new(4);
+        g.add_undirected(0, 1, 3);
+        // Nodes 2 is isolated; node 3 is the sink.
+        let cut = min_cut(&mut g, 0, 3, MaxFlowAlgorithm::LiftToFront);
+        assert_eq!(cut.cut_value, 0);
+        // Isolated node is unreachable from s, so it lands on the sink side.
+        assert!(!cut.source_side[2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a random connected undirected graph from a seed.
+    fn random_graph(seed: u64, n: usize, extra_edges: usize) -> FlowNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = FlowNetwork::new(n);
+        // Spanning chain keeps it connected.
+        for i in 1..n {
+            g.add_undirected(i - 1, i, rng.gen_range(1..100));
+        }
+        for _ in 0..extra_edges {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                g.add_undirected(u, v, rng.gen_range(1..100));
+            }
+        }
+        g
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn algorithms_agree_on_random_graphs(seed in any::<u64>(), n in 3usize..24, extra in 0usize..30) {
+            let mut expected = None;
+            for alg in MaxFlowAlgorithm::ALL {
+                let mut g = random_graph(seed, n, extra);
+                let cut = min_cut(&mut g, 0, n - 1, alg);
+                // Duality holds for every algorithm.
+                prop_assert_eq!(crossing_capacity(&g, &cut.source_side), cut.cut_value);
+                match expected {
+                    None => expected = Some(cut.cut_value),
+                    Some(v) => prop_assert_eq!(v, cut.cut_value),
+                }
+            }
+        }
+
+        #[test]
+        fn flow_conserves_on_random_graphs(seed in any::<u64>(), n in 3usize..16) {
+            let mut g = random_graph(seed, n, 10);
+            crate::push_relabel::max_flow(&mut g, 0, n - 1);
+            prop_assert!(g.conservation_violations(0, n - 1).is_empty());
+        }
+
+        #[test]
+        fn cut_value_never_exceeds_any_single_side_degree(seed in any::<u64>(), n in 3usize..16) {
+            // The trivial cut that isolates the source bounds the min cut.
+            let mut g = random_graph(seed, n, 10);
+            let trivial: u64 = g.edges_of(0).iter().map(|&e| g.original(e)).sum();
+            let cut = min_cut(&mut g, 0, n - 1, MaxFlowAlgorithm::Dinic);
+            prop_assert!(cut.cut_value <= trivial);
+        }
+    }
+}

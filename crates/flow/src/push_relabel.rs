@@ -1,0 +1,204 @@
+//! The lift-to-front (relabel-to-front) maximum-flow algorithm.
+//!
+//! This is the algorithm the Coign paper names for choosing distributions:
+//! "Coign employs the lift-to-front minimum-cut graph-cutting algorithm
+//! \[CLRS\] to choose a distribution with minimal communication time."
+//!
+//! The implementation follows CLRS §26.4–26.5: each overflowing vertex is
+//! *discharged* (pushed and relabeled until its excess reaches zero), and
+//! vertices are kept in a list ordered so that discharging front-to-back,
+//! moving any relabeled vertex to the front, terminates with a maximum
+//! preflow — which equals a maximum flow at the sink. Runs in `O(V³)`.
+
+use crate::graph::{FlowNetwork, NodeId};
+
+/// Computes a maximum `s`–`t` flow with relabel-to-front.
+///
+/// The network retains the residual state on return, so
+/// [`FlowNetwork::residual_reachable`] immediately yields the minimum cut.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+pub fn max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
+    assert_ne!(s, t, "source and sink must differ");
+    let n = g.node_count();
+    let mut height = vec![0usize; n];
+    let mut excess = vec![0u128; n];
+    // Current-arc pointers (CLRS "current neighbor").
+    let mut cursor = vec![0usize; n];
+
+    // Initialize preflow: h[s] = |V|, saturate every residual arc out of s
+    // (forward edges and the reverse direction of undirected edges alike).
+    height[s] = n;
+    let s_edges: Vec<usize> = g.edges_of(s).to_vec();
+    for e in s_edges {
+        let cap = g.residual(e);
+        if cap > 0 {
+            let v = g.head(e);
+            g.push_along(e, cap);
+            excess[v] += u128::from(cap);
+        }
+    }
+
+    // The list L: every vertex except s and t, any order.
+    let mut list: Vec<NodeId> = (0..n).filter(|&v| v != s && v != t).collect();
+
+    let mut i = 0;
+    while i < list.len() {
+        let u = list[i];
+        let old_height = height[u];
+        discharge(g, u, &mut height, &mut excess, &mut cursor);
+        if height[u] > old_height {
+            // u was relabeled: move it to the front and restart the scan
+            // just after it.
+            list.remove(i);
+            list.insert(0, u);
+            i = 0;
+        }
+        i += 1;
+    }
+
+    debug_assert!(g.conservation_violations(s, t).is_empty());
+    u64::try_from(excess[t]).expect("flow exceeds u64")
+}
+
+/// Pushes and relabels `u` until it no longer overflows (CLRS `DISCHARGE`).
+fn discharge(
+    g: &mut FlowNetwork,
+    u: NodeId,
+    height: &mut [usize],
+    excess: &mut [u128],
+    cursor: &mut [usize],
+) {
+    while excess[u] > 0 {
+        let edges = g.edges_of(u);
+        if cursor[u] >= edges.len() {
+            relabel(g, u, height);
+            cursor[u] = 0;
+            continue;
+        }
+        let e = edges[cursor[u]];
+        let v = g.head(e);
+        let cap = g.residual(e);
+        if cap > 0 && height[u] == height[v] + 1 {
+            // PUSH(u, v).
+            let amount = u64::try_from(excess[u].min(u128::from(cap))).unwrap_or(cap);
+            g.push_along(e, amount);
+            excess[u] -= u128::from(amount);
+            excess[v] += u128::from(amount);
+        } else {
+            cursor[u] += 1;
+        }
+    }
+}
+
+/// Lifts `u` to one more than its lowest admissible neighbor (CLRS
+/// `RELABEL`).
+fn relabel(g: &FlowNetwork, u: NodeId, height: &mut [usize]) {
+    let mut min_height = usize::MAX;
+    for &e in g.edges_of(u) {
+        if g.residual(e) > 0 {
+            min_height = min_height.min(height[g.head(e)]);
+        }
+    }
+    debug_assert!(min_height != usize::MAX, "relabel of disconnected node");
+    height[u] = min_height.saturating_add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::INFINITE;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 7);
+        assert_eq!(max_flow(&mut g, 0, 1), 7);
+    }
+
+    #[test]
+    fn series_takes_bottleneck() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 3);
+        assert_eq!(max_flow(&mut g, 0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 4);
+        g.add_edge(1, 3, 4);
+        g.add_edge(0, 2, 6);
+        g.add_edge(2, 3, 6);
+        assert_eq!(max_flow(&mut g, 0, 3), 10);
+    }
+
+    #[test]
+    fn clrs_figure_26_1() {
+        // The classic CLRS example network; max flow is 23.
+        let (s, v1, v2, v3, v4, t) = (0, 1, 2, 3, 4, 5);
+        let mut g = FlowNetwork::new(6);
+        g.add_edge(s, v1, 16);
+        g.add_edge(s, v2, 13);
+        g.add_edge(v1, v2, 10);
+        g.add_edge(v2, v1, 4);
+        g.add_edge(v1, v3, 12);
+        g.add_edge(v3, v2, 9);
+        g.add_edge(v2, v4, 14);
+        g.add_edge(v4, v3, 7);
+        g.add_edge(v3, t, 20);
+        g.add_edge(v4, t, 4);
+        assert_eq!(max_flow(&mut g, s, t), 23);
+    }
+
+    #[test]
+    fn undirected_edges_carry_flow_either_way() {
+        let mut g = FlowNetwork::new(3);
+        g.add_undirected(0, 1, 5);
+        g.add_undirected(1, 2, 5);
+        assert_eq!(max_flow(&mut g, 0, 2), 5);
+        g.reset();
+        assert_eq!(max_flow(&mut g, 2, 0), 5);
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 10);
+        g.add_edge(2, 3, 10);
+        assert_eq!(max_flow(&mut g, 0, 3), 0);
+    }
+
+    #[test]
+    fn infinite_edges_do_not_overflow() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, INFINITE);
+        g.add_edge(0, 2, INFINITE);
+        g.add_edge(1, 3, INFINITE);
+        g.add_edge(2, 3, 5);
+        assert_eq!(max_flow(&mut g, 0, 3), INFINITE + 5);
+    }
+
+    #[test]
+    fn cut_side_after_flow_is_minimal() {
+        // Source component {0,1} separated from {2,3} by a 3-capacity edge.
+        let mut g = FlowNetwork::new(4);
+        g.add_undirected(0, 1, 100);
+        g.add_undirected(1, 2, 3);
+        g.add_undirected(2, 3, 100);
+        let flow = max_flow(&mut g, 0, 3);
+        assert_eq!(flow, 3);
+        let side = g.residual_reachable(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source and sink must differ")]
+    fn same_source_and_sink_panics() {
+        let mut g = FlowNetwork::new(2);
+        max_flow(&mut g, 1, 1);
+    }
+}

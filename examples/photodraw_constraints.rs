@@ -1,0 +1,94 @@
+//! PhotoDraw: how non-remotable interfaces constrain distribution (§4.3,
+//! Figure 4).
+//!
+//! The sprite caches pass pixels through shared-memory regions — opaque
+//! pointers the standard marshaler cannot transfer — so most of the
+//! application is pinned together on the client. Only the file reader and
+//! the seven property sets can usefully move. This example shows both the
+//! chosen distribution and what happens if a constraint-violating placement
+//! is attempted by hand.
+//!
+//! Run with: `cargo run --release --example photodraw_constraints`
+
+use coign::analysis::Distribution;
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::runtime::{choose_distribution, profile_scenario, run_distributed};
+use coign_apps::PhotoDraw;
+use coign_com::MachineId;
+use coign_dcom::{NetworkModel, NetworkProfile};
+use std::sync::Arc;
+
+fn main() {
+    let app = PhotoDraw;
+    let network = NetworkProfile::measure(&NetworkModel::ethernet_10baset(), 40, 7);
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let run = profile_scenario(&app, "p_oldmsr", &classifier).expect("profile");
+
+    println!(
+        "profiling p_oldmsr: {} non-remotable interface pair(s) observed",
+        run.profile.non_remotable.len()
+    );
+
+    let dist = choose_distribution(&app, &run.profile, &network).expect("analyze");
+    println!(
+        "Coign's distribution: {} classifications on the server",
+        dist.count_on(MachineId::SERVER)
+    );
+
+    let report = run_distributed(
+        &app,
+        "p_oldmsr",
+        &classifier,
+        &dist,
+        NetworkModel::ethernet_10baset(),
+        5,
+    )
+    .expect("distributed run");
+    println!(
+        "distributed run succeeds: {} of {} instances on the server, {:.2} s communication",
+        report.server_instances(),
+        report.total_instances(),
+        report.comm_secs()
+    );
+
+    // Now sabotage the distribution: put the sprite caches on the server
+    // while the canvas they blit into stays on the client. Their
+    // shared-memory interface must then cross the machine boundary, and the
+    // lightweight runtime refuses to marshal it.
+    let sprite_clsid = coign_com::Clsid::from_name("PdSpriteCache");
+    let sabotaged = Distribution {
+        placement: run
+            .profile
+            .class_of
+            .iter()
+            .map(|(&class, &clsid)| {
+                let machine = if clsid == sprite_clsid {
+                    MachineId::SERVER
+                } else {
+                    MachineId::CLIENT
+                };
+                (class, machine)
+            })
+            .collect(),
+        predicted_comm_us: 0.0,
+        network_name: dist.network_name.clone(),
+    };
+    let classifier2 = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    profile_scenario(&app, "p_oldmsr", &classifier2).expect("re-profile");
+    match run_distributed(
+        &app,
+        "p_oldmsr",
+        &classifier2,
+        &sabotaged,
+        NetworkModel::ethernet_10baset(),
+        5,
+    ) {
+        Ok(_) => println!("unexpected: the sabotaged distribution ran"),
+        Err(e) => {
+            println!("\nsplitting the sprite caches from their canvas fails, as it must:");
+            println!("  {e}");
+        }
+    }
+    println!("\nThe analysis engine never produces such a distribution: non-remotable");
+    println!("pairs carry infinite capacity in the cut graph, so they are never severed.");
+}

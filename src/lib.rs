@@ -1,0 +1,12 @@
+//! Root crate of the Coign reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use
+//! one import root. See `README.md` for the tour.
+
+#![forbid(unsafe_code)]
+
+pub use coign;
+pub use coign_apps as apps;
+pub use coign_com as com;
+pub use coign_dcom as dcom;
+pub use coign_flow as flow;

@@ -1,0 +1,211 @@
+//! The paper's headline experimental results, asserted as tests.
+//!
+//! Absolute seconds differ (our substrate is a simulator, not two 200 MHz
+//! Pentiums on 10BaseT), but every *shape* the paper reports must hold:
+//! which components move, where the crossovers fall, who wins and by
+//! roughly what factor. See `EXPERIMENTS.md` for the side-by-side numbers.
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::runtime::{choose_distribution, profile_scenario, run_default, run_distributed};
+use coign_apps::scenarios::app_by_name;
+use coign_apps::{Benefits, Octarine, PhotoDraw};
+use coign_com::{Clsid, ComRuntime, MachineId};
+use coign_dcom::{NetworkModel, NetworkProfile};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Outcome {
+    default_comm_us: u64,
+    coign_comm_us: u64,
+    server_classes: BTreeMap<String, usize>,
+    total_instances: usize,
+}
+
+fn run(app_name: &str, scenario: &str) -> Outcome {
+    let app = app_by_name(app_name).unwrap();
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let run = profile_scenario(app.as_ref(), scenario, &classifier).unwrap();
+    let network = NetworkProfile::measure(&NetworkModel::ethernet_10baset(), 20, 5);
+    let dist = choose_distribution(app.as_ref(), &run.profile, &network).unwrap();
+    let default = run_default(app.as_ref(), scenario, NetworkModel::ethernet_10baset(), 2).unwrap();
+    let coign = run_distributed(
+        app.as_ref(),
+        scenario,
+        &classifier,
+        &dist,
+        NetworkModel::ethernet_10baset(),
+        2,
+    )
+    .unwrap();
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let mut server_classes = BTreeMap::new();
+    for (clsid, machine) in &coign.instance_placements {
+        if *machine != MachineId::SERVER {
+            continue;
+        }
+        let desc = rt.registry().get(*clsid).unwrap();
+        if desc.imports.uses_storage() {
+            continue; // the pinned data file / database
+        }
+        *server_classes.entry(desc.name.clone()).or_insert(0) += 1;
+    }
+    Outcome {
+        default_comm_us: default.stats.comm_us,
+        coign_comm_us: coign.stats.comm_us,
+        server_classes,
+        total_instances: coign.total_instances(),
+    }
+}
+
+fn savings(o: &Outcome) -> f64 {
+    if o.default_comm_us == 0 {
+        return 0.0;
+    }
+    (o.default_comm_us.saturating_sub(o.coign_comm_us)) as f64 / o.default_comm_us as f64
+}
+
+/// Figure 5: for a 35-page text document, exactly two components move to
+/// the server — the document reader and the text-properties provider.
+#[test]
+fn figure5_two_components_on_server() {
+    let o = run("octarine", "o_fig5");
+    let total: usize = o.server_classes.values().sum();
+    assert_eq!(total, 2, "server classes: {:?}", o.server_classes);
+    assert!(o.server_classes.contains_key("OctDocReader"));
+    assert!(o.server_classes.contains_key("OctTextProps"));
+    assert!(o.total_instances > 300, "Octarine is component-mad");
+}
+
+/// Figure 7: a 5-page table document moves only the reader.
+#[test]
+fn figure7_single_component_on_server() {
+    let o = run("octarine", "o_oldtb0");
+    let total: usize = o.server_classes.values().sum();
+    assert_eq!(total, 1, "server classes: {:?}", o.server_classes);
+    assert!(o.server_classes.contains_key("OctDocReader"));
+}
+
+/// Figure 8: embedded tables flip the distribution — the page-placement
+/// negotiation cluster (table models, columns, cell sets, paragraph
+/// layouts) moves to the server, hundreds of components in all.
+#[test]
+fn figure8_negotiation_cluster_moves() {
+    let o = run("octarine", "o_oldbth");
+    let total: usize = o.server_classes.values().sum();
+    assert!(
+        (100..600).contains(&total),
+        "expected a large negotiation cluster, got {total}: {:?}",
+        o.server_classes
+    );
+    for class in [
+        "OctTableModel",
+        "OctTableColumn",
+        "OctCellSet",
+        "OctParaLayout",
+    ] {
+        assert!(o.server_classes.contains_key(class), "missing {class}");
+    }
+    // The fraction mirrors the paper's 281/786.
+    let fraction = total as f64 / o.total_instances as f64;
+    assert!((0.15..0.60).contains(&fraction), "fraction {fraction}");
+}
+
+/// Figure 4: PhotoDraw moves exactly the reader plus seven property sets.
+#[test]
+fn figure4_photodraw_eight_components() {
+    let o = run("photodraw", "p_oldmsr");
+    let total: usize = o.server_classes.values().sum();
+    assert_eq!(total, 8, "server classes: {:?}", o.server_classes);
+    assert_eq!(o.server_classes.get("PdPropSet"), Some(&7));
+    assert_eq!(o.server_classes.get("PdReader"), Some(&1));
+}
+
+/// Figure 6: Benefits — the result caches move to the client; the business
+/// logic and the database boundary stay on the middle tier.
+#[test]
+fn figure6_caches_move_to_client() {
+    let o = run("benefits", "b_bigone");
+    assert!(!o.server_classes.contains_key("BenResultCache"));
+    assert!(o.server_classes.contains_key("BenRecord"));
+    let s = savings(&o);
+    assert!((0.15..0.50).contains(&s), "savings {s}");
+}
+
+/// Table 4's crossover: small text documents stay whole (0 % savings);
+/// large ones split and save the vast majority of communication time.
+#[test]
+fn table4_document_size_crossover() {
+    let small = run("octarine", "o_oldwp0");
+    assert_eq!(
+        small.default_comm_us, small.coign_comm_us,
+        "5-page document: Coign must keep the default distribution"
+    );
+    let medium = run("octarine", "o_oldwp3");
+    assert_eq!(medium.default_comm_us, medium.coign_comm_us);
+    let large = run("octarine", "o_oldwp7");
+    assert!(
+        savings(&large) > 0.80,
+        "208-page document should save most communication, got {}",
+        savings(&large)
+    );
+}
+
+/// Table 4: the 150-page table saves ~99 %, the 5-page table ~1 %.
+#[test]
+fn table4_table_documents() {
+    let small = run("octarine", "o_oldtb0");
+    let s_small = savings(&small);
+    assert!((0.0..0.10).contains(&s_small), "tb0 savings {s_small}");
+    let large = run("octarine", "o_oldtb3");
+    assert!(savings(&large) > 0.90, "tb3 savings {}", savings(&large));
+}
+
+/// Coign never chooses a worse distribution than the default (Table 4).
+#[test]
+fn coign_never_worse_across_suite() {
+    for (app, scenario) in [
+        ("octarine", "o_newdoc"),
+        ("octarine", "o_newmus"),
+        ("octarine", "o_newtbl"),
+        ("photodraw", "p_newdoc"),
+        ("benefits", "b_delone"),
+    ] {
+        let o = run(app, scenario);
+        assert!(
+            o.coign_comm_us as f64 <= o.default_comm_us as f64 * 1.07 + 1000.0,
+            "{scenario}: {} > {}",
+            o.coign_comm_us,
+            o.default_comm_us
+        );
+    }
+}
+
+/// §4.1: the applications have the advertised component populations.
+#[test]
+fn applications_have_paper_scale_populations() {
+    let count_classes = |app: &dyn coign::application::Application| {
+        let rt = ComRuntime::single_machine();
+        app.register(&rt);
+        rt.registry().len()
+    };
+    // "between a dozen and 150 component classes"
+    assert!(count_classes(&Octarine) >= 40, "octarine classes");
+    assert!(count_classes(&PhotoDraw) >= 15, "photodraw classes");
+    assert!(
+        count_classes(&Benefits::default()) >= 12,
+        "benefits classes"
+    );
+
+    // PhotoDraw's sprite population: 1 + 3 + 9 + 27.
+    let rt = ComRuntime::single_machine();
+    use coign::application::Application;
+    PhotoDraw.register(&rt);
+    PhotoDraw.run_scenario(&rt, "p_oldmsr").unwrap();
+    let sprites = rt
+        .instances_snapshot()
+        .iter()
+        .filter(|i| i.clsid == Clsid::from_name("PdSpriteCache"))
+        .count();
+    assert_eq!(sprites, 40);
+}

@@ -1,0 +1,104 @@
+//! Table 5 integration: Coign's model of application communication and
+//! execution time predicts measured times closely (the paper: no scenario
+//! erred by more than 8 %).
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::predict::{predict_comm_us, predict_execution_us};
+use coign::runtime::{choose_distribution, profile_scenario, run_distributed};
+use coign_apps::scenarios::app_by_name;
+use coign_dcom::{NetworkModel, NetworkProfile};
+use std::sync::Arc;
+
+fn prediction_error(app_name: &str, scenario: &str) -> f64 {
+    let app = app_by_name(app_name).unwrap();
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let run = profile_scenario(app.as_ref(), scenario, &classifier).unwrap();
+    let network = NetworkProfile::measure(&NetworkModel::ethernet_10baset(), 30, 17);
+    let dist = choose_distribution(app.as_ref(), &run.profile, &network).unwrap();
+    let predicted = predict_execution_us(
+        run.report.stats.compute_us,
+        run.report.stats.calls,
+        &run.profile,
+        &dist,
+        &network,
+    );
+    let measured = run_distributed(
+        app.as_ref(),
+        scenario,
+        &classifier,
+        &dist,
+        NetworkModel::ethernet_10baset(),
+        23,
+    )
+    .unwrap()
+    .clock_us as f64;
+    ((measured - predicted) / measured).abs()
+}
+
+/// Every tested scenario predicts within 10 % (paper: within 8 %).
+#[test]
+fn predictions_are_accurate() {
+    for (app, scenario) in [
+        ("octarine", "o_oldwp0"),
+        ("octarine", "o_oldtb0"),
+        ("octarine", "o_oldbth"),
+        ("photodraw", "p_oldcur"),
+        ("benefits", "b_vueone"),
+    ] {
+        let err = prediction_error(app, scenario);
+        assert!(
+            err < 0.10,
+            "{scenario}: prediction error {:.1}%",
+            err * 100.0
+        );
+    }
+}
+
+/// The predicted communication of the chosen cut matches the analysis
+/// engine's own estimate (two independent code paths over the same model).
+#[test]
+fn cut_value_matches_prediction_model() {
+    let app = app_by_name("octarine").unwrap();
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let run = profile_scenario(app.as_ref(), "o_oldtb3", &classifier).unwrap();
+    let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+    let dist = choose_distribution(app.as_ref(), &run.profile, &network).unwrap();
+    let independent = predict_comm_us(&run.profile, &dist, &network);
+    let rel = (independent - dist.predicted_comm_us).abs() / dist.predicted_comm_us.max(1.0);
+    assert!(
+        rel < 1e-6,
+        "analysis said {} us, prediction model said {independent} us",
+        dist.predicted_comm_us
+    );
+}
+
+/// Prediction degrades gracefully, not catastrophically, when the profile
+/// comes from a *different* scenario (cross-scenario robustness).
+#[test]
+fn cross_scenario_prediction_is_sane() {
+    let app = app_by_name("octarine").unwrap();
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    // Profile the 5-page document...
+    let run = profile_scenario(app.as_ref(), "o_oldwp0", &classifier).unwrap();
+    let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+    let dist = choose_distribution(app.as_ref(), &run.profile, &network).unwrap();
+    // ...but execute the 13-page one under that distribution.
+    let report = run_distributed(
+        app.as_ref(),
+        "o_oldwp3",
+        &classifier,
+        &dist,
+        NetworkModel::ethernet_10baset(),
+        31,
+    )
+    .unwrap();
+    // The run completes correctly (classifications generalize): same
+    // instance population as a native 13-page profile run.
+    let native = profile_scenario(
+        app.as_ref(),
+        "o_oldwp3",
+        &Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb)),
+    )
+    .unwrap();
+    assert_eq!(report.total_instances(), native.report.total_instances());
+}

@@ -1,0 +1,96 @@
+//! The binary-rewriting workflow across executions: instrument, profile
+//! (accumulating into the configuration record), analyze, realize, and
+//! reload — with classifications stable across "process restarts"
+//! (classifier serialization round trips).
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::config::RuntimeMode;
+use coign::rewriter;
+use coign::runtime::{choose_distribution, profile_scenario, run_distributed};
+use coign_apps::Octarine;
+use coign_com::AppImage;
+use coign_dcom::{NetworkModel, NetworkProfile};
+use std::sync::Arc;
+
+use coign::application::Application;
+
+/// The full Figure 1 loop, with the image serialized to bytes between every
+/// stage (as if each stage were a separate tool run against the file).
+#[test]
+fn full_rewrite_cycle_through_bytes() {
+    let app = Octarine;
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+
+    // Stage 1: instrument.
+    let mut image = app.image();
+    rewriter::instrument(&mut image, &classifier);
+    let bytes = image.encode();
+
+    // Stage 2: profile two scenarios, accumulating into the record.
+    let mut image = AppImage::decode(&bytes).unwrap();
+    for scenario in ["o_newdoc", "o_oldwp0"] {
+        let run = profile_scenario(&app, scenario, &classifier).unwrap();
+        rewriter::accumulate_profile(&mut image, &run.profile).unwrap();
+    }
+    let bytes = image.encode();
+
+    // Stage 3: analyze and realize.
+    let mut image = AppImage::decode(&bytes).unwrap();
+    let record = rewriter::read_config(&image).unwrap();
+    assert_eq!(record.profile.scenarios.len(), 2);
+    let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+    let dist = choose_distribution(&app, &record.profile, &network).unwrap();
+    rewriter::realize(&mut image, &classifier, &dist).unwrap();
+    let bytes = image.encode();
+
+    // Stage 4: "load" the realized binary and run distributed with a
+    // classifier restored from the configuration record.
+    let image = AppImage::decode(&bytes).unwrap();
+    assert_eq!(image.imports[0].name, rewriter::COIGN_LITE_DLL);
+    let record = rewriter::read_config(&image).unwrap();
+    assert_eq!(record.mode, RuntimeMode::Distributed);
+    let restored = Arc::new(InstanceClassifier::decode(&record.classifier).unwrap());
+    let dist = record.distribution.expect("distribution present");
+    let report = run_distributed(
+        &app,
+        "o_oldwp0",
+        &restored,
+        &dist,
+        NetworkModel::ethernet_10baset(),
+        3,
+    )
+    .unwrap();
+    assert!(report.total_instances() > 100);
+}
+
+/// Classifications restored from a configuration record map the same
+/// instantiation contexts to the same ids (the property the factory
+/// depends on to honor profiled placements in later executions).
+#[test]
+fn classifications_are_stable_across_serialization() {
+    let app = Octarine;
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let first = profile_scenario(&app, "o_oldtb0", &classifier).unwrap();
+    let count_before = classifier.classification_count();
+
+    let restored = Arc::new(InstanceClassifier::decode(&classifier.encode()).unwrap());
+    let second = profile_scenario(&app, "o_oldtb0", &restored).unwrap();
+
+    // No new classifications: the restored table recognizes every context.
+    assert_eq!(restored.classification_count(), count_before);
+    // And the instance→classification mapping is identical run to run.
+    assert_eq!(first.instance_classes, second.instance_classes);
+}
+
+/// Stripping restores the original binary exactly.
+#[test]
+fn strip_restores_pristine_image() {
+    let app = Octarine;
+    let pristine = app.image();
+    let classifier = InstanceClassifier::new(ClassifierKind::Ifcb);
+    let mut image = app.image();
+    rewriter::instrument(&mut image, &classifier);
+    assert_ne!(image, pristine);
+    rewriter::strip(&mut image);
+    assert_eq!(image, pristine);
+}

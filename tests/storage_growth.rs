@@ -1,0 +1,119 @@
+//! The §2 storage claim: "After quantifying communication (by number and
+//! size of messages), Coign compresses and summarizes the data online.
+//! Consequently, the overhead for storing communication information does
+//! not grow linearly with execution time. If desired, the application may
+//! be run through profiling scenarios for days or even weeks."
+//!
+//! We compare the *summarized* profile (what the profiling logger keeps)
+//! against the *raw* event trace (what the event logger keeps) as scenario
+//! length scales 40×: the trace grows linearly, the summary barely at all.
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::logger::{EventLogger, ProfilingLogger};
+use coign::replay::{profile_from_events, TeeLogger};
+use coign::rte::CoignRte;
+use coign_apps::Octarine;
+use coign_com::ComRuntime;
+use std::sync::Arc;
+
+use coign::application::Application;
+
+/// Runs one scenario with both loggers attached, returning
+/// `(summary_bytes, event_count, traffic_bytes)`.
+fn run(scenario: &str) -> (usize, usize, u64) {
+    let app = Octarine;
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let profiling = Arc::new(ProfilingLogger::new());
+    let events = Arc::new(EventLogger::new());
+    let tee = Arc::new(TeeLogger::new(vec![profiling.clone(), events.clone()]));
+    rt.add_hook(Arc::new(CoignRte::profiling(classifier, tee)));
+    app.run_scenario(&rt, scenario).unwrap();
+    let profile = profiling.snapshot_profile();
+    (profile.encode().len(), events.len(), profile.total_bytes())
+}
+
+/// The summary stays near-constant while the raw trace scales with the
+/// document (and with it, execution length).
+#[test]
+fn summarization_bounds_profile_storage() {
+    let (small_bytes, small_events, small_traffic) = run("o_oldwp0"); // 5 pages
+    let (large_bytes, large_events, large_traffic) = run("o_oldwp7"); // 208 pages
+
+    // The workload really did grow: 40x the document pulls several times
+    // the bytes through the interfaces.
+    assert!(
+        large_traffic as f64 > small_traffic as f64 * 3.0,
+        "traffic: {small_traffic} -> {large_traffic}"
+    );
+    // The raw trace grows too (page reads, stubs)...
+    assert!(
+        large_events > small_events,
+        "events: {small_events} -> {large_events}"
+    );
+    // ...but the summarized profile barely grows: repeated same-shaped
+    // messages collapse into existing (classification, interface, method,
+    // bucket) entries whose counters just increment.
+    let summary_growth = large_bytes as f64 / small_bytes as f64;
+    assert!(
+        summary_growth < 1.5,
+        "summary grew {summary_growth:.2}x ({small_bytes} -> {large_bytes} bytes)"
+    );
+    // And stays compact in absolute terms.
+    assert!(
+        large_bytes < 64 * 1024,
+        "summary should stay a few tens of KB, got {large_bytes}"
+    );
+}
+
+/// Repeating a scenario N times multiplies the trace but leaves the
+/// summary's *size* unchanged (only counters grow) — the property that lets
+/// profiling run "for days or even weeks".
+#[test]
+fn repeated_scenarios_do_not_grow_the_summary() {
+    let app = Octarine;
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let profiling = Arc::new(ProfilingLogger::new());
+    let events = Arc::new(EventLogger::new());
+    let tee = Arc::new(TeeLogger::new(vec![profiling.clone(), events.clone()]));
+    rt.add_hook(Arc::new(CoignRte::profiling(classifier, tee)));
+
+    app.run_scenario(&rt, "o_newdoc").unwrap();
+    let after_one = profiling.snapshot_profile().encode().len();
+    let events_one = events.len();
+    for _ in 0..4 {
+        app.run_scenario(&rt, "o_newdoc").unwrap();
+    }
+    let after_five = profiling.snapshot_profile().encode().len();
+    let events_five = events.len();
+
+    assert!(events_five >= events_one * 4, "the trace grows linearly");
+    // The summary may add a few entries (idle transients accumulate state),
+    // but nothing like 5x.
+    assert!(
+        (after_five as f64) < after_one as f64 * 2.0,
+        "summary {after_one} -> {after_five}"
+    );
+}
+
+/// The trace is not wasted space: it reconstructs the exact summary — the
+/// §3.3 "drive detailed application simulations" consumer.
+#[test]
+fn trace_reconstructs_summary_for_real_scenarios() {
+    let app = Octarine;
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let profiling = Arc::new(ProfilingLogger::new());
+    let events = Arc::new(EventLogger::new());
+    let tee = Arc::new(TeeLogger::new(vec![profiling.clone(), events.clone()]));
+    rt.add_hook(Arc::new(CoignRte::profiling(classifier, tee)));
+    app.run_scenario(&rt, "o_oldbth").unwrap();
+
+    let online = profiling.snapshot_profile();
+    let offline = profile_from_events(&events.take_events());
+    assert_eq!(online, offline);
+}
