@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! coign instrument octarine app.cimg     # insert the Coign runtime
+//! coign check app.cimg [--json]          # static analysis, no profiling needed
 //! coign profile app.cimg o_oldwp7        # run a scenario, accumulate logs
 //! coign analyze app.cimg ethernet        # cut the graph, realize the result
 //! coign show app.cimg                    # inspect the configuration record
@@ -29,7 +30,9 @@ use coign::classifier::{ClassifierKind, InstanceClassifier};
 use coign::config::RuntimeMode;
 use coign::report;
 use coign::rewriter;
-use coign::runtime::{choose_distribution, profile_scenario, run_distributed};
+use coign::runtime::{
+    check_constraints, choose_distribution, derive_constraints, profile_scenario, run_distributed,
+};
 use coign_apps::scenarios::app_by_name;
 use coign_com::{AppImage, ComError, ComResult, ComRuntime, MachineId};
 use coign_dcom::{NetworkModel, NetworkProfile};
@@ -93,6 +96,28 @@ pub fn cmd_instrument(app_name: &str, path: &Path) -> ComResult<String> {
         image.encode().len(),
         rewriter::COIGN_RTE_DLL
     ))
+}
+
+/// `coign check <image> [--json]` — the static analysis pass: remotability
+/// of every registered interface, satisfiability of the full constraint
+/// set, and well-formedness of the image itself, with **no profiling data
+/// required**. Returns `Ok(report)` when no error-level diagnostic fired
+/// (exit 0) and `Err(report)` otherwise (exit 1); both sides carry the
+/// complete rendered report, human or JSON.
+pub fn cmd_check(path: &Path, json: bool) -> Result<String, String> {
+    let image = load(path).map_err(|e| format!("error: {e}"))?;
+    let app = app_for_image(&image).map_err(|e| format!("error: {e}"))?;
+    let sink = coign::lint::check_app_image(&image, app.as_ref());
+    let report = if json {
+        sink.render_json()
+    } else {
+        sink.render_human()
+    };
+    if sink.has_errors() {
+        Err(report)
+    } else {
+        Ok(report)
+    }
 }
 
 /// `coign profile <image> <scenario>` — runs one profiling scenario and
@@ -162,6 +187,10 @@ pub fn cmd_run(path: &Path, scenario: &str, network_name: &str) -> ComResult<Str
         .distribution
         .ok_or_else(|| ComError::App("record carries no distribution".to_string()))?;
     let app = app_for_image(&image)?;
+    // Fast-fail: refuse to execute a distribution whose constraint set no
+    // longer holds (e.g. the record was realized against different
+    // metadata). The error carries the `coign check` diagnostic report.
+    check_constraints(app.as_ref(), &record.profile)?;
     let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
     let network = network_by_name(network_name)?;
     let report = run_distributed(
@@ -341,10 +370,12 @@ pub fn cmd_dot(path: &Path, out: &Path) -> ComResult<String> {
     app.register(&rt);
     let names = report::class_names(&rt);
     let network = NetworkProfile::measure(&NetworkModel::ethernet_10baset(), PROFILE_SAMPLES, SEED);
+    let constraints = derive_constraints(app.as_ref(), &record.profile);
     let dot = report::to_dot(
         &record.profile,
         &network,
         record.distribution.as_ref(),
+        &constraints,
         &names,
     );
     std::fs::write(out, &dot)
@@ -463,6 +494,10 @@ mod tests {
         assert!(msg.contains("nodes"));
         let dot = std::fs::read_to_string(&dot_path).unwrap();
         assert!(dot.starts_with("graph icc {"));
+        // Constraint edges render dashed against synthetic machine nodes
+        // (the ROOT pin alone guarantees at least one).
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("n0 -- client [style=dashed"));
 
         // Scripts are octarine-only.
         let pd = temp_image("pdscript");
@@ -472,6 +507,37 @@ mod tests {
         for p in [img, script, dot_path, pd] {
             std::fs::remove_file(&p).ok();
         }
+    }
+
+    #[test]
+    fn check_passes_on_fresh_image_without_profiling() {
+        let path = temp_image("check");
+        cmd_instrument("photodraw", &path).unwrap();
+        // No `coign profile` ran: the pass needs no profiling data.
+        let report = cmd_check(&path, false).unwrap();
+        // PhotoDraw's sprite cache shares memory through an opaque-pointer
+        // interface — the remotability stage flags it (warn, not error).
+        assert!(report.contains("COIGN010"));
+        assert!(report.contains("COIGN012"));
+        assert!(report.contains("0 error(s)"));
+        let json = cmd_check(&path, true).unwrap();
+        assert!(json.starts_with("{\"errors\":0,"));
+        assert!(json.contains("\"code\":\"COIGN010\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_flags_corrupted_images() {
+        let path = temp_image("checkbad");
+        cmd_instrument("octarine", &path).unwrap();
+        let mut image = load(&path).unwrap();
+        // Demote the runtime import out of slot 0.
+        let runtime = image.imports.remove(0);
+        image.imports.push(runtime);
+        store(&path, &image).unwrap();
+        let report = cmd_check(&path, false).unwrap_err();
+        assert!(report.contains("COIGN030"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! `coign` — the tool-chain CLI. See the crate docs for the workflow.
 
 use coign_cli::{
-    cmd_analyze, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile, cmd_run, cmd_script, cmd_show,
-    cmd_strip,
+    cmd_analyze, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile, cmd_run,
+    cmd_script, cmd_show, cmd_strip,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -12,6 +12,7 @@ coign — automatic distributed partitioning (OSDI '99 reproduction)
 
 USAGE:
   coign instrument <app> <image>        instrument an application (octarine|photodraw|benefits)
+  coign check      <image> [--json]     static analysis: remotability, constraints, image lints
   coign profile    <image> <scenario>   run a profiling scenario, accumulate the log
   coign analyze    <image> [network]    choose & realize a distribution (ethernet|isdn|atm|san)
   coign run        <image> <scenario> [network]   execute distributed
@@ -48,6 +49,26 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `check` owns its exit semantics: the report is the output either way
+    // and always goes to stdout; the exit status alone signals whether an
+    // error-level diagnostic fired.
+    if args.first().map(String::as_str) == Some("check") {
+        let Some(path) = args.get(1) else {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        let json = args.get(2).map(String::as_str) == Some("--json");
+        return match cmd_check(Path::new(path), json) {
+            Ok(report) => {
+                println!("{}", report.trim_end());
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                println!("{}", report.trim_end());
+                ExitCode::FAILURE
+            }
+        };
+    }
     match dispatch(&args) {
         Ok(message) => {
             println!("{message}");

@@ -69,6 +69,55 @@ fn full_workflow_through_the_binary() {
 }
 
 #[test]
+fn check_reports_diagnostics_with_exit_semantics() {
+    let image = temp("check");
+    let image_str = image.to_str().unwrap();
+    let (ok, _, _) = coign(&["instrument", "photodraw", image_str]);
+    assert!(ok, "instrument failed");
+
+    // Healthy image: warnings only (PhotoDraw's opaque-pointer interfaces),
+    // exit 0, no profiling data needed.
+    let (ok, out, _) = coign(&["check", image_str]);
+    assert!(ok, "check should exit 0 without error diagnostics: {out}");
+    assert!(out.contains("COIGN010"));
+    assert!(out.contains("COIGN012"));
+    assert!(out.contains("0 error(s)"));
+
+    // JSON mode is machine-readable and carries the same codes.
+    let (ok, out, _) = coign(&["check", image_str, "--json"]);
+    assert!(ok);
+    assert!(out.trim_end().starts_with("{\"errors\":0,"));
+    assert!(out.contains("\"code\":\"COIGN010\""));
+    assert!(out.contains("\"severity\":\"warn\""));
+
+    std::fs::remove_file(&image).ok();
+}
+
+#[test]
+fn check_exits_nonzero_on_error_diagnostics() {
+    let image = temp("checkerr");
+    let image_str = image.to_str().unwrap();
+    let (ok, _, _) = coign(&["instrument", "octarine", image_str]);
+    assert!(ok);
+
+    // Corrupt the configuration record: undecodable garbage is COIGN035.
+    let bytes = std::fs::read(&image).unwrap();
+    let mut img = coign_com::AppImage::decode(&bytes).unwrap();
+    img.set_config_record(vec![0xba, 0xad]);
+    std::fs::write(&image, img.encode()).unwrap();
+
+    let (ok, out, _) = coign(&["check", image_str]);
+    assert!(!ok, "error diagnostics must produce a failure exit");
+    assert!(out.contains("COIGN035"));
+
+    let (ok, out, _) = coign(&["check", image_str, "--json"]);
+    assert!(!ok);
+    assert!(out.contains("\"code\":\"COIGN035\""));
+
+    std::fs::remove_file(&image).ok();
+}
+
+#[test]
 fn errors_surface_on_stderr_with_failure_exit() {
     let (ok, out, err) = coign(&["show", "/definitely/not/a/file.cimg"]);
     assert!(!ok);

@@ -98,7 +98,11 @@ impl Distribution {
 ///
 /// Fails with [`ComError::App`] if constraints are contradictory (e.g. a
 /// GUI component connected to a storage component through a non-remotable
-/// interface), which manifests as an infinite cut.
+/// interface). Contradictions are caught by a satisfiability pre-check
+/// over the colocation closure ([`crate::lint::satisfiability`]) *before*
+/// any flow network is built — min-cut never runs on an unsatisfiable
+/// constraint set. The infinite-cut check after the cut remains as a
+/// defense-in-depth invariant.
 ///
 /// # Examples
 ///
@@ -135,6 +139,26 @@ pub fn analyze(
     constraints: &[Constraint],
     algorithm: MaxFlowAlgorithm,
 ) -> ComResult<Distribution> {
+    // Satisfiability pre-check: union the colocation constraints (explicit
+    // plus non-remotable pairs) and look for a group pinned to both
+    // machines. Every contradiction the min-cut would discover as an
+    // infinite cut is caught here, without paying for a max-flow run.
+    let mut sink = crate::lint::DiagnosticSink::new();
+    let mut non_remotable: Vec<_> = profile.non_remotable.iter().copied().collect();
+    non_remotable.sort();
+    let label = |id: ClassificationId| id.to_string();
+    if !crate::lint::satisfiability::check_constraints(
+        constraints,
+        &non_remotable,
+        &label,
+        &mut sink,
+    ) {
+        return Err(ComError::App(format!(
+            "location constraints are contradictory\n{}",
+            sink.render_human()
+        )));
+    }
+
     let graph = IccGraph::build(profile, network);
     let n = graph.node_count();
     let source = n;
@@ -310,6 +334,29 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ComError::App(_)));
+    }
+
+    #[test]
+    fn contradictions_never_invoke_min_cut() {
+        // The satisfiability pre-check rejects the constraint set before a
+        // flow network is ever built; the (thread-local) min-cut invocation
+        // counter proves the solver did not run.
+        let mut profile = document_profile();
+        profile.record_non_remotable(c(1), c(3));
+        let constraints = vec![Constraint::PinClient(c(1)), Constraint::PinServer(c(3))];
+        let before = coign_flow::min_cut_invocations();
+        let err = analyze(
+            &profile,
+            &network(),
+            &constraints,
+            MaxFlowAlgorithm::LiftToFront,
+        )
+        .unwrap_err();
+        assert_eq!(coign_flow::min_cut_invocations(), before);
+        let ComError::App(detail) = err else {
+            panic!("expected App error");
+        };
+        assert!(detail.contains("COIGN020"), "{detail}");
     }
 
     #[test]

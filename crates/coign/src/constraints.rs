@@ -213,4 +213,74 @@ mod tests {
         let named = vec![NamedConstraint::Absolute("Ghost".into(), MachineId::CLIENT)];
         assert!(resolve_named_constraints(&profile, &named).is_empty());
     }
+
+    #[test]
+    fn pairwise_constraints_close_transitively() {
+        // A–B and B–C pairwise constraints chain A, B, and C into one
+        // colocation group: pinning A client and C server is unsatisfiable
+        // even though no constraint mentions A and C together.
+        let profile = profile_with(&[(1, "A"), (2, "B"), (3, "C")]);
+        let named = vec![
+            NamedConstraint::Pairwise("A".into(), "B".into()),
+            NamedConstraint::Pairwise("B".into(), "C".into()),
+        ];
+        let mut constraints = resolve_named_constraints(&profile, &named);
+        constraints.push(Constraint::PinClient(ClassificationId(1)));
+        constraints.push(Constraint::PinServer(ClassificationId(3)));
+        let mut sink = crate::lint::DiagnosticSink::new();
+        let label = |id: ClassificationId| id.to_string();
+        assert!(!crate::lint::satisfiability::check_constraints(
+            &constraints,
+            &[],
+            &label,
+            &mut sink
+        ));
+        let d = &sink.diagnostics()[0];
+        assert_eq!(d.code, "COIGN020");
+        assert!(d.subject.contains("c:2"), "chain member missing: {d:?}");
+    }
+
+    #[test]
+    fn conflicting_absolute_constraints_are_unsatisfiable() {
+        // The programmer pins the same class to both machines: every
+        // classification of the class becomes a one-member group pinned
+        // both ways.
+        let profile = profile_with(&[(1, "Cache")]);
+        let named = vec![
+            NamedConstraint::Absolute("Cache".into(), MachineId::CLIENT),
+            NamedConstraint::Absolute("Cache".into(), MachineId::SERVER),
+        ];
+        let constraints = resolve_named_constraints(&profile, &named);
+        let mut sink = crate::lint::DiagnosticSink::new();
+        let label = |id: ClassificationId| id.to_string();
+        assert!(!crate::lint::satisfiability::check_constraints(
+            &constraints,
+            &[],
+            &label,
+            &mut sink
+        ));
+        assert_eq!(sink.diagnostics()[0].code, "COIGN020");
+        assert_eq!(sink.diagnostics()[0].subject, "c:1");
+    }
+
+    #[test]
+    fn unknown_class_names_in_constraints_are_diagnosed() {
+        let rt = ComRuntime::single_machine();
+        rt.registry()
+            .register("Known", vec![], ApiImports::NONE, |_, _| Arc::new(Nop));
+        let named = vec![
+            NamedConstraint::Absolute("Mispelled".into(), MachineId::SERVER),
+            NamedConstraint::Pairwise("Known".into(), "AlsoGhost".into()),
+        ];
+        let mut sink = crate::lint::DiagnosticSink::new();
+        crate::lint::satisfiability::check_named(&named, rt.registry(), &mut sink);
+        let codes: Vec<_> = sink.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["COIGN021", "COIGN021"]);
+        let subjects: Vec<_> = sink
+            .diagnostics()
+            .iter()
+            .map(|d| d.subject.as_str())
+            .collect();
+        assert_eq!(subjects, vec!["AlsoGhost", "Mispelled"]);
+    }
 }

@@ -25,6 +25,12 @@
 //! 5. **Realizes** the distribution ([`factory`], [`runtime::run_distributed`]):
 //!    a lightweight runtime relocates component instantiations to their
 //!    assigned machines and DCOM-style proxies carry cross-machine calls.
+//!
+//! Orthogonally to the profiling pipeline, [`lint`] implements `coign
+//! check`: a static analysis pass over interface metadata, the constraint
+//! set, and the binary image that reports remotability hazards,
+//! unsatisfiable constraints, and malformed images as `COIGN0xx`
+//! diagnostics — before any scenario is ever profiled.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +44,7 @@ pub mod drift;
 pub mod factory;
 pub mod icc;
 pub mod informer;
+pub mod lint;
 pub mod logger;
 pub mod metrics;
 pub mod multiway;

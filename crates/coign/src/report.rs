@@ -14,6 +14,7 @@
 //! the calls a semi-custom marshaler could answer from a local cache.
 
 use crate::analysis::Distribution;
+use crate::constraints::Constraint;
 use crate::profile::IccProfile;
 use coign_com::{ComRuntime, Iid};
 use coign_dcom::NetworkProfile;
@@ -174,13 +175,20 @@ pub fn caching_candidates(
 /// classification (labelled with its class and instance count), gray edges
 /// for distributable interfaces, **bold black edges** for non-remotable
 /// ones, and server-side nodes drawn as filled boxes.
+///
+/// Location constraints render in a distinct dashed style: pins as dashed
+/// edges to synthetic diamond `client`/`server` machine nodes, explicit
+/// colocations as dashed edges between the bound classifications (pairs
+/// already drawn bold-black as non-remotable are not repeated).
 pub fn to_dot(
     profile: &IccProfile,
     network: &NetworkProfile,
     distribution: Option<&Distribution>,
+    constraints: &[Constraint],
     class_names: &HashMap<coign_com::Clsid, String>,
 ) -> String {
     use crate::classifier::ClassificationId;
+    use std::collections::BTreeSet;
     use std::fmt::Write as _;
 
     let mut out = String::from(
@@ -244,6 +252,44 @@ pub fn to_dot(
             continue;
         }
         let _ = writeln!(out, "  n{} -- n{} [color=black, penwidth=2.5];", a.0, b.0);
+    }
+    // Location constraints: pins run to synthetic machine nodes,
+    // colocations bind their two classifications; both dashed so they read
+    // apart from measured traffic.
+    let mut pin_edges: BTreeSet<(u32, &str)> = BTreeSet::new();
+    let mut coloc_edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for constraint in constraints {
+        match constraint {
+            Constraint::PinClient(class) => {
+                pin_edges.insert((class.0, "client"));
+            }
+            Constraint::PinServer(class) => {
+                pin_edges.insert((class.0, "server"));
+            }
+            Constraint::Colocate(a, b) => {
+                if a == b {
+                    continue;
+                }
+                let pair = if a <= b { (*a, *b) } else { (*b, *a) };
+                // Non-remotable pairs already render as bold black edges.
+                if !profile.non_remotable.contains(&pair) {
+                    coloc_edges.insert((pair.0 .0, pair.1 .0));
+                }
+            }
+        }
+    }
+    if !pin_edges.is_empty() {
+        let _ = writeln!(out, "  client [label=\"client\", shape=diamond];");
+        let _ = writeln!(out, "  server [label=\"server\", shape=diamond];");
+    }
+    for (id, machine) in &pin_edges {
+        let _ = writeln!(out, "  n{id} -- {machine} [style=dashed, color=steelblue];");
+    }
+    for (a, b) in &coloc_edges {
+        let _ = writeln!(
+            out,
+            "  n{a} -- n{b} [style=dashed, color=steelblue, penwidth=1.5];"
+        );
     }
     out.push_str(
         "}
@@ -369,7 +415,7 @@ mod tests {
         let dist = split_dist();
         let mut p = profile();
         p.record_non_remotable(c(1), c(3));
-        let dot = to_dot(&p, &net(), Some(&dist), &HashMap::new());
+        let dot = to_dot(&p, &net(), Some(&dist), &[], &HashMap::new());
         assert!(dot.starts_with("graph icc {"));
         assert!(dot.ends_with("}\n"));
         // One node per classification (+ the root).
@@ -380,7 +426,36 @@ mod tests {
         assert!(dot.contains("fillcolor=gray75"));
         // The non-remotable pair is a bold black edge.
         assert!(dot.contains("penwidth=2.5"));
+        // No constraints given → no synthetic machine nodes.
+        assert!(!dot.contains("shape=diamond"));
         // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn dot_renders_constraint_edges_in_dashed_style() {
+        let mut p = profile();
+        p.record_non_remotable(c(1), c(3));
+        let constraints = vec![
+            Constraint::PinClient(ClassificationId::ROOT),
+            Constraint::PinServer(c(2)),
+            Constraint::Colocate(c(1), c(2)),
+            // Duplicate (reversed) colocation dedupes to one edge.
+            Constraint::Colocate(c(2), c(1)),
+            // Covered by the bold-black non-remotable edge: not repeated.
+            Constraint::Colocate(c(3), c(1)),
+        ];
+        let dot = to_dot(&p, &net(), None, &constraints, &HashMap::new());
+        assert!(dot.contains("client [label=\"client\", shape=diamond];"));
+        assert!(dot.contains("server [label=\"server\", shape=diamond];"));
+        assert!(dot.contains("n0 -- client [style=dashed, color=steelblue];"));
+        assert!(dot.contains("n2 -- server [style=dashed, color=steelblue];"));
+        assert_eq!(
+            dot.matches("n1 -- n2 [style=dashed, color=steelblue, penwidth=1.5];")
+                .count(),
+            1
+        );
+        assert!(!dot.contains("n1 -- n3 [style=dashed"));
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
     }
 

@@ -25,8 +25,8 @@ use crate::logger::{PairTraffic, ProfilingLogger};
 use crate::profile::IccProfile;
 use crate::rte::CoignRte;
 use coign_com::{
-    Clsid, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr, MachineId, RtStats,
-    RuntimeHook,
+    ClassRegistry, Clsid, ComError, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr,
+    MachineId, RtStats, RuntimeHook,
 };
 use coign_dcom::{NetworkModel, NetworkProfile, Transport};
 use coign_flow::MaxFlowAlgorithm;
@@ -168,12 +168,14 @@ pub fn profile_scenarios(
     Ok(merged)
 }
 
-/// Derives the full constraint set for an application: static API analysis
-/// plus the programmer's explicit constraints.
+/// Derives the full constraint set for an application: static API analysis,
+/// colocations implied by non-remotable interface metadata, plus the
+/// programmer's explicit constraints.
 pub fn derive_constraints(app: &dyn Application, profile: &IccProfile) -> Vec<Constraint> {
     let rt = ComRuntime::single_machine();
     app.register(&rt);
     let mut constraints = derive_static_constraints(profile, rt.registry());
+    constraints.extend(static_non_remotable_colocations(profile, rt.registry()));
     constraints.extend(resolve_named_constraints(
         profile,
         &app.explicit_constraints(),
@@ -181,13 +183,72 @@ pub fn derive_constraints(app: &dyn Application, profile: &IccProfile) -> Vec<Co
     constraints
 }
 
+/// Colocations derived *statically* from interface metadata: any profiled
+/// edge carried by a non-remotable interface binds its endpoints to one
+/// machine — the same fact the profiling informer records dynamically in
+/// [`IccProfile::non_remotable`], recovered here from the registry alone so
+/// that analysis does not depend on the informer having observed the call.
+fn static_non_remotable_colocations(
+    profile: &IccProfile,
+    registry: &ClassRegistry,
+) -> Vec<Constraint> {
+    let mut pairs: Vec<(ClassificationId, ClassificationId)> = profile
+        .edges
+        .keys()
+        .filter(|key| key.from != key.to)
+        .filter(|key| {
+            registry
+                .interface_by_iid(key.iid)
+                .is_some_and(|desc| !desc.remotable)
+        })
+        .map(|key| {
+            if key.from <= key.to {
+                (key.from, key.to)
+            } else {
+                (key.to, key.from)
+            }
+        })
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    pairs
+        .into_iter()
+        .map(|(a, b)| Constraint::Colocate(a, b))
+        .collect()
+}
+
+/// Fast-fail guard shared by `coign check` and the pipeline: resolves the
+/// application's full constraint set and proves it satisfiable before any
+/// analysis runs. On failure the [`ComError::App`] detail carries the same
+/// rendered `COIGN0xx` diagnostics `coign check` prints.
+pub fn check_constraints(app: &dyn Application, profile: &IccProfile) -> ComResult<()> {
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let named = app.explicit_constraints();
+    let constraints = derive_constraints(app, profile);
+    let mut sink = crate::lint::DiagnosticSink::new();
+    crate::lint::check_constraint_stage(profile, rt.registry(), &named, &constraints, &mut sink);
+    if sink.has_errors() {
+        return Err(ComError::App(format!(
+            "location constraints rejected by static analysis\n{}",
+            sink.render_human()
+        )));
+    }
+    Ok(())
+}
+
 /// The analysis step: chooses the minimum-communication-time distribution
 /// for the given network using the lift-to-front algorithm.
+///
+/// The constraint set is vetted by [`check_constraints`] first, so an
+/// unsatisfiable or unresolvable set fails fast with a diagnostic report —
+/// the min-cut solver is never invoked on a contradiction.
 pub fn choose_distribution(
     app: &dyn Application,
     profile: &IccProfile,
     network: &NetworkProfile,
 ) -> ComResult<Distribution> {
+    check_constraints(app, profile)?;
     let constraints = derive_constraints(app, profile);
     analyze(
         profile,

@@ -59,6 +59,23 @@ impl PType {
             _ => true,
         }
     }
+
+    /// Appends every interface IID referenced by this type (recursing
+    /// through arrays and structs) to `out`. Static analysis uses this to
+    /// find interface-pointer parameters whose target interface is never
+    /// declared by any registered class.
+    pub fn collect_interface_iids(&self, out: &mut Vec<Iid>) {
+        match self {
+            PType::Interface(iid) => out.push(*iid),
+            PType::Array(elem) => elem.collect_interface_iids(out),
+            PType::Struct(fields) => {
+                for field in fields {
+                    field.collect_interface_iids(out);
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// A dynamically typed value carried in a [`crate::interface::Message`].

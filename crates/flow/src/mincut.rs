@@ -8,6 +8,22 @@
 
 use crate::graph::{FlowNetwork, NodeId};
 use crate::{dinic, edmonds_karp, push_relabel};
+use std::cell::Cell;
+
+thread_local! {
+    /// Count of [`min_cut`] calls on this thread; see [`min_cut_invocations`].
+    static MIN_CUT_INVOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of times [`min_cut`] has run on the current thread.
+///
+/// Callers that reject infeasible inputs *before* cutting (Coign's
+/// constraint-satisfiability pre-check) use this counter in tests to prove
+/// the solver was never reached. Thread-local so concurrently running tests
+/// cannot disturb each other's counts.
+pub fn min_cut_invocations() -> u64 {
+    MIN_CUT_INVOCATIONS.with(Cell::get)
+}
 
 /// Selects which maximum-flow algorithm drives the cut.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,6 +85,7 @@ pub fn min_cut(
     t: NodeId,
     algorithm: MaxFlowAlgorithm,
 ) -> CutResult {
+    MIN_CUT_INVOCATIONS.with(|n| n.set(n.get() + 1));
     let cut_value = algorithm.run(g, s, t);
     let source_side = g.residual_reachable(s);
     debug_assert!(source_side[s]);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo-local CI gate: formatting, lints, release build, and the full test
+# suite (tier-1 is the root-package subset of `cargo test`). Run from
+# anywhere; everything executes at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "CI OK"

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use. Instead of
+//! criterion's statistical analysis, each benchmark runs its routine for a
+//! small fixed number of iterations and prints the mean wall-clock time —
+//! enough to compare orders of magnitude and to keep `--benches` compiling
+//! and runnable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of the standard black box, as criterion provides.
+pub use std::hint::black_box;
+
+/// Iterations per benchmark routine (criterion samples adaptively; this
+/// stand-in uses a small fixed count to keep `cargo bench` quick).
+const ITERATIONS: u32 = 10;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: impl Display, routine: impl FnMut(&mut Bencher)) {
+        run_named(&name.to_string(), routine);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for criterion compatibility; the fixed-iteration stand-in
+    /// has no adaptive sampling to configure.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Display, routine: impl FnMut(&mut Bencher)) {
+        run_named(&format!("{}/{name}", self.name), routine);
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_named(&format!("{}/{id}", self.name), |b| routine(b, input));
+    }
+
+    /// Ends the group (no-op; present for criterion compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a parameterized benchmark: function name plus parameter.
+#[derive(Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an identifier from a parameter value alone; the benchmark
+    /// group supplies the function name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timer handle passed to benchmark routines.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iterations = ITERATIONS;
+    }
+}
+
+fn run_named(name: &str, mut routine: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    routine(&mut bencher);
+    if bencher.iterations > 0 {
+        let mean_ns = bencher.elapsed_ns / u128::from(bencher.iterations);
+        println!("bench {name:<48} {mean_ns:>12} ns/iter");
+    } else {
+        println!("bench {name:<48} (no measurement)");
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter(|| ran += u64::from(n))
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

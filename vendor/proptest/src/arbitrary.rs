@@ -1,0 +1,81 @@
+//! The [`Arbitrary`] trait: primitive types [`crate::any`] can generate.
+
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "any value" generator.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Arbitrary bit patterns: covers subnormals, infinities, and NaNs,
+        // like real proptest's `any::<f64>()` edge-case generation.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text codec-friendly.
+        char::from(32 + (rng.next_u64() % 95) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_generate() {
+        let mut rng = TestRng::deterministic("arbitrary::tests", 0);
+        let _: u128 = Arbitrary::arbitrary(&mut rng);
+        let _: i64 = Arbitrary::arbitrary(&mut rng);
+        let _: f64 = Arbitrary::arbitrary(&mut rng);
+        let c: char = Arbitrary::arbitrary(&mut rng);
+        assert!(c.is_ascii());
+        // Booleans take both values eventually.
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(bool::arbitrary(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the `proptest` API its property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] combinators (`prop_map`,
+//! `prop_filter`, `prop_recursive`, [`prop_oneof!`], [`strategy::Just`]),
+//! [`arbitrary::Arbitrary`] primitives via [`any`], integer-range and
+//! regex-subset string strategies, and [`collection::vec`].
+//!
+//! Unlike real proptest this implementation only *samples* deterministically
+//! seeded random cases — there is no shrinking and no failure persistence.
+//! Each test function draws its cases from a generator seeded by the test's
+//! module path and name, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+use std::marker::PhantomData;
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Strategy producing arbitrary values of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns a strategy generating arbitrary values of `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Defines property tests: each `fn` body runs for `Config::cases`
+/// deterministically sampled assignments of its `pattern in strategy`
+/// arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg_pat:pat in $arg_strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg_pat =
+                    $crate::strategy::Strategy::sample(&($arg_strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Skips the current sampled case when its precondition does not hold.
+///
+/// Expands inside the [`proptest!`]-generated case loop, so rejection moves
+/// straight to the next case (real proptest additionally re-draws; with
+/// deterministic sampling a skip is equivalent).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Asserts a property holds for the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($arg:tt)+) => { assert!($cond, $($arg)+) };
+}
+
+/// Asserts two expressions are equal for the sampled case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { assert_eq!($left, $right, $($arg)+) };
+}
+
+/// Asserts two expressions are unequal for the sampled case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($arg:tt)+) => { assert_ne!($left, $right, $($arg)+) };
+}
+
+/// Strategy choosing uniformly between the given strategies (all must
+/// produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,182 @@
+//! Regex-subset string generation.
+//!
+//! Real proptest treats `&str` strategies as full regexes. This stand-in
+//! supports the subset its property tests actually use: literal characters,
+//! `\`-escapes, character classes with ranges (`[a-z0-9_]`), the `.`
+//! wildcard (printable ASCII), and the `{m,n}` / `{m}` / `*` / `+` / `?`
+//! quantifiers. Unsupported syntax panics so a silently wrong generator
+//! never masquerades as a regex.
+
+use crate::test_runner::TestRng;
+
+/// One generatable unit of the pattern.
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// A character class: any of the listed characters.
+    Class(Vec<char>),
+    /// `.` — any printable ASCII character.
+    Any,
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(options) => options[rng.index(options.len())],
+            Atom::Any => char::from(32 + (rng.next_u64() % 95) as u8),
+        }
+    }
+}
+
+/// An atom with its repetition bounds.
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => Atom::Literal(chars.next().expect("dangling escape in pattern")),
+            '.' => Atom::Any,
+            '[' => {
+                let mut options = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().expect("unterminated character class");
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let start = prev.take().expect("range without start");
+                            let end = chars.next().expect("range without end");
+                            assert!(start <= end, "reversed range in character class");
+                            // `start` is already in `options`; add the rest.
+                            options.extend((start..=end).skip(1));
+                        }
+                        c => {
+                            options.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!options.is_empty(), "empty character class");
+                Atom::Class(options)
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex feature {c:?} is not supported by the offline proptest stub")
+            }
+            c => Atom::Literal(c),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition lower bound"),
+                        hi.parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "reversed repetition bounds");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Samples one string matching the pattern subset described in the module
+/// docs.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.index(piece.max - piece.min + 1)
+        };
+        for _ in 0..count {
+            out.push(piece.atom.generate(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string::tests", 0)
+    }
+
+    #[test]
+    fn literal_with_escape() {
+        assert_eq!(sample_regex("abc\\.exe", &mut rng()), "abc.exe");
+    }
+
+    #[test]
+    fn class_and_repetition() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = sample_regex("[a-z0-9_]{1,16}\\.dll", &mut rng);
+            let stem = s.strip_suffix(".dll").expect("suffix");
+            assert!((1..=16).contains(&stem.len()));
+            assert!(stem
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = sample_regex(".{0,64}", &mut rng);
+            assert!(s.len() <= 64);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn star_plus_question() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = sample_regex("a*b+c?", &mut rng);
+            assert!(s.contains('b'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn groups_are_rejected() {
+        sample_regex("(ab)+", &mut rng());
+    }
+}
