@@ -31,11 +31,12 @@ use coign::config::RuntimeMode;
 use coign::report;
 use coign::rewriter;
 use coign::runtime::{
-    check_constraints, choose_distribution, derive_constraints, profile_scenario, run_distributed,
+    check_constraints, choose_distribution, derive_constraints, profile_scenario,
+    run_distributed_faulty,
 };
 use coign_apps::scenarios::app_by_name;
 use coign_com::{AppImage, ComError, ComResult, ComRuntime, MachineId};
-use coign_dcom::{NetworkModel, NetworkProfile};
+use coign_dcom::{CallPolicy, FaultPlan, NetworkModel, NetworkProfile};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -174,8 +175,29 @@ pub fn cmd_analyze(path: &Path, network_name: &str) -> ComResult<String> {
     ))
 }
 
-/// `coign run <image> <scenario>` — executes a realized image distributed.
-pub fn cmd_run(path: &Path, scenario: &str, network_name: &str) -> ComResult<String> {
+/// Fault-injection options of `coign run` (`--fault-plan`, `--fault-seed`,
+/// `--summary`).
+#[derive(Debug, Clone, Default)]
+pub struct RunFaults {
+    /// Path to a textual fault plan (see [`FaultPlan::parse`]); `None`
+    /// leaves the wire perfect.
+    pub plan_path: Option<std::path::PathBuf>,
+    /// Seed for the fault RNG, independent of the transport jitter seed.
+    pub fault_seed: u64,
+    /// Emit the full machine-diffable report instead of the one-line
+    /// human summary.
+    pub summary: bool,
+}
+
+/// `coign run <image> <scenario> [network] [--fault-plan FILE]
+/// [--fault-seed N] [--summary]` — executes a realized image distributed,
+/// optionally over a faulty wire.
+pub fn cmd_run(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    faults: &RunFaults,
+) -> ComResult<String> {
     let image = load(path)?;
     let record = rewriter::read_config(&image)?;
     if record.mode != RuntimeMode::Distributed {
@@ -193,15 +215,29 @@ pub fn cmd_run(path: &Path, scenario: &str, network_name: &str) -> ComResult<Str
     check_constraints(app.as_ref(), &record.profile)?;
     let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
     let network = network_by_name(network_name)?;
-    let report = run_distributed(
+    let plan = match &faults.plan_path {
+        None => FaultPlan::none(),
+        Some(plan_path) => {
+            let text = std::fs::read_to_string(plan_path)
+                .map_err(|e| ComError::App(format!("cannot read {}: {e}", plan_path.display())))?;
+            FaultPlan::parse(&text)?
+        }
+    };
+    let report = run_distributed_faulty(
         app.as_ref(),
         scenario,
         &classifier,
         &distribution,
         network,
         SEED,
+        plan,
+        CallPolicy::default(),
+        faults.fault_seed,
     )?;
-    Ok(format!(
+    if faults.summary {
+        return Ok(format!("scenario={scenario}\n{}", report.summary()));
+    }
+    let mut out = format!(
         "ran {scenario} distributed: {} instance(s) on the server of {}, \
          {:.3} s communication, {:.3} s total, {} cross-machine call(s)",
         report.server_instances(),
@@ -209,7 +245,20 @@ pub fn cmd_run(path: &Path, scenario: &str, network_name: &str) -> ComResult<Str
         report.comm_secs(),
         report.exec_secs(),
         report.stats.cross_machine_calls,
-    ))
+    );
+    if !report.faults.is_clean() {
+        out.push_str(&format!(
+            "\nfaults: {} drop(s), {} timeout(s), {} retry(s), {} failed call(s), \
+             {} local fallback(s), {:.3} s wasted",
+            report.faults.drops,
+            report.faults.timeouts,
+            report.faults.retries,
+            report.faults.failed_calls,
+            report.faults.fallbacks,
+            report.faults.wasted_us as f64 / 1e6,
+        ));
+    }
+    Ok(out)
 }
 
 /// `coign show <image>` — prints the configuration record.
@@ -428,8 +477,10 @@ mod tests {
         let msg = cmd_show(&path).unwrap();
         assert!(msg.contains("distributed"));
 
-        let msg = cmd_run(&path, "o_oldtb3", "ethernet").unwrap();
+        let msg = cmd_run(&path, "o_oldtb3", "ethernet", &RunFaults::default()).unwrap();
         assert!(msg.contains("cross-machine"));
+        // A clean wire prints no fault line.
+        assert!(!msg.contains("faults:"));
 
         let msg = cmd_hotspots(&path, 5).unwrap();
         assert!(msg.contains("hot spots"));
@@ -466,7 +517,7 @@ mod tests {
         let path = temp_image("norun");
         cmd_instrument("octarine", &path).unwrap();
         cmd_profile(&path, "o_newdoc").unwrap();
-        let err = cmd_run(&path, "o_newdoc", "ethernet").unwrap_err();
+        let err = cmd_run(&path, "o_newdoc", "ethernet", &RunFaults::default()).unwrap_err();
         assert!(err.to_string().contains("not realized"));
         std::fs::remove_file(&path).ok();
     }
@@ -507,6 +558,63 @@ mod tests {
         for p in [img, script, dot_path, pd] {
             std::fs::remove_file(&p).ok();
         }
+    }
+
+    #[test]
+    fn fault_injected_run_reports_counters_and_reproduces() {
+        let path = temp_image("faultrun");
+        cmd_instrument("octarine", &path).unwrap();
+        cmd_profile(&path, "o_oldtb3").unwrap();
+        cmd_analyze(&path, "ethernet").unwrap();
+
+        let plan_path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("coign_plan_{}.fplan", std::process::id()));
+            std::fs::write(&p, "loss 0.05\n").unwrap();
+            p
+        };
+        let faults = RunFaults {
+            plan_path: Some(plan_path.clone()),
+            fault_seed: 7,
+            summary: false,
+        };
+        let msg = cmd_run(&path, "o_oldtb3", "ethernet", &faults).unwrap();
+        assert!(
+            msg.contains("faults:"),
+            "lossy run must report faults: {msg}"
+        );
+        assert!(msg.contains("retry"));
+
+        // Same fault seed ⇒ byte-identical machine summary, twice in a row.
+        let summary_opts = RunFaults {
+            summary: true,
+            ..faults.clone()
+        };
+        let a = cmd_run(&path, "o_oldtb3", "ethernet", &summary_opts).unwrap();
+        let b = cmd_run(&path, "o_oldtb3", "ethernet", &summary_opts).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("fault_drops="));
+
+        // A different fault seed perturbs the wire differently.
+        let other = cmd_run(
+            &path,
+            "o_oldtb3",
+            "ethernet",
+            &RunFaults {
+                fault_seed: 8,
+                ..summary_opts
+            },
+        )
+        .unwrap();
+        assert_ne!(a, other);
+
+        // A malformed plan is rejected with its line number.
+        std::fs::write(&plan_path, "explode 1\n").unwrap();
+        let err = cmd_run(&path, "o_oldtb3", "ethernet", &faults).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plan_path).ok();
     }
 
     #[test]

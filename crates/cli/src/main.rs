@@ -2,9 +2,9 @@
 
 use coign_cli::{
     cmd_analyze, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile, cmd_run,
-    cmd_script, cmd_show, cmd_strip,
+    cmd_script, cmd_show, cmd_strip, RunFaults,
 };
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -16,12 +16,47 @@ USAGE:
   coign profile    <image> <scenario>   run a profiling scenario, accumulate the log
   coign analyze    <image> [network]    choose & realize a distribution (ethernet|isdn|atm|san)
   coign run        <image> <scenario> [network]   execute distributed
+        [--fault-plan FILE]             inject faults per FILE (loss/spike/partition/down lines)
+        [--fault-seed N]                seed the fault schedule (default 0)
+        [--summary]                     print the machine-diffable run report
   coign show       <image>              inspect the configuration record
   coign hotspots   <image> [top]        communication hot spots & caching candidates
   coign script     <image> <script>     profile a scripted scenario (octarine)
   coign dot        <image> <out.dot>    export the ICC graph in Graphviz form
   coign strip      <image>              restore the original binary
 ";
+
+/// Parses `coign run`'s trailing arguments: an optional positional network
+/// name followed by the fault flags in any order.
+fn parse_run_args(rest: &[String]) -> Result<(String, RunFaults), String> {
+    let mut network = None;
+    let mut faults = RunFaults::default();
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--fault-plan" => {
+                let value = it.next().ok_or("--fault-plan needs a file argument")?;
+                faults.plan_path = Some(PathBuf::from(value));
+            }
+            "--fault-seed" => {
+                let value = it.next().ok_or("--fault-seed needs a number argument")?;
+                faults.fault_seed = value
+                    .parse()
+                    .map_err(|_| format!("bad fault seed `{value}`"))?;
+            }
+            "--summary" => faults.summary = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `coign run`"));
+            }
+            positional => {
+                if network.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected argument `{positional}`"));
+                }
+            }
+        }
+    }
+    Ok((network.unwrap_or_else(|| "ethernet".to_string()), faults))
+}
 
 fn dispatch(args: &[String]) -> Result<String, String> {
     let arg = |i: usize| -> Result<&str, String> {
@@ -33,7 +68,10 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "instrument" => cmd_instrument(arg(1)?, Path::new(arg(2)?)),
         "profile" => cmd_profile(Path::new(arg(1)?), arg(2)?),
         "analyze" => cmd_analyze(Path::new(arg(1)?), arg(2).unwrap_or("ethernet")),
-        "run" => cmd_run(Path::new(arg(1)?), arg(2)?, arg(3).unwrap_or("ethernet")),
+        "run" => {
+            let (network, faults) = parse_run_args(&args[3.min(args.len())..])?;
+            cmd_run(Path::new(arg(1)?), arg(2)?, &network, &faults)
+        }
         "show" => cmd_show(Path::new(arg(1)?)),
         "hotspots" => {
             let top = arg(2).ok().and_then(|s| s.parse().ok()).unwrap_or(10);

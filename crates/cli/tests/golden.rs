@@ -1,0 +1,51 @@
+//! Golden-output tests: the rendered diagnostics of `coign check` are an
+//! interface (CI and editors parse the JSON), so their exact shape is
+//! pinned against committed expectations. If a change to diagnostic codes
+//! or renderers is intentional, regenerate the golden file with
+//!
+//! ```text
+//! cargo run -p coign-cli --bin coign -- check examples/octarine.cimg --json \
+//!     > crates/cli/tests/golden/octarine_check.json
+//! ```
+
+use coign_cli::cmd_check;
+use std::path::{Path, PathBuf};
+
+fn example_image() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/octarine.cimg")
+        .canonicalize()
+        .expect("examples/octarine.cimg exists")
+}
+
+#[test]
+fn check_json_output_matches_golden_file() {
+    let report = cmd_check(&example_image(), true).expect("check passes on the example image");
+    let golden = include_str!("golden/octarine_check.json");
+    assert_eq!(
+        report.trim_end(),
+        golden.trim_end(),
+        "`coign check --json` drifted from the committed golden output; \
+         if the change is intentional, regenerate the golden file (see module docs)"
+    );
+}
+
+#[test]
+fn check_json_golden_is_wellformed() {
+    // Guard the golden file itself: it must stay one JSON object with the
+    // summary counters first, so downstream `head -c`/jq pipelines keep
+    // working.
+    let golden = include_str!("golden/octarine_check.json");
+    let trimmed = golden.trim_end();
+    assert!(trimmed.starts_with("{\"errors\":"));
+    assert!(trimmed.ends_with("]}"));
+    assert_eq!(trimmed.matches("\"code\":").count(), 2);
+}
+
+#[test]
+fn check_human_output_is_stable_in_shape() {
+    let report = cmd_check(&example_image(), false).unwrap();
+    assert!(report.contains("COIGN010"));
+    assert!(report.contains("COIGN012"));
+    assert!(report.contains("0 error(s)"));
+}

@@ -19,6 +19,7 @@ use crate::classifier::ClassificationId;
 use crate::profile::IccProfile;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Message-count distribution over classification pairs (order-normalized).
 type PairCounts = HashMap<(ClassificationId, ClassificationId), u64>;
@@ -60,6 +61,9 @@ pub struct DriftMonitor {
     baseline: PairCounts,
     baseline_total: u64,
     observed: Mutex<PairCounts>,
+    /// Latch for [`DriftMonitor::poll_reprofile`]: a threshold crossing
+    /// fires the re-profiling signal once, not on every subsequent call.
+    tripped: AtomicBool,
 }
 
 impl DriftMonitor {
@@ -74,6 +78,7 @@ impl DriftMonitor {
             baseline,
             baseline_total,
             observed: Mutex::new(HashMap::new()),
+            tripped: AtomicBool::new(false),
         }
     }
 
@@ -89,9 +94,11 @@ impl DriftMonitor {
         self.observed.lock().values().sum()
     }
 
-    /// Resets the observation window (e.g. per execution).
+    /// Resets the observation window (e.g. per execution) and re-arms the
+    /// [`DriftMonitor::poll_reprofile`] latch.
     pub fn reset(&self) {
         self.observed.lock().clear();
+        self.tripped.store(false, Ordering::SeqCst);
     }
 
     /// Drift between the observed and profiled message distributions:
@@ -125,6 +132,17 @@ impl DriftMonitor {
     /// the signal to silently re-enable profiling.
     pub fn should_reprofile(&self, threshold: f64) -> bool {
         self.drift() > threshold
+    }
+
+    /// Latched threshold check: returns `true` exactly once when drift
+    /// first exceeds `threshold`, then `false` until [`DriftMonitor::reset`]
+    /// re-arms the latch — so the "silently enable profiling" transition
+    /// fires a single re-profiling pass, not one per subsequent call.
+    pub fn poll_reprofile(&self, threshold: f64) -> bool {
+        if !self.should_reprofile(threshold) {
+            return false;
+        }
+        !self.tripped.swap(true, Ordering::SeqCst)
     }
 }
 
@@ -205,6 +223,38 @@ mod tests {
         assert!(monitor.observed_messages() > 0);
         monitor.reset();
         assert_eq!(monitor.observed_messages(), 0);
+    }
+
+    #[test]
+    fn workload_shift_trips_detection_exactly_once() {
+        let monitor = DriftMonitor::from_profile(&baseline_profile());
+        // Usage matching the profile: the latch never fires.
+        for _ in 0..15 {
+            monitor.record_call(c(1), c(2));
+        }
+        for _ in 0..5 {
+            monitor.record_call(c(2), c(3));
+        }
+        assert!(!monitor.poll_reprofile(0.25));
+        // A synthetic workload shift: traffic floods an unprofiled pair.
+        for _ in 0..200 {
+            monitor.record_call(c(7), c(8));
+        }
+        let fired: Vec<bool> = (0..10).map(|_| monitor.poll_reprofile(0.25)).collect();
+        assert!(fired[0], "first poll after the shift must fire");
+        assert_eq!(
+            fired.iter().filter(|&&b| b).count(),
+            1,
+            "the latch must fire exactly once"
+        );
+        // The un-latched query still reports the drifted state.
+        assert!(monitor.should_reprofile(0.25));
+        // Reset re-arms the latch for the next observation window.
+        monitor.reset();
+        for _ in 0..20 {
+            monitor.record_call(c(7), c(8));
+        }
+        assert!(monitor.poll_reprofile(0.25));
     }
 
     #[test]

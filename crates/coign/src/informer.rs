@@ -232,16 +232,23 @@ impl Invoker for DistributionInvoker {
                 ),
             });
         }
+        // Fault layer: a dead target or an unhealed partition fails the
+        // call before it ever reaches the stub (retries and timeouts are
+        // charged inside the transport). Drift counting above already
+        // happened exactly once — transport retries are re-sends of the
+        // same logical message, not new calls in the distribution.
+        self.transport
+            .preflight(rt, caller_machine, callee_machine)?;
         let req_bytes = message_request_size(method_desc, msg)?;
         let result = self.inner.call(rt, call.method, msg);
         let reply_bytes = message_reply_size(method_desc, msg)?;
-        self.transport.charge_sized_call_on(
+        self.transport.charge_sized_call_checked(
             rt,
             caller_machine,
             callee_machine,
             req_bytes,
             reply_bytes,
-        );
+        )?;
         result
     }
 }
@@ -395,6 +402,58 @@ mod tests {
         let mut msg = Message::new(vec![Value::Opaque(1)]);
         let err = ptr.call(&rt, 0, &mut msg).unwrap_err();
         assert!(matches!(err, ComError::NotRemotable { .. }));
+    }
+
+    #[test]
+    fn fault_retries_do_not_inflate_drift_counts() {
+        use crate::drift::DriftMonitor;
+        use crate::profile::IccProfile;
+        use coign_dcom::{CallPolicy, FaultPlan, TimeWindow};
+
+        let rt = ComRuntime::client_server();
+        let (clsid, iid) = echo_setup(&rt);
+        // Partition heals at 30 ms: with a 10 ms timeout and 10 ms backoff
+        // the call takes 2 retries before the wire delivers it.
+        let plan = FaultPlan::none().with_partition(
+            MachineId::CLIENT,
+            MachineId::SERVER,
+            TimeWindow::new(0, 30_000),
+        );
+        let policy = CallPolicy {
+            timeout_us: 10_000,
+            max_retries: 3,
+            backoff_base_us: 10_000,
+            backoff_multiplier: 2.0,
+            backoff_jitter: 0.0,
+        };
+        let transport = Arc::new(coign_dcom::Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            policy,
+            42,
+        ));
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let monitor = Arc::new(DriftMonitor::from_profile(&IccProfile::new()));
+        let raw = rt
+            .create_direct(clsid, iid, Some(MachineId::SERVER))
+            .unwrap();
+        classifier.classify_instance(&rt, raw.owner(), clsid);
+        let ptr = DistributionInvoker::wrap_with_drift(
+            raw,
+            transport.clone(),
+            Arc::new(OverheadMeter::new()),
+            Some((classifier, monitor.clone())),
+        );
+
+        let mut msg = Message::new(vec![Value::Blob(1_000), Value::Null]);
+        ptr.call(&rt, 0, &mut msg).unwrap();
+
+        // The wire needed retries...
+        assert_eq!(transport.fault_stats().retries, 2);
+        // ...but the drift distribution saw exactly one logical call
+        // (two messages): retries are re-sends, not new messages.
+        assert_eq!(monitor.observed_messages(), 2);
     }
 
     #[test]

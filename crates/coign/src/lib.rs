@@ -60,4 +60,7 @@ pub use analysis::{analyze, Distribution};
 pub use application::Application;
 pub use classifier::{ClassificationId, ClassifierKind, Descriptor, InstanceClassifier};
 pub use profile::IccProfile;
-pub use rte::CoignRte;
+pub use rte::{CoignRte, FallbackEvent};
+pub use runtime::{
+    run_default, run_distributed, run_distributed_faulty, run_raw, FaultReport, RunReport,
+};

@@ -39,6 +39,20 @@ enum RteMode {
     },
 }
 
+/// One graceful-degradation event: a remote instantiation whose target
+/// machine was down, re-routed to the requesting machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallbackEvent {
+    /// The component class that was being instantiated.
+    pub clsid: Clsid,
+    /// Where the placement wanted the instance.
+    pub intended: coign_com::MachineId,
+    /// Where the instance actually went (the requesting machine).
+    pub actual: coign_com::MachineId,
+    /// Simulated time of the decision, microseconds.
+    pub at_us: u64,
+}
+
 /// The Coign Runtime Executive.
 pub struct CoignRte {
     mode: RteMode,
@@ -47,6 +61,8 @@ pub struct CoignRte {
     overhead: Arc<OverheadMeter>,
     /// Binaries observed in the address space (RTE address-space tracking).
     images: Mutex<Vec<String>>,
+    /// Instantiations re-routed because the target machine was down.
+    fallbacks: Mutex<Vec<FallbackEvent>>,
 }
 
 impl CoignRte {
@@ -58,6 +74,7 @@ impl CoignRte {
             logger,
             overhead: Arc::new(OverheadMeter::new()),
             images: Mutex::new(Vec::new()),
+            fallbacks: Mutex::new(Vec::new()),
         }
     }
 
@@ -90,6 +107,7 @@ impl CoignRte {
             logger,
             overhead: Arc::new(OverheadMeter::new()),
             images: Mutex::new(Vec::new()),
+            fallbacks: Mutex::new(Vec::new()),
         }
     }
 
@@ -122,6 +140,17 @@ impl CoignRte {
     pub fn is_distributed(&self) -> bool {
         matches!(self.mode, RteMode::Distributed { .. })
     }
+
+    /// Instantiations re-routed to the requesting machine because their
+    /// placement target was down.
+    pub fn fallbacks(&self) -> Vec<FallbackEvent> {
+        self.fallbacks.lock().clone()
+    }
+
+    /// Number of placement fallbacks taken so far.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.lock().len() as u64
+    }
 }
 
 impl RuntimeHook for CoignRte {
@@ -132,11 +161,27 @@ impl RuntimeHook for CoignRte {
     ) -> Option<ComResult<InterfacePtr>> {
         match &self.mode {
             RteMode::Profiling => None,
-            RteMode::Distributed { factory, .. } => {
+            RteMode::Distributed {
+                factory, transport, ..
+            } => {
                 // Classify the about-to-be-instantiated component from the
                 // current call stack, then let the factory route it.
                 let class = self.classifier.classify_pending(rt, req.clsid);
-                let machine = factory.place(class, req.clsid, rt.current_machine());
+                let mut machine = factory.place(class, req.clsid, rt.current_machine());
+                // Graceful degradation: a placement targeting a dead
+                // machine falls back to local instantiation rather than
+                // failing the application.
+                let here = rt.current_machine();
+                let now = rt.clock().now_us();
+                if machine != here && transport.fault_plan().machine_down(machine, now) {
+                    self.fallbacks.lock().push(FallbackEvent {
+                        clsid: req.clsid,
+                        intended: machine,
+                        actual: here,
+                        at_us: now,
+                    });
+                    machine = here;
+                }
                 Some(rt.create_direct(req.clsid, req.iid, Some(machine)))
             }
         }
@@ -330,6 +375,68 @@ mod tests {
         assert!(stats.comm_us > 0);
         assert_eq!(stats.cross_machine_calls, 1);
         assert!(rte2.is_distributed());
+    }
+
+    #[test]
+    fn dead_target_machine_falls_back_to_local_instantiation() {
+        use coign_dcom::{CallPolicy, FaultPlan, TimeWindow};
+
+        // Learn classifications with a profiling pass.
+        let rt = ComRuntime::client_server();
+        let (viewer_clsid, viewer_iid) = register_app(&rt);
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let logger = Arc::new(ProfilingLogger::new());
+        rt.add_hook(Arc::new(CoignRte::profiling(classifier.clone(), logger)));
+        let viewer = rt.create_instance(viewer_clsid, viewer_iid).unwrap();
+        viewer.call(&rt, 0, &mut Message::outputs(1)).unwrap();
+        let viewer_class = classifier.classification_of(viewer.owner()).unwrap();
+        let reader_class = *classifier
+            .bindings()
+            .values()
+            .find(|&&c| c != viewer_class)
+            .expect("reader classified");
+
+        // Distributed run wanting the reader on a server that is dead.
+        let rt2 = ComRuntime::client_server();
+        register_app(&rt2);
+        let mut placement = HashMap::new();
+        placement.insert(viewer_class, MachineId::CLIENT);
+        placement.insert(reader_class, MachineId::SERVER);
+        classifier.begin_execution();
+        let factory = ComponentFactory::new(placement, MachineId::CLIENT, 2);
+        let plan = FaultPlan::none().with_machine_down(MachineId::SERVER, TimeWindow::ALWAYS);
+        let transport = Arc::new(Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            7,
+            plan,
+            CallPolicy::default(),
+            1,
+        ));
+        let rte2 = Arc::new(CoignRte::distributed(
+            classifier.clone(),
+            Arc::new(crate::logger::NullLogger),
+            factory,
+            transport,
+        ));
+        rt2.add_hook(rte2.clone());
+
+        let viewer2 = rt2.create_instance(viewer_clsid, viewer_iid).unwrap();
+        let mut msg = Message::outputs(1);
+        // The run completes despite the dead server...
+        viewer2.call(&rt2, 0, &mut msg).unwrap();
+        // ...because the reader was placed locally instead.
+        let reader_inst = rt2
+            .instances_snapshot()
+            .into_iter()
+            .find(|i| i.clsid == Clsid::from_name("Reader"))
+            .unwrap();
+        assert_eq!(reader_inst.machine(), MachineId::CLIENT);
+        assert_eq!(rte2.fallback_count(), 1);
+        let event = rte2.fallbacks()[0];
+        assert_eq!(event.intended, MachineId::SERVER);
+        assert_eq!(event.actual, MachineId::CLIENT);
+        // Nothing crossed the wire.
+        assert_eq!(rt2.stats().cross_machine_calls, 0);
     }
 
     #[test]

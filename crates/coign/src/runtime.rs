@@ -28,13 +28,53 @@ use coign_com::{
     ClassRegistry, Clsid, ComError, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr,
     MachineId, RtStats, RuntimeHook,
 };
-use coign_dcom::{NetworkModel, NetworkProfile, Transport};
+use coign_dcom::{CallPolicy, FaultPlan, FaultStats, NetworkModel, NetworkProfile, Transport};
 use coign_flow::MaxFlowAlgorithm;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// What the fault layer did during one execution: the transport's counters
+/// plus the runtime's graceful-degradation events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Messages lost in flight.
+    pub drops: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Re-send attempts made after a timeout.
+    pub retries: u64,
+    /// Calls that failed after exhausting the retry policy.
+    pub failed_calls: u64,
+    /// Calls refused because the target machine was down.
+    pub machine_down_errors: u64,
+    /// Clock time burned on timeouts and backoff waits, microseconds.
+    pub wasted_us: u64,
+    /// Instantiations re-routed to the requesting machine because their
+    /// placement target was down.
+    pub fallbacks: u64,
+}
+
+impl FaultReport {
+    fn from_parts(stats: FaultStats, fallbacks: u64) -> Self {
+        FaultReport {
+            drops: stats.drops,
+            timeouts: stats.timeouts,
+            retries: stats.retries,
+            failed_calls: stats.failed_calls,
+            machine_down_errors: stats.machine_down_errors,
+            wasted_us: stats.wasted_us,
+            fallbacks,
+        }
+    }
+
+    /// True when the fault layer never perturbed the run.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultReport::default()
+    }
+}
+
 /// Measurements from one scenario execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Runtime statistics (compute, communication, messages, bytes).
     pub stats: RtStats,
@@ -46,6 +86,8 @@ pub struct RunReport {
     pub instances_per_machine: Vec<usize>,
     /// Per-instance `(class, machine)` placement at scenario end.
     pub instance_placements: Vec<(Clsid, MachineId)>,
+    /// Fault-injection counters (all zero when no fault layer was active).
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -70,6 +112,54 @@ impl RunReport {
     /// Execution time in seconds (Table 5's unit).
     pub fn exec_secs(&self) -> f64 {
         self.clock_us as f64 / 1e6
+    }
+
+    /// Renders the report as a deterministic key=value block, one field
+    /// per line — the format CI diffs against committed expectations, so
+    /// two runs with the same seeds must produce byte-identical text.
+    pub fn summary(&self) -> String {
+        let mut placements: Vec<String> = self
+            .instance_placements
+            .iter()
+            .map(|(clsid, machine)| format!("{clsid}@{machine}"))
+            .collect();
+        placements.sort();
+        format!(
+            "compute_us={}\n\
+             comm_us={}\n\
+             messages={}\n\
+             bytes={}\n\
+             calls={}\n\
+             cross_machine_calls={}\n\
+             clock_us={}\n\
+             overhead_us={}\n\
+             instances_per_machine={:?}\n\
+             placements=[{}]\n\
+             fault_drops={}\n\
+             fault_timeouts={}\n\
+             fault_retries={}\n\
+             fault_failed_calls={}\n\
+             fault_machine_down_errors={}\n\
+             fault_wasted_us={}\n\
+             fault_fallbacks={}\n",
+            self.stats.compute_us,
+            self.stats.comm_us,
+            self.stats.messages,
+            self.stats.bytes,
+            self.stats.calls,
+            self.stats.cross_machine_calls,
+            self.clock_us,
+            self.overhead_us,
+            self.instances_per_machine,
+            placements.join(", "),
+            self.faults.drops,
+            self.faults.timeouts,
+            self.faults.retries,
+            self.faults.failed_calls,
+            self.faults.machine_down_errors,
+            self.faults.wasted_us,
+            self.faults.fallbacks,
+        )
     }
 }
 
@@ -150,6 +240,7 @@ pub fn profile_scenario(
             overhead_us: rte.overhead_us(),
             instances_per_machine: count_per_machine(&rt),
             instance_placements: placements(&rt),
+            faults: FaultReport::default(),
         },
     })
 }
@@ -310,7 +401,7 @@ pub fn run_distributed_monitored(
         classifier.clone(),
         Arc::new(crate::logger::NullLogger),
         factory,
-        transport,
+        transport.clone(),
         Some(monitor.clone()),
     ));
     rt.add_hook(rte.clone());
@@ -323,6 +414,7 @@ pub fn run_distributed_monitored(
         overhead_us: rte.overhead_us(),
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
+        faults: FaultReport::from_parts(transport.fault_stats(), rte.fallback_count()),
     };
     Ok((report, monitor))
 }
@@ -338,6 +430,55 @@ pub fn run_distributed_on(
     network: NetworkModel,
     seed: u64,
 ) -> ComResult<RunReport> {
+    run_distributed_with_transport(
+        app,
+        scenario,
+        classifier,
+        distribution,
+        rt,
+        Arc::new(Transport::new(network, seed)),
+    )
+}
+
+/// Executes a scenario under `distribution` on a client–server topology
+/// whose wire misbehaves per `plan`, retrying per `policy`. Fault decisions
+/// are seeded by `fault_seed` independently of the jitter `seed`, so:
+///
+/// * the same `(seed, fault_seed, plan)` triple reproduces the report
+///   byte-for-byte, and
+/// * an empty plan produces a report identical to [`run_distributed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_faulty(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    network: NetworkModel,
+    seed: u64,
+    plan: FaultPlan,
+    policy: CallPolicy,
+    fault_seed: u64,
+) -> ComResult<RunReport> {
+    run_distributed_with_transport(
+        app,
+        scenario,
+        classifier,
+        distribution,
+        ComRuntime::client_server(),
+        Arc::new(Transport::with_faults(
+            network, seed, plan, policy, fault_seed,
+        )),
+    )
+}
+
+fn run_distributed_with_transport(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    rt: ComRuntime,
+    transport: Arc<Transport>,
+) -> ComResult<RunReport> {
     app.register(&rt);
     classifier.begin_execution();
     let factory = ComponentFactory::with_class_pins(
@@ -346,12 +487,11 @@ pub fn run_distributed_on(
         MachineId::CLIENT,
         rt.machines().len(),
     );
-    let transport = Arc::new(Transport::new(network, seed));
     let rte = Arc::new(CoignRte::distributed(
         classifier.clone(),
         Arc::new(crate::logger::NullLogger),
         factory,
-        transport,
+        transport.clone(),
     ));
     rt.add_hook(rte.clone());
 
@@ -363,6 +503,7 @@ pub fn run_distributed_on(
         overhead_us: rte.overhead_us(),
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
+        faults: FaultReport::from_parts(transport.fault_stats(), rte.fallback_count()),
     })
 }
 
@@ -437,6 +578,7 @@ pub fn run_default(
         overhead_us: overhead.total_us(),
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
+        faults: FaultReport::default(),
     })
 }
 
@@ -452,6 +594,7 @@ pub fn run_raw(app: &dyn Application, scenario: &str) -> ComResult<RunReport> {
         overhead_us: 0,
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
+        faults: FaultReport::default(),
     })
 }
 

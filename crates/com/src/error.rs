@@ -1,6 +1,7 @@
 //! Error types for the simCOM substrate.
 
 use crate::guid::{Clsid, Iid};
+use crate::object::MachineId;
 use std::fmt;
 
 /// Result alias used throughout the simCOM substrate.
@@ -45,6 +46,23 @@ pub enum ComError {
     },
     /// The referenced component instance no longer exists.
     DeadInstance(u64),
+    /// A remote call exceeded its timeout budget on every attempt the call
+    /// policy allowed (`RPC_E_TIMEOUT`). The detail names the link and the
+    /// number of attempts made.
+    Timeout {
+        /// Human-readable description of the failing call path.
+        detail: String,
+    },
+    /// The network link between two machines is severed
+    /// (`RPC_E_DISCONNECTED`): every send in the partition window is lost.
+    Partitioned {
+        /// Machine the call originated from.
+        from: MachineId,
+        /// Machine the call could not reach.
+        to: MachineId,
+    },
+    /// The target machine has failed entirely (`RPC_E_SERVERDIED_DNE`).
+    MachineDown(MachineId),
     /// A configuration record or profile log failed to decode.
     Codec(String),
     /// Application-defined failure surfaced through an interface call.
@@ -66,6 +84,11 @@ impl fmt::Display for ComError {
                 write!(f, "interface {iid} is not remotable: {detail}")
             }
             ComError::DeadInstance(id) => write!(f, "instance #{id} has been released"),
+            ComError::Timeout { detail } => write!(f, "remote call timed out: {detail}"),
+            ComError::Partitioned { from, to } => {
+                write!(f, "network partitioned between {from} and {to}")
+            }
+            ComError::MachineDown(machine) => write!(f, "machine {machine} is down"),
             ComError::Codec(detail) => write!(f, "codec error: {detail}"),
             ComError::App(detail) => write!(f, "application error: {detail}"),
         }
@@ -94,6 +117,26 @@ mod tests {
         let b = ComError::Codec("truncated".into());
         assert_eq!(a, b);
         assert_ne!(a, ComError::Codec("other".into()));
+    }
+
+    #[test]
+    fn fault_errors_render_the_failing_machines() {
+        let err = ComError::Partitioned {
+            from: MachineId::CLIENT,
+            to: MachineId::SERVER,
+        };
+        assert_eq!(
+            err.to_string(),
+            "network partitioned between client and server"
+        );
+        assert_eq!(
+            ComError::MachineDown(MachineId::SERVER).to_string(),
+            "machine server is down"
+        );
+        let timeout = ComError::Timeout {
+            detail: "client→server after 4 attempt(s)".into(),
+        };
+        assert!(timeout.to_string().contains("timed out"));
     }
 
     #[test]

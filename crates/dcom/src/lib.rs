@@ -14,15 +14,20 @@
 //!   simulated DCOM round-trips fitted to a linear `α + β·bytes` cost model.
 //! * [`transport`] — the remote-call path that charges request and reply
 //!   messages to the runtime when a call crosses machines.
+//! * [`faults`] — seeded fault injection (loss, latency spikes, partitions,
+//!   machine death) and the retry/timeout/backoff policy at the proxy
+//!   boundary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod marshal;
 pub mod network;
 pub mod profiler;
 pub mod transport;
 
+pub use faults::{CallPolicy, Fault, FaultPlan, FaultStats, LinkSelector, TimeWindow};
 pub use marshal::{message_reply_size, message_request_size, value_size};
 pub use network::NetworkModel;
 pub use profiler::NetworkProfile;

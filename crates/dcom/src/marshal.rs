@@ -243,4 +243,88 @@ mod proptests {
             prop_assert_eq!(whole, parts + 12);
         }
     }
+
+    use coign_com::idl::{MethodDesc, ParamDesc, ParamDir};
+    use coign_com::PType;
+
+    fn arb_dir() -> impl Strategy<Value = ParamDir> {
+        prop_oneof![
+            Just(ParamDir::In),
+            Just(ParamDir::Out),
+            Just(ParamDir::InOut),
+        ]
+    }
+
+    /// A method signature together with a matching argument list, every
+    /// parameter populated with an arbitrary remotable value tree.
+    fn arb_call() -> impl Strategy<Value = (MethodDesc, Message)> {
+        proptest::collection::vec((arb_dir(), arb_remotable_value()), 1..6).prop_map(|params| {
+            let descs = params
+                .iter()
+                .enumerate()
+                .map(|(i, (dir, _))| ParamDesc::new(&format!("p{i}"), *dir, PType::Blob))
+                .collect();
+            let args = params.into_iter().map(|(_, v)| v).collect();
+            (MethodDesc::new("Probe", descs), Message::new(args))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn message_sizes_are_deterministic_for_a_value_tree((m, msg) in arb_call()) {
+            prop_assert_eq!(
+                message_request_size(&m, &msg).unwrap(),
+                message_request_size(&m, &msg).unwrap()
+            );
+            prop_assert_eq!(
+                message_reply_size(&m, &msg).unwrap(),
+                message_reply_size(&m, &msg).unwrap()
+            );
+        }
+
+        #[test]
+        fn message_sizes_never_zero_for_nonempty_param_lists((m, msg) in arb_call()) {
+            // Even a direction no parameter travels in still carries the
+            // RPC header, so sizes are never zero.
+            prop_assert!(message_request_size(&m, &msg).unwrap() >= MESSAGE_HEADER);
+            prop_assert!(message_reply_size(&m, &msg).unwrap() >= MESSAGE_HEADER);
+        }
+
+        #[test]
+        fn message_sizes_are_monotone_in_payload(n in 0u64..50_000, extra in 1u64..50_000) {
+            let m = MethodDesc::new(
+                "Grow",
+                vec![ParamDesc::new("buf", ParamDir::InOut, PType::Blob)],
+            );
+            let small = Message::new(vec![Value::Blob(n)]);
+            let large = Message::new(vec![Value::Blob(n + extra)]);
+            prop_assert!(
+                message_request_size(&m, &large).unwrap()
+                    > message_request_size(&m, &small).unwrap()
+            );
+            prop_assert!(
+                message_reply_size(&m, &large).unwrap()
+                    > message_reply_size(&m, &small).unwrap()
+            );
+        }
+
+        #[test]
+        fn growing_one_argument_never_shrinks_the_message(
+            (m, msg) in arb_call(),
+            grow in 1u64..10_000,
+        ) {
+            // Replace the first request-traveling argument with a larger
+            // blob and check the request size does not decrease.
+            if let Some(idx) = m.params.iter().position(|p| p.dir.in_request()) {
+                let before = message_request_size(&m, &msg).unwrap();
+                let base = value_size(msg.arg(idx).unwrap_or(&Value::Null)).unwrap();
+                let mut args: Vec<Value> = (0..m.params.len())
+                    .map(|i| msg.arg(i).unwrap_or(&Value::Null).clone())
+                    .collect();
+                args[idx] = Value::Blob(base + grow);
+                let after = message_request_size(&m, &Message::new(args)).unwrap();
+                prop_assert!(after > before);
+            }
+        }
+    }
 }

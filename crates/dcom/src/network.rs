@@ -105,12 +105,16 @@ impl NetworkModel {
     }
 
     /// Sampled one-way time with multiplicative jitter from `rng`.
+    ///
+    /// The effective jitter half-width is capped at 1.0: a larger value
+    /// would make `1 + jitter_draw` negative and send time backwards.
     pub fn sample_time_us<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> f64 {
         let base = self.mean_time_us(bytes);
         if self.jitter == 0.0 {
             return base;
         }
-        let factor = 1.0 + rng.gen_range(-self.jitter..=self.jitter);
+        let jitter = self.jitter.min(1.0);
+        let factor = 1.0 + rng.gen_range(-jitter..=jitter);
         base * factor
     }
 
@@ -217,6 +221,44 @@ mod tests {
     #[should_panic(expected = "mtu must be positive")]
     fn zero_mtu_panics() {
         NetworkModel::ethernet_10baset().with_mtu(0);
+    }
+
+    #[test]
+    fn extreme_jitter_never_goes_negative() {
+        let mut net = NetworkModel::ethernet_10baset();
+        net.jitter = 1.5; // would allow a negative multiplier without the clamp
+        let mut rng = StdRng::seed_from_u64(9);
+        for bytes in [0, 1, 100, 10_000, 1_000_000] {
+            for _ in 0..500 {
+                assert!(
+                    net.sample_time_us(bytes, &mut rng) >= 0.0,
+                    "negative time for {bytes} bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_time_is_non_negative_for_all_presets() {
+        let presets = [
+            NetworkModel::isdn(),
+            NetworkModel::ethernet_10baset(),
+            NetworkModel::atm155(),
+            NetworkModel::san(),
+            NetworkModel::localhost(),
+        ];
+        let mut rng = StdRng::seed_from_u64(13);
+        for net in &presets {
+            for bytes in [0, 64, 4_096, 1_000_000] {
+                for _ in 0..200 {
+                    assert!(
+                        net.sample_time_us(bytes, &mut rng) >= 0.0,
+                        "{} produced negative time",
+                        net.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,14 +5,24 @@
 //! the runtime's clock and statistics. Message times are drawn from the
 //! network model with seeded jitter, so "measured" distributed executions
 //! are reproducible yet not exactly equal to the analytic prediction.
+//!
+//! The transport optionally carries a [`FaultPlan`] and [`CallPolicy`]
+//! (see [`crate::faults`]): message loss, latency spikes, partitions, and
+//! machine death are then injected deterministically against the simulated
+//! clock, and the proxy boundary retries with timeout and exponential
+//! backoff before surfacing a typed failure. Fault decisions draw from a
+//! *separate* seeded RNG, so a zero-fault plan leaves the jitter stream —
+//! and therefore every charged microsecond — identical to a transport
+//! without the fault layer.
 
+use crate::faults::{CallPolicy, FaultPlan, FaultStats};
 use crate::marshal::{message_reply_size, message_request_size};
 use crate::network::NetworkModel;
 use coign_com::idl::MethodDesc;
-use coign_com::{ComResult, ComRuntime, MachineId, Message};
+use coign_com::{ComError, ComResult, ComRuntime, MachineId, Message};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Simulated DCOM wire transport between the machines of a topology.
@@ -25,6 +35,12 @@ pub struct Transport {
     network: NetworkModel,
     links: HashMap<(u16, u16), NetworkModel>,
     rng: Mutex<StdRng>,
+    faults: FaultPlan,
+    policy: CallPolicy,
+    /// Fault decisions draw here, never from `rng`, so the jitter stream
+    /// is independent of the fault schedule.
+    fault_rng: Mutex<StdRng>,
+    fault_stats: Mutex<FaultStats>,
 }
 
 fn link_key(a: MachineId, b: MachineId) -> (u16, u16) {
@@ -38,10 +54,27 @@ fn link_key(a: MachineId, b: MachineId) -> (u16, u16) {
 impl Transport {
     /// Creates a transport over the given network with a deterministic seed.
     pub fn new(network: NetworkModel, seed: u64) -> Self {
+        Self::with_faults(network, seed, FaultPlan::none(), CallPolicy::default(), 0)
+    }
+
+    /// Creates a transport whose wire misbehaves according to `faults`,
+    /// with the proxy boundary retrying per `policy`. Fault decisions are
+    /// seeded by `fault_seed`, independently of the jitter seed.
+    pub fn with_faults(
+        network: NetworkModel,
+        seed: u64,
+        faults: FaultPlan,
+        policy: CallPolicy,
+        fault_seed: u64,
+    ) -> Self {
         Transport {
             network,
             links: HashMap::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            faults,
+            policy,
+            fault_rng: Mutex::new(StdRng::seed_from_u64(fault_seed)),
+            fault_stats: Mutex::new(FaultStats::default()),
         }
     }
 
@@ -53,18 +86,32 @@ impl Transport {
         seed: u64,
     ) -> Self {
         Transport {
-            network: default,
             links: links
                 .into_iter()
                 .map(|((a, b), model)| (link_key(a, b), model))
                 .collect(),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            ..Self::new(default, seed)
         }
     }
 
     /// The default network model.
     pub fn network(&self) -> &NetworkModel {
         &self.network
+    }
+
+    /// The fault schedule this transport injects.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The retry/timeout/backoff policy at the proxy boundary.
+    pub fn policy(&self) -> &CallPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the fault counters accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.fault_stats.lock()
     }
 
     /// The model governing one machine pair.
@@ -130,6 +177,143 @@ impl Transport {
             req_bytes + reply_bytes,
             2,
         );
+    }
+
+    /// Burns `us` microseconds on a timeout or backoff wait: the clock
+    /// advances but nothing is charged as useful communication.
+    fn wait(&self, rt: &ComRuntime, us: u64) {
+        rt.clock().advance_us(us);
+        self.fault_stats.lock().wasted_us += us;
+    }
+
+    /// Sleeps the backoff before retry number `retry` (1-based), jittered
+    /// from the fault RNG, and counts the retry.
+    fn backoff(&self, rt: &ComRuntime, retry: u32) {
+        let base = self.policy.backoff_us(retry) as f64;
+        let us = if self.policy.backoff_jitter > 0.0 {
+            let j = self.policy.backoff_jitter;
+            let factor = 1.0 + self.fault_rng.lock().gen_range(-j..=j);
+            (base * factor).round() as u64
+        } else {
+            base as u64
+        };
+        self.wait(rt, us);
+        self.fault_stats.lock().retries += 1;
+    }
+
+    /// Pre-flight check before dispatching a remote call from `from` to
+    /// `to`: fails fast if the target machine is down, and rides out a
+    /// link partition with timeout + backoff retries.
+    ///
+    /// With an empty fault plan this returns `Ok(())` immediately, charges
+    /// nothing, and draws no randomness.
+    pub fn preflight(&self, rt: &ComRuntime, from: MachineId, to: MachineId) -> ComResult<()> {
+        if self.faults.is_empty() {
+            return Ok(());
+        }
+        if self.faults.machine_down(to, rt.clock().now_us()) {
+            self.fault_stats.lock().machine_down_errors += 1;
+            return Err(ComError::MachineDown(to));
+        }
+        for attempt in 1..=self.policy.max_attempts() {
+            if !self.faults.link_severed(from, to, rt.clock().now_us()) {
+                return Ok(());
+            }
+            // The request vanishes into the partition; we wait out the
+            // timeout before concluding the attempt failed.
+            self.wait(rt, self.policy.timeout_us);
+            self.fault_stats.lock().timeouts += 1;
+            if attempt < self.policy.max_attempts() {
+                self.backoff(rt, attempt);
+            }
+        }
+        self.fault_stats.lock().failed_calls += 1;
+        if self.faults.machine_down(to, rt.clock().now_us()) {
+            Err(ComError::MachineDown(to))
+        } else {
+            Err(ComError::Partitioned { from, to })
+        }
+    }
+
+    /// Fault-aware variant of [`Transport::charge_sized_call_on`]: charges
+    /// the request/reply pair on the `from`↔`to` link, injecting message
+    /// loss, latency spikes, and partitions per the fault plan and riding
+    /// them out per the call policy. Returns the number of attempts the
+    /// call took (1 = clean first try).
+    ///
+    /// With an empty fault plan this is exactly `charge_sized_call_on`:
+    /// same jitter draws, same single `charge_comm`.
+    pub fn charge_sized_call_checked(
+        &self,
+        rt: &ComRuntime,
+        from: MachineId,
+        to: MachineId,
+        req_bytes: u64,
+        reply_bytes: u64,
+    ) -> ComResult<u32> {
+        if self.faults.is_empty() {
+            self.charge_sized_call_on(rt, from, to, req_bytes, reply_bytes);
+            return Ok(1);
+        }
+        let model = self.link(from, to);
+        for attempt in 1..=self.policy.max_attempts() {
+            let now = rt.clock().now_us();
+            if self.faults.machine_down(to, now) {
+                self.fault_stats.lock().machine_down_errors += 1;
+                return Err(ComError::MachineDown(to));
+            }
+            let delivered = if self.faults.link_severed(from, to, now) {
+                false
+            } else {
+                let loss = self.faults.loss_probability(from, to, now);
+                if loss > 0.0 {
+                    // Request and reply legs are lost independently.
+                    let mut rng = self.fault_rng.lock();
+                    let req_lost = rng.gen_bool(loss);
+                    let reply_lost = !req_lost && rng.gen_bool(loss);
+                    drop(rng);
+                    if req_lost || reply_lost {
+                        self.fault_stats.lock().drops += 1;
+                    }
+                    !(req_lost || reply_lost)
+                } else {
+                    true
+                }
+            };
+            if delivered {
+                let factor = self.faults.latency_factor(from, to, now);
+                let (req_us, reply_us) = {
+                    let mut rng = self.rng.lock();
+                    (
+                        model.sample_time_us(req_bytes, &mut *rng),
+                        model.sample_time_us(reply_bytes, &mut *rng),
+                    )
+                };
+                rt.charge_comm(
+                    ((req_us + reply_us) * factor).round() as u64,
+                    req_bytes + reply_bytes,
+                    2,
+                );
+                return Ok(attempt);
+            }
+            // The caller hears nothing back and waits out the timeout.
+            self.wait(rt, self.policy.timeout_us);
+            self.fault_stats.lock().timeouts += 1;
+            if attempt < self.policy.max_attempts() {
+                self.backoff(rt, attempt);
+            }
+        }
+        self.fault_stats.lock().failed_calls += 1;
+        if self.faults.link_severed(from, to, rt.clock().now_us()) {
+            Err(ComError::Partitioned { from, to })
+        } else {
+            Err(ComError::Timeout {
+                detail: format!(
+                    "{from}→{to} after {} attempt(s)",
+                    self.policy.max_attempts()
+                ),
+            })
+        }
     }
 }
 
@@ -243,5 +427,222 @@ mod tests {
         t1.charge_sized_call(&rt_small, 100, 100);
         t2.charge_sized_call(&rt_big, 1_000_000, 100);
         assert!(rt_big.clock().now_us() > rt_small.clock().now_us());
+    }
+
+    use crate::faults::{CallPolicy, FaultPlan, TimeWindow};
+
+    /// Jitter-free policy so fault timings are exactly predictable.
+    fn strict_policy() -> CallPolicy {
+        CallPolicy {
+            timeout_us: 10_000,
+            max_retries: 3,
+            backoff_base_us: 10_000,
+            backoff_multiplier: 2.0,
+            backoff_jitter: 0.0,
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical_to_plain_transport() {
+        let run = |transport: Transport| {
+            let rt = ComRuntime::client_server();
+            for _ in 0..10 {
+                transport
+                    .preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+                    .unwrap();
+                transport
+                    .charge_sized_call_checked(&rt, MachineId::CLIENT, MachineId::SERVER, 500, 1500)
+                    .unwrap();
+            }
+            (rt.clock().now_us(), rt.stats())
+        };
+        let plain = {
+            let rt = ComRuntime::client_server();
+            let t = Transport::new(NetworkModel::ethernet_10baset(), 7);
+            for _ in 0..10 {
+                t.charge_sized_call(&rt, 500, 1500);
+            }
+            (rt.clock().now_us(), rt.stats())
+        };
+        let faultless = run(Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            7,
+            FaultPlan::none(),
+            CallPolicy::default(),
+            99, // fault seed is irrelevant with an empty plan
+        ));
+        assert_eq!(plain, faultless);
+        assert!(Transport::new(NetworkModel::ethernet_10baset(), 7)
+            .fault_stats()
+            .is_clean());
+    }
+
+    #[test]
+    fn partition_rides_out_with_retries_then_succeeds() {
+        // Partition [0, 30ms); timeout 10ms, backoff 10ms.
+        // Attempt 1 at t=0 (severed) → timeout to 10ms → backoff to 20ms.
+        // Attempt 2 at t=20ms (severed) → timeout to 30ms... but preflight
+        // re-checks at 30ms: window closed, so the call proceeds.
+        let plan = FaultPlan::none().with_partition(
+            MachineId::CLIENT,
+            MachineId::SERVER,
+            TimeWindow::new(0, 30_000),
+        );
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            strict_policy(),
+            42,
+        );
+        t.preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+            .unwrap();
+        let attempts = t
+            .charge_sized_call_checked(&rt, MachineId::CLIENT, MachineId::SERVER, 500, 1500)
+            .unwrap();
+        assert_eq!(attempts, 1, "link is clean once preflight returns");
+        let stats = t.fault_stats();
+        assert_eq!(stats.timeouts, 2);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failed_calls, 0);
+        assert_eq!(stats.wasted_us, 2 * 10_000 + 10_000 + 20_000);
+        // Useful traffic was charged exactly once.
+        assert_eq!(rt.stats().messages, 2);
+    }
+
+    #[test]
+    fn unending_partition_exhausts_the_policy() {
+        let plan = FaultPlan::none().with_partition(
+            MachineId::CLIENT,
+            MachineId::SERVER,
+            TimeWindow::ALWAYS,
+        );
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            strict_policy(),
+            42,
+        );
+        let err = t
+            .preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ComError::Partitioned {
+                from: MachineId::CLIENT,
+                to: MachineId::SERVER,
+            }
+        );
+        let stats = t.fault_stats();
+        assert_eq!(stats.timeouts, 4);
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.failed_calls, 1);
+        // No useful traffic was ever charged.
+        assert_eq!(rt.stats().messages, 0);
+        assert!(rt.clock().now_us() > 0);
+    }
+
+    #[test]
+    fn dead_machine_fails_fast_without_retries() {
+        let plan = FaultPlan::none().with_machine_down(MachineId::SERVER, TimeWindow::ALWAYS);
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            strict_policy(),
+            42,
+        );
+        let err = t
+            .preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+            .unwrap_err();
+        assert_eq!(err, ComError::MachineDown(MachineId::SERVER));
+        let stats = t.fault_stats();
+        assert_eq!(stats.machine_down_errors, 1);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn total_loss_times_out_every_attempt() {
+        let plan = FaultPlan::none().with_loss(1.0);
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            strict_policy(),
+            42,
+        );
+        t.preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+            .unwrap();
+        let err = t
+            .charge_sized_call_checked(&rt, MachineId::CLIENT, MachineId::SERVER, 500, 1500)
+            .unwrap_err();
+        assert!(matches!(err, ComError::Timeout { .. }));
+        let stats = t.fault_stats();
+        assert_eq!(stats.drops, 4);
+        assert_eq!(stats.timeouts, 4);
+        assert_eq!(stats.failed_calls, 1);
+        assert_eq!(rt.stats().messages, 0);
+    }
+
+    #[test]
+    fn latency_spike_inflates_charged_time_only() {
+        let charge = |plan: FaultPlan| {
+            let rt = ComRuntime::client_server();
+            let t = Transport::with_faults(
+                NetworkModel::ethernet_10baset(),
+                3,
+                plan,
+                strict_policy(),
+                42,
+            );
+            t.charge_sized_call_checked(&rt, MachineId::CLIENT, MachineId::SERVER, 500, 1500)
+                .unwrap();
+            (rt.clock().now_us(), rt.stats().bytes)
+        };
+        // A spiked plan must still be non-empty for the fault path to run;
+        // compare a 1x spike against a 5x spike.
+        let (base_us, base_bytes) = charge(FaultPlan::none().with_spike(1.0, TimeWindow::ALWAYS));
+        let (spiked_us, spiked_bytes) =
+            charge(FaultPlan::none().with_spike(5.0, TimeWindow::ALWAYS));
+        assert_eq!(base_bytes, spiked_bytes);
+        // Rounding happens after the multiply, so allow ±1 µs.
+        assert!(
+            spiked_us.abs_diff(base_us * 5) <= 1,
+            "spiked {spiked_us} vs 5 × base {base_us}"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |fault_seed| {
+            let rt = ComRuntime::client_server();
+            let t = Transport::with_faults(
+                NetworkModel::ethernet_10baset(),
+                1,
+                FaultPlan::none().with_loss(0.4),
+                CallPolicy::default(),
+                fault_seed,
+            );
+            for _ in 0..20 {
+                let _ = t.charge_sized_call_checked(
+                    &rt,
+                    MachineId::CLIENT,
+                    MachineId::SERVER,
+                    500,
+                    1500,
+                );
+            }
+            (rt.clock().now_us(), t.fault_stats())
+        };
+        assert_eq!(run(11), run(11));
+        let (_, stats_a) = run(11);
+        let (_, stats_b) = run(12);
+        assert!(stats_a.drops > 0);
+        assert_ne!(stats_a, stats_b, "different fault seeds diverge");
     }
 }

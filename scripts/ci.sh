@@ -17,4 +17,37 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q
 
+echo "==> fault-injection determinism (two seeds vs committed expectations)"
+# The fault layer's whole value is reproducibility: the same image, plan,
+# and fault seed must yield a byte-identical run summary on every machine.
+# Build a realized octarine image from scratch, run the demo fault plan
+# under two distinct seeds, and diff each summary against the committed
+# expectation. Regenerate after an intentional change with:
+#   scripts/ci.sh --regen-fault-expectations
+BIN=target/release/coign
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+IMG="$TMP/octarine.cimg"
+"$BIN" instrument octarine "$IMG" >/dev/null
+"$BIN" profile "$IMG" o_oldtb3 >/dev/null
+"$BIN" analyze "$IMG" ethernet >/dev/null
+for seed in 7 11; do
+  "$BIN" run "$IMG" o_oldtb3 ethernet \
+    --fault-plan examples/faults/demo.fplan --fault-seed "$seed" --summary \
+    > "$TMP/fault_run_seed_${seed}.txt"
+  if [[ "${1:-}" == "--regen-fault-expectations" ]]; then
+    cp "$TMP/fault_run_seed_${seed}.txt" "scripts/expected/fault_run_seed_${seed}.txt"
+    echo "regenerated scripts/expected/fault_run_seed_${seed}.txt"
+  else
+    diff -u "scripts/expected/fault_run_seed_${seed}.txt" "$TMP/fault_run_seed_${seed}.txt" \
+      || { echo "fault run summary drifted for seed ${seed}"; exit 1; }
+  fi
+done
+# The two seeds must schedule different faults — otherwise the seed is
+# not actually feeding the fault RNG and the determinism check is vacuous.
+if cmp -s "$TMP/fault_run_seed_7.txt" "$TMP/fault_run_seed_11.txt"; then
+  echo "fault seeds 7 and 11 produced identical summaries; seed is ignored"
+  exit 1
+fi
+
 echo "CI OK"
