@@ -1,0 +1,123 @@
+//! The performance smoke suite: emits `BENCH_coign.json`.
+//!
+//! Measures the three costs the performance layer attacks — scenario
+//! profiling (sequential vs `--jobs`-style parallel workers), marshal-size
+//! memoization (cache hit rate across the profiling runs), and the network
+//! sweep (cold per-point min-cut solves vs warm-started chains) — and
+//! writes them as one JSON object so CI records the perf trajectory.
+//!
+//! Correctness is asserted, not just measured: the parallel profile must
+//! be byte-identical to the sequential one, and the warm sweep must
+//! reproduce the cold sweep's cut values and placements exactly. Either
+//! failure aborts the run (and CI) with a non-zero exit.
+//!
+//! Usage: `perfsuite [out.json]` (default `BENCH_coign.json`).
+
+use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::runtime::{profile_scenario, profile_scenarios, profile_scenarios_parallel};
+use coign::sweep::{sweep, SweepGrid, SweepMode};
+use coign_apps::scenarios::app_by_name;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Octarine scenarios replayed by every measurement.
+const SCENARIOS: [&str; 3] = ["o_oldtb3", "o_newdoc", "o_oldwp7"];
+
+/// Worker threads for the parallel profiling measurement.
+const JOBS: usize = 4;
+
+/// Timing repetitions; the minimum is reported to damp scheduler noise.
+const REPS: usize = 3;
+
+fn timed_min_ms<T>(mut body: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        result = Some(body());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (result.expect("REPS >= 1"), best)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_coign.json".to_string());
+    let app = app_by_name("octarine").expect("octarine is registered");
+
+    // 1. Profile replay: sequential vs parallel workers, byte-identical.
+    let (sequential, sequential_ms) = timed_min_ms(|| {
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        profile_scenarios(app.as_ref(), &SCENARIOS, &classifier).expect("sequential profile")
+    });
+    let (parallel, parallel_ms) = timed_min_ms(|| {
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        profile_scenarios_parallel(app.as_ref(), &SCENARIOS, &classifier, JOBS)
+            .expect("parallel profile")
+    });
+    assert_eq!(
+        sequential.encode(),
+        parallel.encode(),
+        "parallel profile is not byte-identical to the sequential profile"
+    );
+
+    // 2. Marshal-size memoization: hit rate across the profiling runs
+    // (the deep-copy size walk the cache short-circuits happens while
+    // scenarios are profiled).
+    let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let mut profile = coign::IccProfile::new();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for scenario in SCENARIOS {
+        let run = profile_scenario(app.as_ref(), scenario, &classifier).expect("profiling pass");
+        hits += run.report.marshal_cache_hits;
+        misses += run.report.marshal_cache_misses;
+        profile.merge(&run.profile);
+    }
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+
+    // 3. Network sweep: cold per-point solves vs warm-started chains.
+    let grid = SweepGrid::paper_networks();
+    let (cold, cold_ms) =
+        timed_min_ms(|| sweep(app.as_ref(), &profile, &grid, SweepMode::Cold).expect("cold sweep"));
+    let (warm, warm_ms) =
+        timed_min_ms(|| sweep(app.as_ref(), &profile, &grid, SweepMode::Warm).expect("warm sweep"));
+    assert_eq!(cold.points.len(), warm.points.len());
+    assert!(
+        warm_ms < cold_ms,
+        "warm-started sweep ({warm_ms:.3} ms) must beat cold per-point solves ({cold_ms:.3} ms)"
+    );
+    for (c, w) in cold.points.iter().zip(&warm.points) {
+        assert_eq!(
+            (c.cut_value, &c.client, &c.server),
+            (w.cut_value, &w.client, &w.server),
+            "warm sweep diverged from cold at latency {} us / bandwidth {} B/s",
+            c.latency_us,
+            c.bandwidth_bps
+        );
+    }
+
+    let json = format!(
+        "{{\"profile\":{{\"scenarios\":{},\"sequential_ms\":{sequential_ms:.3},\
+         \"parallel_jobs\":{JOBS},\"parallel_ms\":{parallel_ms:.3},\
+         \"byte_identical\":true}},\
+         \"marshal_cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}},\
+         \"sweep\":{{\"grid_points\":{},\"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\
+         \"speedup\":{:.3},\"cut_values_identical\":true}}}}",
+        SCENARIOS.len(),
+        cold.points.len(),
+        cold_ms / warm_ms,
+    );
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
+    println!("wrote {out}");
+    println!(
+        "profile {sequential_ms:.1} ms sequential / {parallel_ms:.1} ms with {JOBS} workers; \
+         marshal cache hit rate {:.1}%; sweep {cold_ms:.1} ms cold / {warm_ms:.1} ms warm",
+        hit_rate * 100.0
+    );
+}

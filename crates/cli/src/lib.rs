@@ -14,8 +14,9 @@
 //! ```text
 //! coign instrument octarine app.cimg     # insert the Coign runtime
 //! coign check app.cimg [--json]          # static analysis, no profiling needed
-//! coign profile app.cimg o_oldwp7        # run a scenario, accumulate logs
+//! coign profile app.cimg o_oldwp7 --jobs 4   # run scenarios (parallel), accumulate logs
 //! coign analyze app.cimg ethernet        # cut the graph, realize the result
+//! coign sweep app.cimg --json            # partition across a network grid (warm-started)
 //! coign show app.cimg                    # inspect the configuration record
 //! coign run app.cimg o_oldwp7            # execute distributed, report times
 //! coign hotspots app.cimg                # communication hot spots (§6)
@@ -31,9 +32,10 @@ use coign::config::RuntimeMode;
 use coign::report;
 use coign::rewriter;
 use coign::runtime::{
-    check_constraints, choose_distribution, derive_constraints, profile_scenario,
+    check_constraints, choose_distribution, derive_constraints, profile_scenarios_parallel,
     run_distributed_faulty,
 };
+use coign::sweep::{sweep, SweepGrid, SweepMode};
 use coign_apps::scenarios::app_by_name;
 use coign_com::{AppImage, ComError, ComResult, ComRuntime, MachineId};
 use coign_dcom::{CallPolicy, FaultPlan, NetworkModel, NetworkProfile};
@@ -121,25 +123,37 @@ pub fn cmd_check(path: &Path, json: bool) -> Result<String, String> {
     }
 }
 
-/// `coign profile <image> <scenario>` — runs one profiling scenario and
-/// accumulates the summarized log into the image's configuration record.
-pub fn cmd_profile(path: &Path, scenario: &str) -> ComResult<String> {
+/// `coign profile <image> <scenario>... [--jobs N]` — runs one or more
+/// profiling scenarios and accumulates the summarized logs into the
+/// image's configuration record.
+///
+/// With `--jobs N > 1`, scenarios run on worker threads; the merged log
+/// and the stored classifier table are byte-identical to a sequential
+/// pass regardless of `N` (see
+/// [`coign::runtime::profile_scenarios_parallel`]).
+pub fn cmd_profile(path: &Path, scenarios: &[&str], jobs: usize) -> ComResult<String> {
+    if scenarios.is_empty() {
+        return Err(ComError::App(
+            "no scenario named — run `coign profile <image> <scenario>...`".to_string(),
+        ));
+    }
     let mut image = load(path)?;
     let record = rewriter::read_config(&image)?;
     let app = app_for_image(&image)?;
     let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
-    let run = profile_scenario(app.as_ref(), scenario, &classifier)?;
-    rewriter::accumulate_profile(&mut image, &run.profile)?;
+    let profile = profile_scenarios_parallel(app.as_ref(), scenarios, &classifier, jobs)?;
+    rewriter::accumulate_profile(&mut image, &profile)?;
     // Persist the classifier's grown descriptor table too.
     let mut record = rewriter::read_config(&image)?;
     record.classifier = classifier.encode();
     image.set_config_record(record.encode());
     store(path, &image)?;
     Ok(format!(
-        "profiled {scenario}: {} messages, {} bytes, {} instances ({} classifications so far)",
-        run.profile.total_messages(),
-        run.profile.total_bytes(),
-        run.report.total_instances(),
+        "profiled {} ({} worker(s)): {} messages, {} bytes ({} classifications so far)",
+        scenarios.join(", "),
+        jobs.max(1).min(scenarios.len()),
+        profile.total_messages(),
+        profile.total_bytes(),
         classifier.classification_count(),
     ))
 }
@@ -173,6 +187,86 @@ pub fn cmd_analyze(path: &Path, network_name: &str) -> ComResult<String> {
         predicted / 1000.0,
         rewriter::COIGN_LITE_DLL,
     ))
+}
+
+/// `coign sweep <image> [--json]` — evaluates the min-cut partition
+/// across a fixed grid of network latency/bandwidth points (warm-starting
+/// each solve from its predecessor and cross-validating against a cold
+/// Dinic solve) and reports where the best distribution changes.
+pub fn cmd_sweep(path: &Path, json: bool) -> ComResult<String> {
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    if record.profile.total_messages() == 0 {
+        return Err(ComError::App(
+            "no profile accumulated yet — run `coign profile` first".to_string(),
+        ));
+    }
+    let app = app_for_image(&image)?;
+    let grid = SweepGrid::paper_networks();
+    let result = sweep(
+        app.as_ref(),
+        &record.profile,
+        &grid,
+        SweepMode::WarmValidated,
+    )?;
+    if json {
+        return Ok(render_sweep_json(&grid, &result));
+    }
+    let mut out = format!(
+        "partition sweep over {} network point(s), {} distinct partition(s):\n",
+        result.points.len(),
+        result.distinct_partitions(),
+    );
+    out.push_str("  latency_us bandwidth_B/s    cut_value  predicted_ms  client/server\n");
+    for p in &result.points {
+        out.push_str(&format!(
+            "  {:>10} {:>13} {:>12} {:>13.3} {:>8}/{}\n",
+            p.latency_us,
+            p.bandwidth_bps,
+            p.cut_value,
+            p.predicted_comm_us / 1000.0,
+            p.client.len(),
+            p.server.len(),
+        ));
+    }
+    Ok(out)
+}
+
+fn render_sweep_json(grid: &SweepGrid, result: &coign::sweep::SweepResult) -> String {
+    let nums = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"grid\":{{\"latencies_us\":[{}],\"bandwidths_bps\":[{}]}},",
+        nums(&grid.latencies_us),
+        nums(&grid.bandwidths_bps),
+    ));
+    out.push_str(&format!(
+        "\"distinct_partitions\":{},\"points\":[",
+        result.distinct_partitions()
+    ));
+    for (i, p) in result.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let server: Vec<String> = p.server.iter().map(|c| format!("\"{c}\"")).collect();
+        out.push_str(&format!(
+            "{{\"latency_us\":{},\"bandwidth_bps\":{},\"cut_value\":{},\
+             \"predicted_comm_us\":{:.3},\"client\":{},\"server\":[{}]}}",
+            p.latency_us,
+            p.bandwidth_bps,
+            p.cut_value,
+            p.predicted_comm_us,
+            p.client.len(),
+            server.join(","),
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Fault-injection options of `coign run` (`--fault-plan`, `--fault-seed`,
@@ -464,7 +558,7 @@ mod tests {
         let msg = cmd_instrument("octarine", &path).unwrap();
         assert!(msg.contains("coignrte.dll"));
 
-        let msg = cmd_profile(&path, "o_oldtb3").unwrap();
+        let msg = cmd_profile(&path, &["o_oldtb3"], 1).unwrap();
         assert!(msg.contains("messages"));
 
         let msg = cmd_show(&path).unwrap();
@@ -496,10 +590,49 @@ mod tests {
     fn profiles_accumulate_across_invocations() {
         let path = temp_image("acc");
         cmd_instrument("benefits", &path).unwrap();
-        cmd_profile(&path, "b_vueone").unwrap();
-        cmd_profile(&path, "b_addone").unwrap();
+        cmd_profile(&path, &["b_vueone"], 1).unwrap();
+        cmd_profile(&path, &["b_addone"], 1).unwrap();
         let show = cmd_show(&path).unwrap();
         assert!(show.contains("b_vueone, b_addone"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_profile_produces_byte_identical_images() {
+        // The acceptance bar for `--jobs`: profiling every octarine
+        // scenario on 4 workers must leave the exact same bytes on disk
+        // (profile log *and* classifier table) as a sequential pass.
+        let seq_path = temp_image("jobs1");
+        let par_path = temp_image("jobs4");
+        cmd_instrument("octarine", &seq_path).unwrap();
+        cmd_instrument("octarine", &par_path).unwrap();
+        let scenarios = ["o_oldtb3", "o_newdoc", "o_oldwp7"];
+        cmd_profile(&seq_path, &scenarios, 1).unwrap();
+        cmd_profile(&par_path, &scenarios, 4).unwrap();
+        let seq_bytes = std::fs::read(&seq_path).unwrap();
+        let par_bytes = std::fs::read(&par_path).unwrap();
+        assert_eq!(seq_bytes, par_bytes);
+        std::fs::remove_file(&seq_path).ok();
+        std::fs::remove_file(&par_path).ok();
+    }
+
+    #[test]
+    fn sweep_reports_partition_shifts() {
+        let path = temp_image("sweep");
+        cmd_instrument("octarine", &path).unwrap();
+        // Sweeping before profiling is rejected.
+        assert!(cmd_sweep(&path, false)
+            .unwrap_err()
+            .to_string()
+            .contains("no profile"));
+        cmd_profile(&path, &["o_oldtb3", "o_newdoc"], 2).unwrap();
+        let human = cmd_sweep(&path, false).unwrap();
+        assert!(human.contains("partition sweep over 16 network point(s)"));
+        let json = cmd_sweep(&path, true).unwrap();
+        assert!(json.starts_with("{\"grid\":"));
+        assert!(json.contains("\"points\":["));
+        // Deterministic output, twice in a row.
+        assert_eq!(json, cmd_sweep(&path, true).unwrap());
         std::fs::remove_file(&path).ok();
     }
 
@@ -516,7 +649,7 @@ mod tests {
     fn run_requires_realization() {
         let path = temp_image("norun");
         cmd_instrument("octarine", &path).unwrap();
-        cmd_profile(&path, "o_newdoc").unwrap();
+        cmd_profile(&path, &["o_newdoc"], 1).unwrap();
         let err = cmd_run(&path, "o_newdoc", "ethernet", &RunFaults::default()).unwrap_err();
         assert!(err.to_string().contains("not realized"));
         std::fs::remove_file(&path).ok();
@@ -564,7 +697,7 @@ mod tests {
     fn fault_injected_run_reports_counters_and_reproduces() {
         let path = temp_image("faultrun");
         cmd_instrument("octarine", &path).unwrap();
-        cmd_profile(&path, "o_oldtb3").unwrap();
+        cmd_profile(&path, &["o_oldtb3"], 1).unwrap();
         cmd_analyze(&path, "ethernet").unwrap();
 
         let plan_path = {

@@ -2,7 +2,7 @@
 
 use coign_cli::{
     cmd_analyze, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile, cmd_run,
-    cmd_script, cmd_show, cmd_strip, RunFaults,
+    cmd_script, cmd_show, cmd_strip, cmd_sweep, RunFaults,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -13,8 +13,11 @@ coign — automatic distributed partitioning (OSDI '99 reproduction)
 USAGE:
   coign instrument <app> <image>        instrument an application (octarine|photodraw|benefits)
   coign check      <image> [--json]     static analysis: remotability, constraints, image lints
-  coign profile    <image> <scenario>   run a profiling scenario, accumulate the log
+  coign profile    <image> <scenario>... [--jobs N]   run profiling scenarios, accumulate logs
+                                        (--jobs N profiles scenarios on N worker threads;
+                                         the merged log is identical for every N)
   coign analyze    <image> [network]    choose & realize a distribution (ethernet|isdn|atm|san)
+  coign sweep      <image> [--json]     partition across a latency/bandwidth grid (warm-started)
   coign run        <image> <scenario> [network]   execute distributed
         [--fault-plan FILE]             inject faults per FILE (loss/spike/partition/down lines)
         [--fault-seed N]                seed the fault schedule (default 0)
@@ -25,6 +28,34 @@ USAGE:
   coign dot        <image> <out.dot>    export the ICC graph in Graphviz form
   coign strip      <image>              restore the original binary
 ";
+
+/// Parses `coign profile`'s trailing arguments: one or more scenario
+/// names plus an optional `--jobs N` anywhere among them.
+fn parse_profile_args(rest: &[String]) -> Result<(Vec<String>, usize), String> {
+    let mut scenarios = Vec::new();
+    let mut jobs = 1usize;
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a number argument")?;
+                jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad job count `{value}`"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `coign profile`"));
+            }
+            scenario => scenarios.push(scenario.to_string()),
+        }
+    }
+    if scenarios.is_empty() {
+        return Err("`coign profile` needs at least one scenario".to_string());
+    }
+    Ok((scenarios, jobs))
+}
 
 /// Parses `coign run`'s trailing arguments: an optional positional network
 /// name followed by the fault flags in any order.
@@ -66,8 +97,16 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     };
     let result = match arg(0)? {
         "instrument" => cmd_instrument(arg(1)?, Path::new(arg(2)?)),
-        "profile" => cmd_profile(Path::new(arg(1)?), arg(2)?),
+        "profile" => {
+            let (scenarios, jobs) = parse_profile_args(&args[2.min(args.len())..])?;
+            let refs: Vec<&str> = scenarios.iter().map(String::as_str).collect();
+            cmd_profile(Path::new(arg(1)?), &refs, jobs)
+        }
         "analyze" => cmd_analyze(Path::new(arg(1)?), arg(2).unwrap_or("ethernet")),
+        "sweep" => cmd_sweep(
+            Path::new(arg(1)?),
+            args.get(2).map(String::as_str) == Some("--json"),
+        ),
         "run" => {
             let (network, faults) = parse_run_args(&args[3.min(args.len())..])?;
             cmd_run(Path::new(arg(1)?), arg(2)?, &network, &faults)

@@ -7,8 +7,20 @@
 //! cargo run -p coign-cli --bin coign -- check examples/octarine.cimg --json \
 //!     > crates/cli/tests/golden/octarine_check.json
 //! ```
+//!
+//! The `coign sweep --json` output is pinned the same way. The example
+//! image ships unprofiled, so the golden sequence profiles a scratch copy
+//! first (profiling is deterministic, and the merged log is identical for
+//! every `--jobs` count):
+//!
+//! ```text
+//! cp examples/octarine.cimg /tmp/sweep.cimg
+//! cargo run -p coign-cli --bin coign -- profile /tmp/sweep.cimg o_oldtb3 o_newdoc --jobs 2
+//! cargo run -p coign-cli --bin coign -- sweep /tmp/sweep.cimg --json \
+//!     > crates/cli/tests/golden/octarine_sweep.json
+//! ```
 
-use coign_cli::cmd_check;
+use coign_cli::{cmd_check, cmd_profile, cmd_sweep};
 use std::path::{Path, PathBuf};
 
 fn example_image() -> PathBuf {
@@ -40,6 +52,35 @@ fn check_json_golden_is_wellformed() {
     assert!(trimmed.starts_with("{\"errors\":"));
     assert!(trimmed.ends_with("]}"));
     assert_eq!(trimmed.matches("\"code\":").count(), 2);
+}
+
+#[test]
+fn sweep_json_output_matches_golden_file() {
+    let scratch =
+        std::env::temp_dir().join(format!("coign_golden_sweep_{}.cimg", std::process::id()));
+    std::fs::copy(example_image(), &scratch).expect("copy example image to scratch path");
+    let swept =
+        cmd_profile(&scratch, &["o_oldtb3", "o_newdoc"], 2).and_then(|_| cmd_sweep(&scratch, true));
+    std::fs::remove_file(&scratch).ok();
+    let report = swept.expect("profile + sweep succeed on the example image");
+    let golden = include_str!("golden/octarine_sweep.json");
+    assert_eq!(
+        report.trim_end(),
+        golden.trim_end(),
+        "`coign sweep --json` drifted from the committed golden output; \
+         if the change is intentional, regenerate the golden file (see module docs)"
+    );
+}
+
+#[test]
+fn sweep_json_golden_is_wellformed() {
+    // Guard the golden file itself: one JSON object, grid first, then the
+    // full 4x4 paper-network grid of points.
+    let golden = include_str!("golden/octarine_sweep.json");
+    let trimmed = golden.trim_end();
+    assert!(trimmed.starts_with("{\"grid\":"));
+    assert!(trimmed.ends_with("]}"));
+    assert_eq!(trimmed.matches("\"cut_value\":").count(), 16);
 }
 
 #[test]

@@ -161,37 +161,7 @@ pub fn analyze(
 
     let graph = IccGraph::build(profile, network);
     let n = graph.node_count();
-    let source = n;
-    let sink = n + 1;
-    let mut flow = FlowNetwork::new(n + 2);
-
-    for ((a, b), weight) in &graph.weights_us {
-        flow.add_undirected(*a, *b, IccGraph::capacity_of(*weight));
-    }
-    for (a, b) in &graph.non_remotable {
-        flow.add_undirected(*a, *b, INFINITE);
-    }
-    for constraint in constraints {
-        match constraint {
-            Constraint::PinClient(class) => {
-                if let Some(&node) = graph.index.get(class) {
-                    flow.add_undirected(source, node, INFINITE);
-                }
-            }
-            Constraint::PinServer(class) => {
-                if let Some(&node) = graph.index.get(class) {
-                    flow.add_undirected(node, sink, INFINITE);
-                }
-            }
-            Constraint::Colocate(a, b) => {
-                if let (Some(&na), Some(&nb)) = (graph.index.get(a), graph.index.get(b)) {
-                    if na != nb {
-                        flow.add_undirected(na, nb, INFINITE);
-                    }
-                }
-            }
-        }
-    }
+    let (mut flow, source, sink) = build_flow_network(&graph, constraints);
 
     let cut = min_cut(&mut flow, source, sink, algorithm);
     if cut.cut_value >= INFINITE {
@@ -218,6 +188,58 @@ pub fn analyze(
         predicted_comm_us,
         network_name: graph.network_name,
     })
+}
+
+/// Builds the flow network of a concrete ICC graph: one node per
+/// classification plus a source (client) and sink (server), communication
+/// edges at their time-derived capacities, constraint and non-remotable
+/// edges at infinite capacity. Returns `(network, source, sink)`.
+///
+/// Edge *insertion order* is deterministic — communication edges in
+/// `weights_us` (BTreeMap) order, then non-remotable pairs in sorted
+/// order, then constraints in argument order — so two calls over graphs
+/// built from the same profile yield index-compatible networks. The
+/// warm-started sweep ([`crate::sweep`]) relies on this to replay a
+/// previous grid point's flow snapshot onto the next point's network.
+pub(crate) fn build_flow_network(
+    graph: &IccGraph,
+    constraints: &[Constraint],
+) -> (FlowNetwork, usize, usize) {
+    let n = graph.node_count();
+    let source = n;
+    let sink = n + 1;
+    let mut flow = FlowNetwork::new(n + 2);
+
+    for ((a, b), weight) in &graph.weights_us {
+        flow.add_undirected(*a, *b, IccGraph::capacity_of(*weight));
+    }
+    let mut non_remotable: Vec<_> = graph.non_remotable.iter().copied().collect();
+    non_remotable.sort_unstable();
+    for (a, b) in non_remotable {
+        flow.add_undirected(a, b, INFINITE);
+    }
+    for constraint in constraints {
+        match constraint {
+            Constraint::PinClient(class) => {
+                if let Some(&node) = graph.index.get(class) {
+                    flow.add_undirected(source, node, INFINITE);
+                }
+            }
+            Constraint::PinServer(class) => {
+                if let Some(&node) = graph.index.get(class) {
+                    flow.add_undirected(node, sink, INFINITE);
+                }
+            }
+            Constraint::Colocate(a, b) => {
+                if let (Some(&na), Some(&nb)) = (graph.index.get(a), graph.index.get(b)) {
+                    if na != nb {
+                        flow.add_undirected(na, nb, INFINITE);
+                    }
+                }
+            }
+        }
+    }
+    (flow, source, sink)
 }
 
 #[cfg(test)]

@@ -451,6 +451,59 @@ impl InstanceClassifier {
         e.finish()
     }
 
+    /// Forks a private classifier that shares this one's interned
+    /// descriptor table (ids preserved) but none of its per-execution
+    /// state.
+    ///
+    /// Forks let independent profiling scenarios run on worker threads
+    /// without contending on — or non-deterministically interleaving
+    /// their interning into — the shared table; they are folded back with
+    /// [`InstanceClassifier::absorb`].
+    pub fn fork(&self) -> InstanceClassifier {
+        let st = self.state.lock();
+        InstanceClassifier {
+            kind: self.kind,
+            depth: self.depth,
+            state: Mutex::new(ClassifierState {
+                interned: st.interned.clone(),
+                descriptors: st.descriptors.clone(),
+                instance_class: HashMap::new(),
+                counter: 0,
+                instances_seen: 0,
+            }),
+        }
+    }
+
+    /// Folds a fork's interned table back into this classifier, returning
+    /// the id translation indexed by the fork's raw id (`ROOT` maps to
+    /// `ROOT`; entry `i` is the new home of the fork's id `i`).
+    ///
+    /// Descriptors are replayed in the fork's interning order. A
+    /// descriptor only ever embeds classifications interned strictly
+    /// before it (the `who` entries of IFCB/EPCB chains and IB parents
+    /// come from instances bound earlier), so each one can be rewritten
+    /// through the translation built so far and re-interned here.
+    /// Absorbing the forks of one base in scenario order therefore
+    /// reproduces exactly the table a sequential pass over the same
+    /// scenarios would have built.
+    pub fn absorb(&self, fork: &InstanceClassifier) -> Vec<ClassificationId> {
+        assert_eq!(
+            (self.kind, self.depth),
+            (fork.kind, fork.depth),
+            "cannot absorb a fork of a differently configured classifier"
+        );
+        let fork_st = fork.state.lock();
+        let mut st = self.state.lock();
+        let mut map = Vec::with_capacity(fork_st.descriptors.len() + 1);
+        map.push(ClassificationId::ROOT);
+        for desc in &fork_st.descriptors {
+            let rewritten = remap_descriptor(desc, &map);
+            map.push(Self::intern(&mut st, rewritten));
+        }
+        st.instances_seen += fork_st.instances_seen;
+        map
+    }
+
     /// Restores a classifier (with its interned table) from bytes.
     pub fn decode(bytes: &[u8]) -> ComResult<Self> {
         let mut d = Decoder::new(bytes);
@@ -479,6 +532,33 @@ impl InstanceClassifier {
                 instances_seen: 0,
             }),
         })
+    }
+}
+
+fn remap_id(map: &[ClassificationId], id: ClassificationId) -> ClassificationId {
+    *map.get(id.0 as usize)
+        .expect("descriptor references a classification interned after it")
+}
+
+fn remap_chain(map: &[ClassificationId], chain: &[ChainEntry]) -> Vec<ChainEntry> {
+    chain
+        .iter()
+        .map(|entry| ChainEntry {
+            who: remap_id(map, entry.who),
+            ..*entry
+        })
+        .collect()
+}
+
+/// Rewrites every embedded classification reference of a descriptor
+/// through `map` (indexed by the old raw id). Only the instance-sensitive
+/// variants embed references.
+fn remap_descriptor(desc: &Descriptor, map: &[ClassificationId]) -> Descriptor {
+    match desc {
+        Descriptor::Ifcb(c, chain) => Descriptor::Ifcb(*c, remap_chain(map, chain)),
+        Descriptor::Epcb(c, chain) => Descriptor::Epcb(*c, remap_chain(map, chain)),
+        Descriptor::Ib(c, parent) => Descriptor::Ib(*c, parent.map(|p| remap_id(map, p))),
+        other => other.clone(),
     }
 }
 
@@ -832,6 +912,78 @@ mod tests {
         let b2 = restored.classify_instance(&rt, InstanceId(11), Clsid::from_name("B"));
         assert_eq!(a, a2);
         assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn fork_shares_interned_ids_without_execution_state() {
+        let base = InstanceClassifier::new(ClassifierKind::St);
+        let rt = ComRuntime::single_machine();
+        let a = base.classify_instance(&rt, InstanceId(1), Clsid::from_name("A"));
+        let fork = base.fork();
+        assert_eq!(fork.classification_count(), 1);
+        assert_eq!(fork.stats().instances, 0);
+        assert_eq!(fork.classification_of(InstanceId(1)), None);
+        // Same context classifies to the same id on both sides.
+        let a_fork = fork.classify_instance(&rt, InstanceId(2), Clsid::from_name("A"));
+        assert_eq!(a, a_fork);
+    }
+
+    #[test]
+    fn absorb_maps_shared_prefix_to_identity_and_dedups_new_descriptors() {
+        let base = InstanceClassifier::new(ClassifierKind::St);
+        let rt = ComRuntime::single_machine();
+        let a = base.classify_instance(&rt, InstanceId(1), Clsid::from_name("A"));
+        let (f1, f2) = (base.fork(), base.fork());
+        // Both forks intern the same new descriptor independently...
+        let b1 = f1.classify_instance(&rt, InstanceId(2), Clsid::from_name("B"));
+        let b2 = f2.classify_instance(&rt, InstanceId(2), Clsid::from_name("B"));
+        let c2 = f2.classify_instance(&rt, InstanceId(3), Clsid::from_name("C"));
+        assert_eq!(b1, b2);
+        // ...and absorbing folds them onto one shared id.
+        let m1 = base.absorb(&f1);
+        let m2 = base.absorb(&f2);
+        assert_eq!(m1[a.0 as usize], a);
+        assert_eq!(m2[a.0 as usize], a);
+        assert_eq!(m1[b1.0 as usize], m2[b2.0 as usize]);
+        assert_ne!(m2[b2.0 as usize], m2[c2.0 as usize]);
+        assert_eq!(base.classification_count(), 3);
+        assert_eq!(base.stats().instances, 4);
+    }
+
+    #[test]
+    fn absorb_rewrites_embedded_references() {
+        // An IB descriptor interned by a fork embeds the fork-local id of
+        // its parent; after absorption the shared table must reference the
+        // parent's *shared* id instead.
+        let base = InstanceClassifier::new(ClassifierKind::Ib);
+        let rt = ComRuntime::single_machine();
+        base.classify_instance(&rt, InstanceId(1), Clsid::from_name("Base"));
+        let fork = base.fork();
+        // The base table grows after the fork (an earlier scenario was
+        // absorbed), so the fork's local ids are offset from their shared
+        // homes and the rewrite is observable.
+        base.classify_instance(&rt, InstanceId(5), Clsid::from_name("Other"));
+        let parent = {
+            let mut st = fork.state.lock();
+            let id = InstanceClassifier::intern(&mut st, Descriptor::Incremental(77));
+            st.instance_class.insert(InstanceId(9), id);
+            id
+        };
+        let child = {
+            let mut st = fork.state.lock();
+            InstanceClassifier::intern(
+                &mut st,
+                Descriptor::Ib(Clsid::from_name("Child"), Some(parent)),
+            )
+        };
+        let map = base.absorb(&fork);
+        let child_desc = base.descriptor(map[child.0 as usize]).unwrap();
+        assert_eq!(
+            child_desc,
+            Descriptor::Ib(Clsid::from_name("Child"), Some(map[parent.0 as usize]))
+        );
+        // The fork-local parent id (2) landed elsewhere in the shared table.
+        assert_ne!(map[parent.0 as usize], parent);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::drift::DriftMonitor;
 use crate::logger::{CallRecord, InfoLogger};
 use coign_com::interface::CallInfo;
 use coign_com::{ComError, ComResult, ComRuntime, InterfacePtr, Invoker, Message};
-use coign_dcom::marshal::{message_reply_size, message_request_size};
+use coign_dcom::marshal::{message_reply_size, message_request_size, SizeCache};
 use coign_dcom::Transport;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,6 +90,11 @@ pub struct ProfilingInvoker {
     classifier: Arc<InstanceClassifier>,
     logger: Arc<dyn InfoLogger>,
     overhead: Arc<OverheadMeter>,
+    /// Memoized deep-copy sizes, shared across every wrapped interface of
+    /// one profiling runtime. Structurally identical argument trees skip
+    /// the recursive walk (and its per-KB overhead charge) on a hit;
+    /// measured sizes are identical either way.
+    cache: Arc<SizeCache>,
 }
 
 impl ProfilingInvoker {
@@ -99,12 +104,14 @@ impl ProfilingInvoker {
         classifier: Arc<InstanceClassifier>,
         logger: Arc<dyn InfoLogger>,
         overhead: Arc<OverheadMeter>,
+        cache: Arc<SizeCache>,
     ) -> InterfacePtr {
         let invoker = ProfilingInvoker {
             inner: ptr.clone(),
             classifier,
             logger,
             overhead,
+            cache,
         };
         ptr.wrap(Arc::new(invoker))
     }
@@ -120,18 +127,33 @@ impl Invoker for ProfilingInvoker {
 
         // Measure the request by invoking the DCOM marshaling machinery
         // in-process; a non-remotable parameter is a constraint, not an
-        // error, during profiling.
-        let req = message_request_size(method_desc, msg);
+        // error, during profiling. The reply is sized after the call (a
+        // stateful component may answer the same request differently), so
+        // the two directions hit the memo cache independently.
+        let (req, req_hit) = self
+            .cache
+            .request_size(call.desc.iid, call.method, method_desc, msg);
 
         let result = self.inner.call(rt, call.method, msg);
 
-        let reply = message_reply_size(method_desc, msg);
+        let (reply, reply_hit) =
+            self.cache
+                .reply_size(call.desc.iid, call.method, method_desc, msg);
         let remotable = call.desc.remotable && req.is_ok() && reply.is_ok();
         let req_bytes = req.unwrap_or(0);
         let reply_bytes = reply.unwrap_or(0);
 
-        // Charge the informer's measurement cost.
-        let walked_kb = (req_bytes + reply_bytes) / 1024;
+        // Charge the informer's measurement cost. A memo hit skips the
+        // deep-copy walk, so only bytes actually walked carry the per-KB
+        // charge; the fixed per-call cost applies regardless.
+        let mut walked_bytes = 0;
+        if !req_hit {
+            walked_bytes += req_bytes;
+        }
+        if !reply_hit {
+            walked_bytes += reply_bytes;
+        }
+        let walked_kb = walked_bytes / 1024;
         self.overhead.charge(
             rt,
             PROFILING_CALL_OVERHEAD_US + walked_kb * PROFILING_PER_KB_OVERHEAD_US,
@@ -303,7 +325,8 @@ mod tests {
 
         let raw = rt.create_instance(clsid, iid).unwrap();
         classifier.classify_instance(&rt, raw.owner(), clsid);
-        let ptr = ProfilingInvoker::wrap(raw, classifier, logger.clone(), overhead.clone());
+        let cache = Arc::new(SizeCache::new());
+        let ptr = ProfilingInvoker::wrap(raw, classifier, logger.clone(), overhead.clone(), cache);
 
         let mut msg = Message::new(vec![Value::Blob(1000), Value::Null]);
         ptr.call(&rt, 0, &mut msg).unwrap();
@@ -317,6 +340,44 @@ mod tests {
         // Overhead advanced the clock but not application compute.
         assert_eq!(rt.stats().compute_us, 0);
         assert!(rt.clock().now_us() > 0);
+    }
+
+    #[test]
+    fn profiling_cache_skips_walk_charges_on_repeated_shapes() {
+        let rt = ComRuntime::single_machine();
+        let (clsid, iid) = echo_setup(&rt);
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let logger = Arc::new(ProfilingLogger::new());
+        let overhead = Arc::new(OverheadMeter::new());
+        let cache = Arc::new(SizeCache::new());
+        let raw = rt.create_instance(clsid, iid).unwrap();
+        classifier.classify_instance(&rt, raw.owner(), clsid);
+        let ptr = ProfilingInvoker::wrap(
+            raw,
+            classifier,
+            logger.clone(),
+            overhead.clone(),
+            cache.clone(),
+        );
+
+        // First call walks both directions (10 KB in, 20 KB echoed back).
+        let mut msg = Message::new(vec![Value::Blob(10_240), Value::Null]);
+        ptr.call(&rt, 0, &mut msg).unwrap();
+        let first = overhead.total_us();
+        assert_eq!(cache.hits(), 0);
+        assert!(first > PROFILING_CALL_OVERHEAD_US);
+
+        // An identically shaped call hits both direction keys, so only the
+        // fixed per-call cost is charged — the per-KB walk is skipped.
+        let mut msg = Message::new(vec![Value::Blob(10_240), Value::Null]);
+        ptr.call(&rt, 0, &mut msg).unwrap();
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(overhead.total_us(), first + PROFILING_CALL_OVERHEAD_US);
+
+        // The profile records full sizes for the cached call regardless.
+        let profile = logger.snapshot_profile();
+        assert_eq!(profile.total_messages(), 4);
+        assert!(profile.total_bytes() > 60_000);
     }
 
     #[test]
@@ -336,7 +397,13 @@ mod tests {
         let overhead = Arc::new(OverheadMeter::new());
         let raw = rt.create_instance(clsid, iid).unwrap();
         classifier.classify_instance(&rt, raw.owner(), clsid);
-        let ptr = ProfilingInvoker::wrap(raw, classifier, logger.clone(), overhead);
+        let ptr = ProfilingInvoker::wrap(
+            raw,
+            classifier,
+            logger.clone(),
+            overhead,
+            Arc::new(SizeCache::new()),
+        );
 
         let mut msg = Message::new(vec![Value::Opaque(0xbeef)]);
         ptr.call(&rt, 0, &mut msg).unwrap(); // the call itself succeeds

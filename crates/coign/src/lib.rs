@@ -55,6 +55,7 @@ pub mod report;
 pub mod rewriter;
 pub mod rte;
 pub mod runtime;
+pub mod sweep;
 
 pub use analysis::{analyze, Distribution};
 pub use application::Application;

@@ -151,6 +151,45 @@ impl IccProfile {
         self.scenarios.extend(other.scenarios.iter().cloned());
     }
 
+    /// Rewrites every classification id through `map` (indexed by the old
+    /// raw id, as returned by `InstanceClassifier::absorb`), producing the
+    /// profile as it would look had the run classified against the
+    /// absorbed table. Scenario names are preserved.
+    ///
+    /// Colliding edge keys accumulate and non-remotable pairs are
+    /// re-normalized, so the result is well-formed even for non-injective
+    /// maps.
+    pub fn remap_classifications(&self, map: &[ClassificationId]) -> IccProfile {
+        let at = |id: ClassificationId| -> ClassificationId {
+            *map.get(id.0 as usize)
+                .expect("profile references a classification missing from the translation")
+        };
+        let mut out = IccProfile::new();
+        for (key, stats) in &self.edges {
+            let key = EdgeKey {
+                from: at(key.from),
+                to: at(key.to),
+                ..*key
+            };
+            let entry = out.edges.entry(key).or_default();
+            entry.messages += stats.messages;
+            entry.bytes += stats.bytes;
+        }
+        for (class, n) in &self.instances {
+            *out.instances.entry(at(*class)).or_insert(0) += n;
+        }
+        for (class, clsid) in &self.class_of {
+            out.class_of.insert(at(*class), *clsid);
+        }
+        for (a, b) in &self.non_remotable {
+            let (a, b) = (at(*a), at(*b));
+            out.non_remotable
+                .insert(if a <= b { (a, b) } else { (b, a) });
+        }
+        out.scenarios = self.scenarios.clone();
+        out
+    }
+
     /// Total messages recorded.
     pub fn total_messages(&self) -> u64 {
         self.edges.values().map(|s| s.messages).sum()
@@ -453,6 +492,62 @@ mod tests {
     }
 
     #[test]
+    fn remap_rewrites_every_id_and_renormalizes_pairs() {
+        let iid = Iid::from_name("IX");
+        let mut p = IccProfile::new();
+        p.record_message(c(1), c(2), iid, 0, 10);
+        p.record_instance(c(2), Clsid::from_name("B"));
+        p.record_non_remotable(c(1), c(2));
+        p.scenarios.push("s".into());
+        // 1 → 5, 2 → 3: the (1,2) pair flips order under the map.
+        let map = [
+            ClassificationId::ROOT,
+            ClassificationId(5),
+            ClassificationId(3),
+        ];
+        let out = p.remap_classifications(&map);
+        let key = EdgeKey {
+            from: c(5),
+            to: c(3),
+            iid,
+            method: 0,
+            bucket: size_bucket(10),
+        };
+        assert_eq!(out.edges[&key].bytes, 10);
+        assert_eq!(out.instances[&c(3)], 1);
+        assert_eq!(out.class_of[&c(3)], Clsid::from_name("B"));
+        assert!(out.non_remotable.contains(&(c(3), c(5))));
+        assert_eq!(out.scenarios, vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn identity_remap_is_a_noop() {
+        let iid = Iid::from_name("IX");
+        let mut p = IccProfile::new();
+        p.record_message(c(1), c(2), iid, 0, 10);
+        p.record_message(c(2), c(1), iid, 1, 999);
+        p.record_instance(c(1), Clsid::from_name("A"));
+        p.record_non_remotable(c(2), c(1));
+        let map: Vec<ClassificationId> = (0..3).map(ClassificationId).collect();
+        assert_eq!(p.remap_classifications(&map), p);
+    }
+
+    /// Pins the on-disk profile encoding byte for byte: any codec change
+    /// must be deliberate (it invalidates every stored `.cimg` record).
+    #[test]
+    fn encoding_bytes_are_pinned() {
+        let mut p = IccProfile::new();
+        p.record_message(c(1), c(2), Iid::from_name("IX"), 3, 100);
+        p.record_instance(c(1), Clsid::from_name("A"));
+        p.record_non_remotable(c(2), c(1));
+        p.scenarios.push("pin".into());
+        let hex: String = p.encode().iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(hex, PINNED_PROFILE_HEX);
+    }
+
+    const PINNED_PROFILE_HEX: &str = "010000000100000002000000bcd67a553073a05ae91babf1e294800803000000010100000000000000640000000000000001000000010000000100000000000000010000000100000004624a4e702b9178af8c1a4f69cb28d2010000000100000002000000010000000300000070696e";
+
+    #[test]
     fn encoding_is_deterministic() {
         let iid = Iid::from_name("IX");
         let build = || {
@@ -523,6 +618,29 @@ mod proptests {
             prop_assert_eq!(whole.total_messages(), merged.total_messages());
             prop_assert_eq!(whole.total_bytes(), merged.total_bytes());
             prop_assert_eq!(whole.edges, merged.edges);
+        }
+
+        /// Merging is associative: folding scenario logs left-to-right or
+        /// merging a pre-combined tail gives the same profile — the
+        /// property that lets parallel profiling combine worker results
+        /// in any grouping.
+        #[test]
+        fn merge_is_associative(
+            a in proptest::collection::vec(arb_msg(), 0..40),
+            b in proptest::collection::vec(arb_msg(), 0..40),
+            c in proptest::collection::vec(arb_msg(), 0..40),
+        ) {
+            let (mut pa, pb, pc) = (build(&a), build(&b), build(&c));
+            pa.scenarios.push("sa".into());
+            let mut ab_then_c = pa.clone();
+            ab_then_c.merge(&pb);
+            ab_then_c.merge(&pc);
+            let mut bc = pb.clone();
+            bc.merge(&pc);
+            let mut a_then_bc = pa.clone();
+            a_then_bc.merge(&bc);
+            prop_assert_eq!(&ab_then_c, &a_then_bc);
+            prop_assert_eq!(ab_then_c.encode(), a_then_bc.encode());
         }
 
         /// Merging is commutative on the summarized traffic.

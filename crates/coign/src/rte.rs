@@ -25,6 +25,7 @@ use crate::logger::InfoLogger;
 use coign_com::{
     Clsid, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr, RuntimeHook,
 };
+use coign_dcom::marshal::SizeCache;
 use coign_dcom::Transport;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -59,6 +60,10 @@ pub struct CoignRte {
     classifier: Arc<InstanceClassifier>,
     logger: Arc<dyn InfoLogger>,
     overhead: Arc<OverheadMeter>,
+    /// Memoized marshal sizes shared by every profiling informer this RTE
+    /// installs (idle in distributed mode — the lightweight informer never
+    /// walks parameters it doesn't have to).
+    marshal_cache: Arc<SizeCache>,
     /// Binaries observed in the address space (RTE address-space tracking).
     images: Mutex<Vec<String>>,
     /// Instantiations re-routed because the target machine was down.
@@ -73,6 +78,7 @@ impl CoignRte {
             classifier,
             logger,
             overhead: Arc::new(OverheadMeter::new()),
+            marshal_cache: Arc::new(SizeCache::new()),
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
         }
@@ -106,6 +112,7 @@ impl CoignRte {
             classifier,
             logger,
             overhead: Arc::new(OverheadMeter::new()),
+            marshal_cache: Arc::new(SizeCache::new()),
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
         }
@@ -124,6 +131,12 @@ impl CoignRte {
     /// Total instrumentation overhead charged so far, microseconds.
     pub fn overhead_us(&self) -> u64 {
         self.overhead.total_us()
+    }
+
+    /// The marshal-size memo cache shared by this RTE's profiling
+    /// informers (its counters stay zero in distributed mode).
+    pub fn marshal_cache(&self) -> &Arc<SizeCache> {
+        &self.marshal_cache
     }
 
     /// Records a binary loaded into the application's address space.
@@ -206,6 +219,7 @@ impl RuntimeHook for CoignRte {
                 self.classifier.clone(),
                 self.logger.clone(),
                 self.overhead.clone(),
+                self.marshal_cache.clone(),
             ),
             RteMode::Distributed {
                 transport, drift, ..

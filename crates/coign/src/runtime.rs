@@ -88,6 +88,11 @@ pub struct RunReport {
     pub instance_placements: Vec<(Clsid, MachineId)>,
     /// Fault-injection counters (all zero when no fault layer was active).
     pub faults: FaultReport,
+    /// Marshal-size memo cache hits (profiling runs only; a hit skips the
+    /// deep-copy walk and its per-KB overhead charge).
+    pub marshal_cache_hits: u64,
+    /// Marshal-size memo cache misses (full deep-copy walks performed).
+    pub marshal_cache_misses: u64,
 }
 
 impl RunReport {
@@ -141,7 +146,9 @@ impl RunReport {
              fault_failed_calls={}\n\
              fault_machine_down_errors={}\n\
              fault_wasted_us={}\n\
-             fault_fallbacks={}\n",
+             fault_fallbacks={}\n\
+             marshal_cache_hits={}\n\
+             marshal_cache_misses={}\n",
             self.stats.compute_us,
             self.stats.comm_us,
             self.stats.messages,
@@ -159,6 +166,8 @@ impl RunReport {
             self.faults.machine_down_errors,
             self.faults.wasted_us,
             self.faults.fallbacks,
+            self.marshal_cache_hits,
+            self.marshal_cache_misses,
         )
     }
 }
@@ -241,6 +250,8 @@ pub fn profile_scenario(
             instances_per_machine: count_per_machine(&rt),
             instance_placements: placements(&rt),
             faults: FaultReport::default(),
+            marshal_cache_hits: rte.marshal_cache().hits(),
+            marshal_cache_misses: rte.marshal_cache().misses(),
         },
     })
 }
@@ -255,6 +266,58 @@ pub fn profile_scenarios(
     for scenario in scenarios {
         let run = profile_scenario(app, scenario, classifier)?;
         merged.merge(&run.profile);
+    }
+    Ok(merged)
+}
+
+/// Profiles a suite of scenarios on up to `jobs` worker threads and merges
+/// their logs in scenario order.
+///
+/// Each scenario runs against a private classifier forked from the shared
+/// one ([`InstanceClassifier::fork`]); afterwards the forks are absorbed
+/// back — in scenario order — and each run's profile is rewritten through
+/// the resulting id translation before merging. Scenarios are therefore
+/// profiled in isolation and combined deterministically: the merged
+/// profile and the shared classifier's table come out byte-identical to a
+/// sequential [`profile_scenarios`] pass, regardless of `jobs` or thread
+/// scheduling.
+pub fn profile_scenarios_parallel(
+    app: &dyn Application,
+    scenarios: &[&str],
+    classifier: &Arc<InstanceClassifier>,
+    jobs: usize,
+) -> ComResult<IccProfile> {
+    if jobs <= 1 || scenarios.len() <= 1 {
+        return profile_scenarios(app, scenarios, classifier);
+    }
+    let forks: Vec<Arc<InstanceClassifier>> = scenarios
+        .iter()
+        .map(|_| Arc::new(classifier.fork()))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<ComResult<ProfileRun>>>> = scenarios
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(scenarios.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= scenarios.len() {
+                    break;
+                }
+                let run = profile_scenario(app, scenarios[i], &forks[i]);
+                *results[i].lock() = Some(run);
+            });
+        }
+    });
+    let mut merged = IccProfile::new();
+    for (i, slot) in results.into_iter().enumerate() {
+        let run = slot
+            .into_inner()
+            .expect("profiling worker exited without reporting a result")?;
+        let map = classifier.absorb(&forks[i]);
+        merged.merge(&run.profile.remap_classifications(&map));
     }
     Ok(merged)
 }
@@ -415,6 +478,8 @@ pub fn run_distributed_monitored(
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
         faults: FaultReport::from_parts(transport.fault_stats(), rte.fallback_count()),
+        marshal_cache_hits: rte.marshal_cache().hits(),
+        marshal_cache_misses: rte.marshal_cache().misses(),
     };
     Ok((report, monitor))
 }
@@ -504,6 +569,8 @@ fn run_distributed_with_transport(
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
         faults: FaultReport::from_parts(transport.fault_stats(), rte.fallback_count()),
+        marshal_cache_hits: rte.marshal_cache().hits(),
+        marshal_cache_misses: rte.marshal_cache().misses(),
     })
 }
 
@@ -579,6 +646,8 @@ pub fn run_default(
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
         faults: FaultReport::default(),
+        marshal_cache_hits: 0,
+        marshal_cache_misses: 0,
     })
 }
 
@@ -595,6 +664,8 @@ pub fn run_raw(app: &dyn Application, scenario: &str) -> ComResult<RunReport> {
         instances_per_machine: count_per_machine(&rt),
         instance_placements: placements(&rt),
         faults: FaultReport::default(),
+        marshal_cache_hits: 0,
+        marshal_cache_misses: 0,
     })
 }
 
@@ -676,12 +747,27 @@ mod tests {
                 });
         }
         fn scenarios(&self) -> Vec<&'static str> {
-            vec!["m_run"]
+            vec!["m_run", "m_twice", "m_direct"]
         }
-        fn run_scenario(&self, rt: &ComRuntime, _scenario: &str) -> ComResult<()> {
+        fn run_scenario(&self, rt: &ComRuntime, scenario: &str) -> ComResult<()> {
             let ishell = Iid::from_name("IMiniShell");
             let shell = rt.create_instance(Clsid::from_name("MiniShell"), ishell)?;
             shell.call(rt, 0, &mut Message::outputs(1))?;
+            if scenario == "m_twice" {
+                // A second session: same classifications, more traffic.
+                let again = rt.create_instance(Clsid::from_name("MiniShell"), ishell)?;
+                again.call(rt, 0, &mut Message::outputs(1))?;
+            }
+            if scenario == "m_direct" {
+                // The root reads the document directly: a reader
+                // instantiated outside any shell gets a classification of
+                // its own, so this scenario grows the descriptor table.
+                let reader = rt.create_instance(
+                    Clsid::from_name("MiniReader"),
+                    Iid::from_name("IMiniReader"),
+                )?;
+                reader.call(rt, 0, &mut Message::outputs(1))?;
+            }
             Ok(())
         }
         fn image(&self) -> AppImage {
@@ -719,6 +805,38 @@ mod tests {
         assert_eq!(report.server_instances(), 1);
         assert!(report.stats.comm_us > 0);
         assert!(report.stats.cross_machine_calls >= 20);
+    }
+
+    #[test]
+    fn parallel_profiling_matches_sequential_byte_for_byte() {
+        let app = MiniApp;
+        let scenarios = app.scenarios();
+        let seq_classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let seq = profile_scenarios(&app, &scenarios, &seq_classifier).unwrap();
+        assert!(seq.total_messages() > 0);
+        for jobs in [1, 2, 4, 8] {
+            let par_classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+            let par = profile_scenarios_parallel(&app, &scenarios, &par_classifier, jobs).unwrap();
+            assert_eq!(par.encode(), seq.encode(), "profile differs at jobs={jobs}");
+            assert_eq!(
+                par_classifier.encode(),
+                seq_classifier.encode(),
+                "classifier table differs at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_profiling_grows_the_shared_classifier() {
+        // The root-instantiated reader of m_direct exists in no other
+        // scenario, so the shared table must have absorbed a descriptor
+        // interned by a worker's fork.
+        let app = MiniApp;
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        profile_scenarios_parallel(&app, &["m_run"], &classifier, 4).unwrap();
+        let before = classifier.classification_count();
+        profile_scenarios_parallel(&app, &["m_run", "m_direct"], &classifier, 4).unwrap();
+        assert!(classifier.classification_count() > before);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! execution (which they are, because both call this module).
 
 use coign_com::idl::MethodDesc;
-use coign_com::{ComError, ComResult, Message, Value};
+use coign_com::{ComError, ComResult, Iid, Message, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bytes of an `OBJREF` — the wire form of a marshaled interface pointer.
 pub const OBJREF_SIZE: u64 = 68;
@@ -84,6 +87,159 @@ pub fn message_request_size(method: &MethodDesc, msg: &Message) -> ComResult<u64
 /// Wire size of the reply message (`[out]` and `[in, out]` parameters).
 pub fn message_reply_size(method: &MethodDesc, msg: &Message) -> ComResult<u64> {
     directional_size(method, msg, false)
+}
+
+// --- Marshal-size memoization ------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(h: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Folds the structural *shape* of a value into the hash: type tags plus
+/// the only quantities [`value_size`] depends on (string char counts, blob
+/// lengths, container arities). Returns `false` on an opaque pointer —
+/// sizing it errors, so such trees are never cached.
+fn shape_hash(h: &mut u64, value: &Value) -> bool {
+    match value {
+        Value::I4(_) => mix(h, 1),
+        Value::I8(_) => mix(h, 2),
+        Value::F8(_) => mix(h, 3),
+        Value::Bool(_) => mix(h, 4),
+        Value::Str(s) => {
+            mix(h, 5);
+            mix(h, s.chars().count() as u64);
+        }
+        Value::Blob(n) => {
+            mix(h, 6);
+            mix(h, *n);
+        }
+        Value::Array(items) => {
+            mix(h, 7);
+            mix(h, items.len() as u64);
+            return items.iter().all(|item| shape_hash(h, item));
+        }
+        Value::Struct(fields) => {
+            mix(h, 8);
+            mix(h, fields.len() as u64);
+            return fields.iter().all(|field| shape_hash(h, field));
+        }
+        Value::Interface(Some(_)) => mix(h, 9),
+        Value::Interface(None) => mix(h, 10),
+        Value::Null => mix(h, 11),
+        Value::Opaque(_) => return false,
+    }
+    true
+}
+
+/// FNV-1a fingerprint of the shapes of every argument traveling in the
+/// given direction, or `None` if the tree contains an opaque pointer.
+fn directional_fingerprint(method: &MethodDesc, msg: &Message, want_request: bool) -> Option<u64> {
+    let mut h = FNV_OFFSET;
+    for (idx, param) in method.params.iter().enumerate() {
+        let travels = if want_request {
+            param.dir.in_request()
+        } else {
+            param.dir.in_reply()
+        };
+        if !travels {
+            continue;
+        }
+        mix(&mut h, idx as u64);
+        if !shape_hash(&mut h, msg.arg(idx).unwrap_or(&Value::Null)) {
+            return None;
+        }
+    }
+    Some(h)
+}
+
+/// Memoizes deep-copy message sizes by `(iid, method, direction,
+/// value-shape fingerprint)`.
+///
+/// [`value_size`] is a pure function of a value's shape — the type tags,
+/// string/blob lengths, and container arities hashed by the fingerprint —
+/// so two structurally identical argument trees always marshal to the same
+/// number of bytes and the recursive walk can be skipped on a repeat.
+/// Request and reply shapes are fingerprinted independently (a stateful
+/// component may answer identical requests with different replies, so the
+/// reply is hashed *after* the call under its own direction key).
+///
+/// Trees containing opaque pointers never enter the cache: sizing them is
+/// the non-remotable error path and must re-fire every time.
+#[derive(Debug, Default)]
+pub struct SizeCache {
+    map: Mutex<HashMap<(Iid, u32, bool, u64), u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SizeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SizeCache::default()
+    }
+
+    /// Calls served from the cache (the deep-copy walk was skipped).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Calls that had to perform the full deep-copy walk.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Request size through the cache; the flag reports a cache hit.
+    pub fn request_size(
+        &self,
+        iid: Iid,
+        method_index: u32,
+        method: &MethodDesc,
+        msg: &Message,
+    ) -> (ComResult<u64>, bool) {
+        self.sized(iid, method_index, method, msg, true)
+    }
+
+    /// Reply size through the cache; the flag reports a cache hit.
+    pub fn reply_size(
+        &self,
+        iid: Iid,
+        method_index: u32,
+        method: &MethodDesc,
+        msg: &Message,
+    ) -> (ComResult<u64>, bool) {
+        self.sized(iid, method_index, method, msg, false)
+    }
+
+    fn sized(
+        &self,
+        iid: Iid,
+        method_index: u32,
+        method: &MethodDesc,
+        msg: &Message,
+        want_request: bool,
+    ) -> (ComResult<u64>, bool) {
+        let Some(shape) = directional_fingerprint(method, msg, want_request) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (directional_size(method, msg, want_request), false);
+        };
+        let key = (iid, method_index, want_request, shape);
+        if let Some(&size) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Ok(size), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = directional_size(method, msg, want_request);
+        if let Ok(size) = result {
+            self.map.lock().insert(key, size);
+        }
+        (result, false)
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +336,69 @@ mod tests {
         let msg = Message::empty();
         let req = message_request_size(&m, &msg).unwrap();
         assert_eq!(req, MESSAGE_HEADER + 4 + 4); // two null markers
+    }
+
+    #[test]
+    fn size_cache_hits_on_identical_shapes_only() {
+        let m = rw_method();
+        let iid = Iid(coign_com::Guid::NULL);
+        let cache = SizeCache::new();
+
+        let msg = Message::new(vec![Value::Str("ab".into()), Value::Blob(100), Value::Null]);
+        let (size, hit) = cache.request_size(iid, 0, &m, &msg);
+        assert_eq!(size.unwrap(), MESSAGE_HEADER + 12 + 108);
+        assert!(!hit);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        // Same shape, different content: a hit with the same size.
+        let same_shape = Message::new(vec![Value::Str("xy".into()), Value::Blob(100), Value::Null]);
+        let (size, hit) = cache.request_size(iid, 0, &m, &same_shape);
+        assert_eq!(size.unwrap(), MESSAGE_HEADER + 12 + 108);
+        assert!(hit);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        // A different blob length is a different shape: a miss.
+        let grown = Message::new(vec![Value::Str("ab".into()), Value::Blob(101), Value::Null]);
+        let (size, hit) = cache.request_size(iid, 0, &m, &grown);
+        assert_eq!(size.unwrap(), MESSAGE_HEADER + 12 + 109);
+        assert!(!hit);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
+    fn size_cache_keys_directions_independently() {
+        let m = rw_method();
+        let iid = Iid(coign_com::Guid::NULL);
+        let cache = SizeCache::new();
+        let msg = Message::new(vec![
+            Value::Str("ab".into()),
+            Value::Blob(100),
+            Value::I4(0),
+        ]);
+        // Request then reply of the same message: different directions,
+        // both misses, correct (different) sizes.
+        let (req, hit_req) = cache.request_size(iid, 0, &m, &msg);
+        let (reply, hit_reply) = cache.reply_size(iid, 0, &m, &msg);
+        assert!(!hit_req && !hit_reply);
+        assert_eq!(req.unwrap(), MESSAGE_HEADER + 12 + 108);
+        assert_eq!(reply.unwrap(), MESSAGE_HEADER + 108 + 4);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn size_cache_never_caches_opaque_trees() {
+        let iface = InterfaceBuilder::new("ISharedCache")
+            .method("Map", |m| m.input("handle", PType::Opaque))
+            .build();
+        let m = &iface.methods[0];
+        let cache = SizeCache::new();
+        let msg = Message::new(vec![Value::Opaque(7)]);
+        for expected_misses in 1..=3 {
+            let (size, hit) = cache.request_size(iface.iid, 0, m, &msg);
+            assert!(size.is_err());
+            assert!(!hit);
+            assert_eq!((cache.hits(), cache.misses()), (0, expected_misses));
+        }
     }
 
     #[test]
@@ -280,6 +499,21 @@ mod proptests {
                 message_reply_size(&m, &msg).unwrap(),
                 message_reply_size(&m, &msg).unwrap()
             );
+        }
+
+        #[test]
+        fn cached_sizes_equal_uncached_sizes((m, msg) in arb_call()) {
+            // The cache is an invisible optimization: for any call, sizes
+            // through the cache (cold, then warm) match the direct walk.
+            let iid = Iid(coign_com::Guid::NULL);
+            let cache = SizeCache::new();
+            for _ in 0..2 {
+                let (req, _) = cache.request_size(iid, 0, &m, &msg);
+                let (reply, _) = cache.reply_size(iid, 0, &m, &msg);
+                prop_assert_eq!(req.unwrap(), message_request_size(&m, &msg).unwrap());
+                prop_assert_eq!(reply.unwrap(), message_reply_size(&m, &msg).unwrap());
+            }
+            prop_assert!(cache.hits() >= 2);
         }
 
         #[test]

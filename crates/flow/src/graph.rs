@@ -90,6 +90,27 @@ impl FlowNetwork {
         self.adj[v].push(fwd + 1);
     }
 
+    /// Rewrites the capacity of undirected edge pair `pair` (both
+    /// directions get `cap`) and clears any flow on it.
+    ///
+    /// Topology is untouched, so edge ids — and therefore
+    /// [`FlowNetwork::snapshot_flows`] layouts taken before the rewrite —
+    /// stay index-compatible. This is the re-parameterization primitive
+    /// behind capacity sweeps: build the network once, then rescale edge
+    /// weights point by point instead of rebuilding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is out of range.
+    pub fn set_undirected_capacity(&mut self, pair: usize, cap: u64) {
+        let base = pair * 2;
+        assert!(base + 1 < self.edges.len(), "edge pair out of range");
+        self.original_caps[base] = cap;
+        self.original_caps[base + 1] = cap;
+        self.edges[base].cap = cap;
+        self.edges[base + 1].cap = cap;
+    }
+
     /// Restores every edge to its original capacity (undoes all flow).
     pub fn reset(&mut self) {
         for (edge, cap) in self.edges.iter_mut().zip(&self.original_caps) {
@@ -120,6 +141,17 @@ impl FlowNetwork {
     /// Flow currently on forward edge `e` (original − residual).
     pub fn flow_on(&self, e: usize) -> u64 {
         self.original_caps[e].saturating_sub(self.edges[e].cap)
+    }
+
+    /// Snapshot of the flow on every directed edge slot (forward and
+    /// reverse, in raw edge-id order) — the format consumed by
+    /// warm-started solvers such as
+    /// [`push_relabel::max_flow_warm`](crate::push_relabel::max_flow_warm).
+    ///
+    /// Take it after a completed max-flow run; pass it to a later solve on
+    /// a network with identical topology and capacities that only grew.
+    pub fn snapshot_flows(&self) -> Vec<u64> {
+        (0..self.edges.len()).map(|e| self.flow_on(e)).collect()
     }
 
     pub(crate) fn push_along(&mut self, e: usize, amount: u64) {

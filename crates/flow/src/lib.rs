@@ -25,5 +25,5 @@ pub mod multiway;
 pub mod push_relabel;
 
 pub use graph::{FlowNetwork, NodeId, INFINITE};
-pub use mincut::{min_cut, min_cut_invocations, CutResult, MaxFlowAlgorithm};
+pub use mincut::{min_cut, min_cut_invocations, min_cut_warm, CutResult, MaxFlowAlgorithm};
 pub use multiway::{multiway_cut, MultiwayCut};

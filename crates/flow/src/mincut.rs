@@ -96,6 +96,37 @@ pub fn min_cut(
     }
 }
 
+/// Computes a minimum `s`–`t` cut, warm-starting lift-to-front from a
+/// previous solve's flow when one is supplied.
+///
+/// `previous_flows` is a [`FlowNetwork::snapshot_flows`] taken after a
+/// completed solve on a network with identical topology whose capacities
+/// were no larger than this one's (see
+/// [`push_relabel::max_flow_warm`](crate::push_relabel::max_flow_warm) for
+/// the feasibility argument). With `None` this is exactly
+/// [`min_cut`] with [`MaxFlowAlgorithm::LiftToFront`]. Warm starting never
+/// changes the cut value or the source side — only how much work the solve
+/// performs.
+pub fn min_cut_warm(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    previous_flows: Option<&[u64]>,
+) -> CutResult {
+    MIN_CUT_INVOCATIONS.with(|n| n.set(n.get() + 1));
+    let cut_value = match previous_flows {
+        Some(flows) => push_relabel::max_flow_warm(g, s, t, flows),
+        None => push_relabel::max_flow(g, s, t),
+    };
+    let source_side = g.residual_reachable(s);
+    debug_assert!(source_side[s]);
+    debug_assert!(!source_side[t]);
+    CutResult {
+        cut_value,
+        source_side,
+    }
+}
+
 /// Sums the original capacities of forward edges crossing from the source
 /// side to the sink side — used by tests to confirm duality.
 pub fn crossing_capacity(g: &FlowNetwork, side: &[bool]) -> u64 {
@@ -185,22 +216,30 @@ mod proptests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    /// Builds a random connected undirected graph from a seed.
-    fn random_graph(seed: u64, n: usize, extra_edges: usize) -> FlowNetwork {
+    /// Builds a random connected undirected graph from a seed, with every
+    /// capacity scaled by `mul`. The RNG sequence depends only on the seed,
+    /// so the same seed always yields the same topology — different `mul`
+    /// values give capacity-rescaled copies of one graph.
+    fn random_graph_scaled(seed: u64, n: usize, extra_edges: usize, mul: u64) -> FlowNetwork {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut g = FlowNetwork::new(n);
         // Spanning chain keeps it connected.
         for i in 1..n {
-            g.add_undirected(i - 1, i, rng.gen_range(1..100));
+            g.add_undirected(i - 1, i, rng.gen_range(1u64..100) * mul);
         }
         for _ in 0..extra_edges {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
             if u != v {
-                g.add_undirected(u, v, rng.gen_range(1..100));
+                g.add_undirected(u, v, rng.gen_range(1u64..100) * mul);
             }
         }
         g
+    }
+
+    /// Builds a random connected undirected graph from a seed.
+    fn random_graph(seed: u64, n: usize, extra_edges: usize) -> FlowNetwork {
+        random_graph_scaled(seed, n, extra_edges, 1)
     }
 
     proptest! {
@@ -218,6 +257,31 @@ mod proptests {
                     None => expected = Some(cut.cut_value),
                     Some(v) => prop_assert_eq!(v, cut.cut_value),
                 }
+            }
+        }
+
+        #[test]
+        fn warm_starts_agree_with_every_cold_algorithm(
+            seed in any::<u64>(),
+            n in 3usize..20,
+            extra in 0usize..24,
+        ) {
+            // Solve a sequence of monotonically growing rescalings of one
+            // graph, warm-starting each solve from the previous flow, and
+            // check every point against all three algorithms run cold.
+            let mut previous: Option<Vec<u64>> = None;
+            for mul in [1u64, 3, 3, 8] {
+                let mut g = random_graph_scaled(seed, n, extra, mul);
+                let warm = min_cut_warm(&mut g, 0, n - 1, previous.as_deref());
+                prop_assert_eq!(crossing_capacity(&g, &warm.source_side), warm.cut_value);
+                for alg in MaxFlowAlgorithm::ALL {
+                    let mut cold = random_graph_scaled(seed, n, extra, mul);
+                    let cut = min_cut(&mut cold, 0, n - 1, alg);
+                    prop_assert_eq!(cut.cut_value, warm.cut_value);
+                    prop_assert_eq!(&cut.source_side, &warm.source_side);
+                }
+                prop_assert!(g.conservation_violations(0, n - 1).is_empty());
+                previous = Some(g.snapshot_flows());
             }
         }
 

@@ -9,8 +9,27 @@
 //! vertices are kept in a list ordered so that discharging front-to-back,
 //! moving any relabeled vertex to the front, terminates with a maximum
 //! preflow — which equals a maximum flow at the sink. Runs in `O(V³)`.
+//!
+//! Two practical accelerations on top of the textbook algorithm:
+//!
+//! * **Global relabeling at start-up** — initial heights are exact
+//!   residual-graph BFS distances to the sink rather than zero, so early
+//!   pushes head toward the sink immediately.
+//! * **Gap relabeling** — whenever a height level between `0` and `|V|`
+//!   empties, every vertex stranded above the gap (and below `|V|`) is
+//!   lifted straight past `|V|`: no residual path to the sink can cross an
+//!   empty level, so those vertices can only return excess to the source.
+//!
+//! Both preserve the height-function invariants, so correctness follows
+//! from the standard push-relabel argument.
+//!
+//! [`max_flow_warm`] additionally supports *warm starts*: re-solving a
+//! network whose topology is unchanged but whose capacities grew (e.g. a
+//! sweep over network speeds) by re-installing the previous solve's flow
+//! as the starting preflow instead of starting from zero.
 
 use crate::graph::{FlowNetwork, NodeId};
+use std::collections::VecDeque;
 
 /// Computes a maximum `s`–`t` flow with relabel-to-front.
 ///
@@ -22,15 +41,82 @@ use crate::graph::{FlowNetwork, NodeId};
 /// Panics if `s == t`.
 pub fn max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
     assert_ne!(s, t, "source and sink must differ");
-    let n = g.node_count();
-    let mut height = vec![0usize; n];
-    let mut excess = vec![0u128; n];
-    // Current-arc pointers (CLRS "current neighbor").
-    let mut cursor = vec![0usize; n];
+    let mut excess = vec![0u128; g.node_count()];
+    saturate_source(g, s, &mut excess);
+    let height = global_heights(g, s, t);
+    discharge_all(g, s, t, height, excess)
+}
 
-    // Initialize preflow: h[s] = |V|, saturate every residual arc out of s
-    // (forward edges and the reverse direction of undirected edges alike).
-    height[s] = n;
+/// Computes a maximum `s`–`t` flow, warm-started from a previous solve.
+///
+/// `previous_flows` must be a [`FlowNetwork::snapshot_flows`] taken after a
+/// completed max-flow run on a network with *identical topology* (same
+/// nodes, same edges in the same order) and edge capacities no larger than
+/// the current ones. The old flow is then still feasible here, so it is
+/// re-installed as the starting assignment and only the incremental flow
+/// admitted by the enlarged capacities has to be found. When consecutive
+/// solves differ only by a capacity rescaling — a sweep across network
+/// latency/bandwidth points — this skips almost all of the work.
+///
+/// The result is exactly the maximum flow value; warm starting changes the
+/// amount of work, never the answer.
+///
+/// # Panics
+///
+/// Panics if `s == t`, if the snapshot length does not match the network's
+/// edge table, or if some edge capacity shrank below its previous flow
+/// (the snapshot would be infeasible here — the caller broke the
+/// monotonicity contract).
+pub fn max_flow_warm(g: &mut FlowNetwork, s: NodeId, t: NodeId, previous_flows: &[u64]) -> u64 {
+    assert_ne!(s, t, "source and sink must differ");
+    assert_eq!(
+        previous_flows.len(),
+        g.edge_count() * 2,
+        "flow snapshot does not match the network topology"
+    );
+    let n = g.node_count();
+    // Re-install the previous flow, pair by pair. For each undirected pair
+    // only the net direction carries flow (the snapshot's saturating
+    // subtraction guarantees one slot of each pair is zero).
+    let mut balance = vec![0i128; n];
+    for base in (0..previous_flows.len()).step_by(2) {
+        let f = i128::from(previous_flows[base]) - i128::from(previous_flows[base + 1]);
+        let (arc, amount) = if f >= 0 {
+            (base, u64::try_from(f).expect("net flow fits u64"))
+        } else {
+            (base + 1, u64::try_from(-f).expect("net flow fits u64"))
+        };
+        if amount > 0 {
+            assert!(
+                g.residual(arc) >= amount,
+                "warm start infeasible: an edge capacity shrank below its previous flow"
+            );
+            g.push_along(arc, amount);
+        }
+        let u = g.head(base + 1); // tail of the forward edge
+        let v = g.head(base);
+        balance[u] -= f;
+        balance[v] += f;
+    }
+    // A valid previous flow conserves at every interior node, leaving
+    // excess only at the sink (and a deficit at the source, which
+    // push-relabel never tracks).
+    let mut excess = vec![0u128; n];
+    for (v, &b) in balance.iter().enumerate() {
+        if v == s {
+            continue;
+        }
+        debug_assert!(b >= 0, "previous flow violates conservation at node {v}");
+        excess[v] = u128::try_from(b.max(0)).expect("balance fits u128");
+    }
+    saturate_source(g, s, &mut excess);
+    let height = global_heights(g, s, t);
+    discharge_all(g, s, t, height, excess)
+}
+
+/// Saturates every remaining residual arc out of `s` (the preflow
+/// initialization step), accumulating the pushed units at the arc heads.
+fn saturate_source(g: &mut FlowNetwork, s: NodeId, excess: &mut [u128]) {
     let s_edges: Vec<usize> = g.edges_of(s).to_vec();
     for e in s_edges {
         let cap = g.residual(e);
@@ -40,23 +126,92 @@ pub fn max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
             excess[v] += u128::from(cap);
         }
     }
+}
 
-    // The list L: every vertex except s and t, any order.
-    let mut list: Vec<NodeId> = (0..n).filter(|&v| v != s && v != t).collect();
-
-    let mut i = 0;
-    while i < list.len() {
-        let u = list[i];
-        let old_height = height[u];
-        discharge(g, u, &mut height, &mut excess, &mut cursor);
-        if height[u] > old_height {
-            // u was relabeled: move it to the front and restart the scan
-            // just after it.
-            list.remove(i);
-            list.insert(0, u);
-            i = 0;
+/// Global relabeling: exact BFS distances to `t` in the current residual
+/// graph. Nodes that cannot reach the sink get height `n`, which is valid
+/// because every arc out of `s` is already saturated (so `h[s] = n` has no
+/// residual arc to justify) and an unreachable node's residual arcs lead
+/// only to other unreachable nodes.
+fn global_heights(g: &FlowNetwork, s: NodeId, t: NodeId) -> Vec<usize> {
+    let n = g.node_count();
+    let mut height = vec![n; n];
+    height[t] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(t);
+    while let Some(v) = queue.pop_front() {
+        for &e in g.edges_of(v) {
+            let u = g.head(e);
+            // The residual arc u → v is e's pair, which leaves u.
+            if u != s && height[u] == n && g.residual(e ^ 1) > 0 {
+                height[u] = height[v] + 1;
+                queue.push_back(u);
+            }
         }
-        i += 1;
+    }
+    height[s] = n;
+    height
+}
+
+/// Runs the relabel-to-front discharge loop to completion and returns the
+/// flow arriving at `t`.
+fn discharge_all(
+    g: &mut FlowNetwork,
+    s: NodeId,
+    t: NodeId,
+    mut height: Vec<usize>,
+    mut excess: Vec<u128>,
+) -> u64 {
+    let n = g.node_count();
+    let mut cursor = vec![0usize; n];
+    // Occupancy of each height level (source excluded), for gap relabeling.
+    let mut level_count = vec![0usize; 2 * n + 2];
+    for (v, &h) in height.iter().enumerate() {
+        if v != s {
+            level_count[h] += 1;
+        }
+    }
+
+    // The list L: every vertex except s and t. Classic relabel-to-front
+    // admits any initial order because all-zero heights admit no arcs; our
+    // BFS-initialized heights do, so seed the list in descending height
+    // order (admissible arcs always point one level down, making this a
+    // topological order of the admissible network).
+    let mut list: Vec<NodeId> = (0..n).filter(|&v| v != s && v != t).collect();
+    list.sort_by(|&a, &b| height[b].cmp(&height[a]));
+
+    // Gap relabeling lifts vertices other than the one being discharged,
+    // which can break the list's topological invariant mid-pass — a push
+    // may then target an already-scanned vertex without triggering the
+    // relabel restart. Generic push-relabel is correct under *any*
+    // discharge order, so simply rescan until a full pass leaves every
+    // listed vertex drained.
+    loop {
+        let mut i = 0;
+        while i < list.len() {
+            let u = list[i];
+            let old_height = height[u];
+            discharge(
+                g,
+                u,
+                s,
+                &mut height,
+                &mut excess,
+                &mut cursor,
+                &mut level_count,
+            );
+            if height[u] > old_height {
+                // u was relabeled: move it to the front and restart the
+                // scan just after it.
+                list.remove(i);
+                list.insert(0, u);
+                i = 0;
+            }
+            i += 1;
+        }
+        if list.iter().all(|&v| excess[v] == 0) {
+            break;
+        }
     }
 
     debug_assert!(g.conservation_violations(s, t).is_empty());
@@ -64,17 +219,20 @@ pub fn max_flow(g: &mut FlowNetwork, s: NodeId, t: NodeId) -> u64 {
 }
 
 /// Pushes and relabels `u` until it no longer overflows (CLRS `DISCHARGE`).
+#[allow(clippy::too_many_arguments)]
 fn discharge(
     g: &mut FlowNetwork,
     u: NodeId,
+    s: NodeId,
     height: &mut [usize],
     excess: &mut [u128],
     cursor: &mut [usize],
+    level_count: &mut [usize],
 ) {
     while excess[u] > 0 {
         let edges = g.edges_of(u);
         if cursor[u] >= edges.len() {
-            relabel(g, u, height);
+            relabel(g, u, s, height, cursor, level_count);
             cursor[u] = 0;
             continue;
         }
@@ -94,8 +252,17 @@ fn discharge(
 }
 
 /// Lifts `u` to one more than its lowest admissible neighbor (CLRS
-/// `RELABEL`).
-fn relabel(g: &FlowNetwork, u: NodeId, height: &mut [usize]) {
+/// `RELABEL`), then applies the gap heuristic if `u` vacated its level.
+fn relabel(
+    g: &FlowNetwork,
+    u: NodeId,
+    s: NodeId,
+    height: &mut [usize],
+    cursor: &mut [usize],
+    level_count: &mut [usize],
+) {
+    let n = g.node_count();
+    let old = height[u];
     let mut min_height = usize::MAX;
     for &e in g.edges_of(u) {
         if g.residual(e) > 0 {
@@ -103,7 +270,27 @@ fn relabel(g: &FlowNetwork, u: NodeId, height: &mut [usize]) {
         }
     }
     debug_assert!(min_height != usize::MAX, "relabel of disconnected node");
-    height[u] = min_height.saturating_add(1);
+    let new = min_height.saturating_add(1);
+    height[u] = new;
+    level_count[old] -= 1;
+    if new < level_count.len() {
+        level_count[new] += 1;
+    }
+    // Gap heuristic: level `old` just emptied below n — no residual path to
+    // the sink can cross an empty level, so every vertex stranded between
+    // the gap and n is lifted past n and will only drain back to the
+    // source. Cursors reset because a raised height can make previously
+    // skipped arcs admissible again.
+    if old < n && level_count[old] == 0 {
+        for v in 0..n {
+            if v != s && height[v] > old && height[v] < n {
+                level_count[height[v]] -= 1;
+                height[v] = n + 1;
+                level_count[n + 1] += 1;
+                cursor[v] = 0;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +387,58 @@ mod tests {
     fn same_source_and_sink_panics() {
         let mut g = FlowNetwork::new(2);
         max_flow(&mut g, 1, 1);
+    }
+
+    /// The chain network at a given capacity scale (same topology each time).
+    fn chain_scaled(mul: u64) -> FlowNetwork {
+        let mut g = FlowNetwork::new(4);
+        g.add_undirected(0, 1, 100 * mul);
+        g.add_undirected(1, 2, 3 * mul);
+        g.add_undirected(2, 3, 100 * mul);
+        g
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve_after_capacity_growth() {
+        let mut g = chain_scaled(1);
+        assert_eq!(max_flow(&mut g, 0, 3), 3);
+        let flows = g.snapshot_flows();
+
+        let mut warm = chain_scaled(5);
+        assert_eq!(max_flow_warm(&mut warm, 0, 3, &flows), 15);
+        assert_eq!(warm.residual_reachable(0), vec![true, true, false, false]);
+
+        let mut cold = chain_scaled(5);
+        assert_eq!(max_flow(&mut cold, 0, 3), 15);
+    }
+
+    #[test]
+    fn warm_start_with_identical_capacities_is_a_no_op_resolve() {
+        let mut g = chain_scaled(2);
+        let value = max_flow(&mut g, 0, 3);
+        let flows = g.snapshot_flows();
+        let mut again = chain_scaled(2);
+        assert_eq!(max_flow_warm(&mut again, 0, 3, &flows), value);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm start infeasible")]
+    fn warm_start_rejects_shrunken_capacities() {
+        let mut g = chain_scaled(4);
+        max_flow(&mut g, 0, 3);
+        let flows = g.snapshot_flows();
+        let mut smaller = chain_scaled(1);
+        max_flow_warm(&mut smaller, 0, 3, &flows);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot does not match")]
+    fn warm_start_rejects_mismatched_topology() {
+        let mut g = chain_scaled(1);
+        max_flow(&mut g, 0, 3);
+        let flows = g.snapshot_flows();
+        let mut other = FlowNetwork::new(4);
+        other.add_undirected(0, 3, 1);
+        max_flow_warm(&mut other, 0, 3, &flows);
     }
 }

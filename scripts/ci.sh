@@ -50,4 +50,12 @@ if cmp -s "$TMP/fault_run_seed_7.txt" "$TMP/fault_run_seed_11.txt"; then
   exit 1
 fi
 
+echo "==> perf smoke (BENCH_coign.json)"
+# Records the perf trajectory: profile replay (sequential vs parallel
+# workers), marshal-size cache hit rate, and the network sweep cold vs
+# warm. The binary itself asserts the correctness half (byte-identical
+# profiles, identical cut values, warm strictly faster).
+target/release/perfsuite BENCH_coign.json
+cat BENCH_coign.json
+
 echo "CI OK"
