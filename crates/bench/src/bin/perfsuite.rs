@@ -14,9 +14,12 @@
 //! Usage: `perfsuite [out.json]` (default `BENCH_coign.json`).
 
 use coign::classifier::{ClassifierKind, InstanceClassifier};
-use coign::runtime::{profile_scenario, profile_scenarios, profile_scenarios_parallel};
+use coign::runtime::{
+    profile_scenario, profile_scenarios, profile_scenarios_observed, profile_scenarios_parallel,
+};
 use coign::sweep::{sweep, SweepGrid, SweepMode};
 use coign_apps::scenarios::app_by_name;
+use coign_obs::Obs;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -102,13 +105,39 @@ fn main() {
         );
     }
 
+    // 4. Trace-emission overhead: the same sequential profile replay with
+    // a live tracer attached — every intercepted call emits an `icc_call`
+    // instant plus a marshal-cache instant — must stay within 10% of the
+    // untraced run, or tracing is too expensive to leave on in CI.
+    let (traced_events, traced_ms) = timed_min_ms(|| {
+        let obs = Obs::enabled();
+        obs.tracer.set_host_time(false);
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        profile_scenarios_observed(app.as_ref(), &SCENARIOS, &classifier, Some(&obs))
+            .expect("traced profile");
+        obs.tracer.len()
+    });
+    assert!(
+        traced_events > 0,
+        "traced profile replay recorded no events"
+    );
+    let trace_overhead = (traced_ms - sequential_ms) / sequential_ms;
+    assert!(
+        trace_overhead < 0.10,
+        "trace emission overhead {:.1}% exceeds the 10% budget \
+         ({traced_ms:.3} ms traced vs {sequential_ms:.3} ms untraced)",
+        trace_overhead * 100.0
+    );
+
     let json = format!(
         "{{\"profile\":{{\"scenarios\":{},\"sequential_ms\":{sequential_ms:.3},\
          \"parallel_jobs\":{JOBS},\"parallel_ms\":{parallel_ms:.3},\
          \"byte_identical\":true}},\
          \"marshal_cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}},\
          \"sweep\":{{\"grid_points\":{},\"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\
-         \"speedup\":{:.3},\"cut_values_identical\":true}}}}",
+         \"speedup\":{:.3},\"cut_values_identical\":true}},\
+         \"trace\":{{\"events\":{traced_events},\"traced_ms\":{traced_ms:.3},\
+         \"overhead_frac\":{trace_overhead:.4}}}}}",
         SCENARIOS.len(),
         cold.points.len(),
         cold_ms / warm_ms,
@@ -117,7 +146,9 @@ fn main() {
     println!("wrote {out}");
     println!(
         "profile {sequential_ms:.1} ms sequential / {parallel_ms:.1} ms with {JOBS} workers; \
-         marshal cache hit rate {:.1}%; sweep {cold_ms:.1} ms cold / {warm_ms:.1} ms warm",
-        hit_rate * 100.0
+         marshal cache hit rate {:.1}%; sweep {cold_ms:.1} ms cold / {warm_ms:.1} ms warm; \
+         tracing {traced_events} events at {:.1}% overhead",
+        hit_rate * 100.0,
+        trace_overhead * 100.0
     );
 }

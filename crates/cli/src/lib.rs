@@ -32,13 +32,14 @@ use coign::config::RuntimeMode;
 use coign::report;
 use coign::rewriter;
 use coign::runtime::{
-    check_constraints, choose_distribution, derive_constraints, profile_scenarios_parallel,
-    run_distributed_faulty,
+    check_constraints, choose_distribution, derive_constraints,
+    profile_scenarios_parallel_observed, run_distributed_faulty_observed,
 };
 use coign::sweep::{sweep, SweepGrid, SweepMode};
 use coign_apps::scenarios::app_by_name;
 use coign_com::{AppImage, ComError, ComResult, ComRuntime, MachineId};
 use coign_dcom::{CallPolicy, FaultPlan, NetworkModel, NetworkProfile};
+use coign_obs::Obs;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -132,6 +133,19 @@ pub fn cmd_check(path: &Path, json: bool) -> Result<String, String> {
 /// pass regardless of `N` (see
 /// [`coign::runtime::profile_scenarios_parallel`]).
 pub fn cmd_profile(path: &Path, scenarios: &[&str], jobs: usize) -> ComResult<String> {
+    cmd_profile_observed(path, scenarios, jobs, None)
+}
+
+/// [`cmd_profile`] with an optional observability bundle: the command runs
+/// under a `profile` phase span, each scenario under a `scenario:<name>`
+/// span, and every intercepted call emits an `icc_call` instant.
+pub fn cmd_profile_observed(
+    path: &Path,
+    scenarios: &[&str],
+    jobs: usize,
+    obs: Option<&Obs>,
+) -> ComResult<String> {
+    let _span = obs.map(|o| o.tracer.phase_span("profile"));
     if scenarios.is_empty() {
         return Err(ComError::App(
             "no scenario named — run `coign profile <image> <scenario>...`".to_string(),
@@ -141,7 +155,8 @@ pub fn cmd_profile(path: &Path, scenarios: &[&str], jobs: usize) -> ComResult<St
     let record = rewriter::read_config(&image)?;
     let app = app_for_image(&image)?;
     let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
-    let profile = profile_scenarios_parallel(app.as_ref(), scenarios, &classifier, jobs)?;
+    let profile =
+        profile_scenarios_parallel_observed(app.as_ref(), scenarios, &classifier, jobs, obs)?;
     rewriter::accumulate_profile(&mut image, &profile)?;
     // Persist the classifier's grown descriptor table too.
     let mut record = rewriter::read_config(&image)?;
@@ -161,6 +176,18 @@ pub fn cmd_profile(path: &Path, scenarios: &[&str], jobs: usize) -> ComResult<St
 /// `coign analyze <image> [network]` — chooses a distribution for the
 /// accumulated profile and realizes it in the image.
 pub fn cmd_analyze(path: &Path, network_name: &str) -> ComResult<String> {
+    cmd_analyze_observed(path, network_name, None)
+}
+
+/// [`cmd_analyze`] with an optional observability bundle: the command runs
+/// under an `analyze` phase span, with nested `mincut` (graph cutting) and
+/// `rewrite` (image realization) spans.
+pub fn cmd_analyze_observed(
+    path: &Path,
+    network_name: &str,
+    obs: Option<&Obs>,
+) -> ComResult<String> {
+    let _span = obs.map(|o| o.tracer.phase_span("analyze"));
     let mut image = load(path)?;
     let record = rewriter::read_config(&image)?;
     if record.profile.total_messages() == 0 {
@@ -172,14 +199,20 @@ pub fn cmd_analyze(path: &Path, network_name: &str) -> ComResult<String> {
     let classifier = InstanceClassifier::decode(&record.classifier)?;
     let network = network_by_name(network_name)?;
     let profile = NetworkProfile::measure(&network, PROFILE_SAMPLES, SEED);
-    let distribution: Distribution = choose_distribution(app.as_ref(), &record.profile, &profile)?;
+    let distribution: Distribution = {
+        let _mincut = obs.map(|o| o.tracer.phase_span("mincut"));
+        choose_distribution(app.as_ref(), &record.profile, &profile)?
+    };
     let (client, server) = (
         distribution.count_on(MachineId::CLIENT),
         distribution.count_on(MachineId::SERVER),
     );
     let predicted = distribution.predicted_comm_us;
-    rewriter::realize(&mut image, &classifier, &distribution)?;
-    store(path, &image)?;
+    {
+        let _rewrite = obs.map(|o| o.tracer.phase_span("rewrite"));
+        rewriter::realize(&mut image, &classifier, &distribution)?;
+        store(path, &image)?;
+    }
     Ok(format!(
         "analyzed for {}: {client} classification(s) on the client, {server} on the server; \
          predicted communication {:.1} ms; {} now loads first",
@@ -194,6 +227,16 @@ pub fn cmd_analyze(path: &Path, network_name: &str) -> ComResult<String> {
 /// each solve from its predecessor and cross-validating against a cold
 /// Dinic solve) and reports where the best distribution changes.
 pub fn cmd_sweep(path: &Path, json: bool) -> ComResult<String> {
+    cmd_sweep_observed(path, json, None)
+}
+
+/// [`cmd_sweep`] with an optional observability bundle: the command runs
+/// under a `sweep` phase span and the registry gains the warm/cold solve
+/// counts. The sweep itself always runs [`SweepMode::WarmValidated`] — one
+/// warm-started solve per grid point, each cross-validated by a cold Dinic
+/// solve — so both counters equal the number of grid points.
+pub fn cmd_sweep_observed(path: &Path, json: bool, obs: Option<&Obs>) -> ComResult<String> {
+    let _span = obs.map(|o| o.tracer.phase_span("sweep"));
     let image = load(path)?;
     let record = rewriter::read_config(&image)?;
     if record.profile.total_messages() == 0 {
@@ -209,6 +252,15 @@ pub fn cmd_sweep(path: &Path, json: bool) -> ComResult<String> {
         &grid,
         SweepMode::WarmValidated,
     )?;
+    if let Some(o) = obs {
+        let points = result.points.len() as u64;
+        o.registry
+            .counter("coign_sweep_warm_solves_total")
+            .add(points);
+        o.registry
+            .counter("coign_sweep_cold_solves_total")
+            .add(points);
+    }
     if json {
         return Ok(render_sweep_json(&grid, &result));
     }
@@ -292,6 +344,23 @@ pub fn cmd_run(
     network_name: &str,
     faults: &RunFaults,
 ) -> ComResult<String> {
+    cmd_run_observed(path, scenario, network_name, faults, None)
+}
+
+/// [`cmd_run`] with an optional observability bundle: the command runs
+/// under a `run` phase span, every cut-crossing call emits an `icc_call`
+/// instant at its simulated-clock time, fault-layer events are traced, the
+/// flight recorder retains the tail of cut-crossing traffic (dumped on
+/// `Timeout`/`Partitioned`/`MachineDown`), and the report's counters are
+/// added to the registry.
+pub fn cmd_run_observed(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    faults: &RunFaults,
+    obs: Option<&Obs>,
+) -> ComResult<String> {
+    let _span = obs.map(|o| o.tracer.phase_span("run"));
     let image = load(path)?;
     let record = rewriter::read_config(&image)?;
     if record.mode != RuntimeMode::Distributed {
@@ -317,7 +386,7 @@ pub fn cmd_run(
             FaultPlan::parse(&text)?
         }
     };
-    let report = run_distributed_faulty(
+    let report = run_distributed_faulty_observed(
         app.as_ref(),
         scenario,
         &classifier,
@@ -327,6 +396,7 @@ pub fn cmd_run(
         plan,
         CallPolicy::default(),
         faults.fault_seed,
+        obs,
     )?;
     if faults.summary {
         return Ok(format!("scenario={scenario}\n{}", report.summary()));

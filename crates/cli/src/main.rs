@@ -1,9 +1,10 @@
 //! `coign` — the tool-chain CLI. See the crate docs for the workflow.
 
 use coign_cli::{
-    cmd_analyze, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile, cmd_run,
-    cmd_script, cmd_show, cmd_strip, cmd_sweep, RunFaults,
+    cmd_analyze_observed, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile_observed,
+    cmd_run_observed, cmd_script, cmd_show, cmd_strip, cmd_sweep_observed, RunFaults,
 };
+use coign_obs::Obs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -27,6 +28,12 @@ USAGE:
   coign script     <image> <script>     profile a scripted scenario (octarine)
   coign dot        <image> <out.dot>    export the ICC graph in Graphviz form
   coign strip      <image>              restore the original binary
+
+GLOBAL FLAGS (any subcommand):
+  --trace <out.json>                    write a Chrome trace-event file (open in
+                                        chrome://tracing or https://ui.perfetto.dev)
+  --metrics <out.json|out.prom>         write a metrics snapshot (JSON, or Prometheus
+                                        text exposition when the path ends in .prom)
 ";
 
 /// Parses `coign profile`'s trailing arguments: one or more scenario
@@ -89,7 +96,41 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunFaults), String> {
     Ok((network.unwrap_or_else(|| "ethernet".to_string()), faults))
 }
 
-fn dispatch(args: &[String]) -> Result<String, String> {
+/// The global `--trace` / `--metrics` flags plus the remaining arguments.
+struct GlobalFlags {
+    rest: Vec<String>,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+}
+
+/// Extracts the global `--trace <path>` / `--metrics <path>` flags from
+/// anywhere on the command line, returning the remaining arguments.
+fn parse_global_flags(args: &[String]) -> Result<GlobalFlags, String> {
+    let mut rest = Vec::new();
+    let mut trace = None;
+    let mut metrics = None;
+    let mut it = args.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--trace" => {
+                let value = it.next().ok_or("--trace needs a file argument")?;
+                trace = Some(PathBuf::from(value));
+            }
+            "--metrics" => {
+                let value = it.next().ok_or("--metrics needs a file argument")?;
+                metrics = Some(PathBuf::from(value));
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    Ok(GlobalFlags {
+        rest,
+        trace,
+        metrics,
+    })
+}
+
+fn dispatch(args: &[String], obs: Option<&Obs>) -> Result<String, String> {
     let arg = |i: usize| -> Result<&str, String> {
         args.get(i)
             .map(String::as_str)
@@ -100,16 +141,17 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "profile" => {
             let (scenarios, jobs) = parse_profile_args(&args[2.min(args.len())..])?;
             let refs: Vec<&str> = scenarios.iter().map(String::as_str).collect();
-            cmd_profile(Path::new(arg(1)?), &refs, jobs)
+            cmd_profile_observed(Path::new(arg(1)?), &refs, jobs, obs)
         }
-        "analyze" => cmd_analyze(Path::new(arg(1)?), arg(2).unwrap_or("ethernet")),
-        "sweep" => cmd_sweep(
+        "analyze" => cmd_analyze_observed(Path::new(arg(1)?), arg(2).unwrap_or("ethernet"), obs),
+        "sweep" => cmd_sweep_observed(
             Path::new(arg(1)?),
             args.get(2).map(String::as_str) == Some("--json"),
+            obs,
         ),
         "run" => {
             let (network, faults) = parse_run_args(&args[3.min(args.len())..])?;
-            cmd_run(Path::new(arg(1)?), arg(2)?, &network, &faults)
+            cmd_run_observed(Path::new(arg(1)?), arg(2)?, &network, &faults, obs)
         }
         "show" => cmd_show(Path::new(arg(1)?)),
         "hotspots" => {
@@ -124,8 +166,13 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     result.map_err(|e| format!("error: {e}"))
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn run(args: &[String], obs: Option<&Obs>) -> ExitCode {
+    let _span = obs.map(|o| {
+        o.tracer.phase_span_with(
+            format!("cli:{}", args.first().map(String::as_str).unwrap_or("?")),
+            Vec::new(),
+        )
+    });
     // `check` owns its exit semantics: the report is the output either way
     // and always goes to stdout; the exit status alone signals whether an
     // error-level diagnostic fired.
@@ -146,7 +193,7 @@ fn main() -> ExitCode {
             }
         };
     }
-    match dispatch(&args) {
+    match dispatch(args, obs) {
         Ok(message) => {
             println!("{message}");
             ExitCode::SUCCESS
@@ -156,4 +203,60 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Writes the collected trace and metrics to their requested files. A
+/// `--metrics` path ending in `.prom` selects the Prometheus text
+/// exposition; anything else gets the JSON snapshot.
+fn write_observability(
+    obs: &Obs,
+    trace: Option<&Path>,
+    metrics: Option<&Path>,
+) -> Result<(), String> {
+    if let Some(path) = trace {
+        std::fs::write(path, obs.tracer.export_chrome_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = metrics {
+        let text = if path.extension().is_some_and(|e| e == "prom") {
+            obs.registry.render_prometheus()
+        } else {
+            obs.registry.snapshot_json()
+        };
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let GlobalFlags {
+        rest: args,
+        trace: trace_path,
+        metrics: metrics_path,
+    } = match parse_global_flags(&raw) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = if trace_path.is_some() || metrics_path.is_some() {
+        let obs = Obs::enabled();
+        coign_obs::install_global(obs.clone());
+        Some(obs)
+    } else {
+        None
+    };
+    // The `cli:<subcommand>` span must close before export, so the trace
+    // is written only after `run` returns.
+    let code = run(&args, obs.as_ref());
+    if let Some(o) = &obs {
+        if let Err(message) = write_observability(o, trace_path.as_deref(), metrics_path.as_deref())
+        {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
 }

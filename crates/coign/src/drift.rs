@@ -19,7 +19,7 @@ use crate::classifier::ClassificationId;
 use crate::profile::IccProfile;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Message-count distribution over classification pairs (order-normalized).
 type PairCounts = HashMap<(ClassificationId, ClassificationId), u64>;
@@ -64,6 +64,9 @@ pub struct DriftMonitor {
     /// Latch for [`DriftMonitor::poll_reprofile`]: a threshold crossing
     /// fires the re-profiling signal once, not on every subsequent call.
     tripped: AtomicBool,
+    /// Lifetime count of latched fires ([`DriftMonitor::reset`] re-arms the
+    /// latch but does not clear this).
+    fires: AtomicU64,
 }
 
 impl DriftMonitor {
@@ -79,6 +82,7 @@ impl DriftMonitor {
             baseline_total,
             observed: Mutex::new(HashMap::new()),
             tripped: AtomicBool::new(false),
+            fires: AtomicU64::new(0),
         }
     }
 
@@ -142,7 +146,23 @@ impl DriftMonitor {
         if !self.should_reprofile(threshold) {
             return false;
         }
-        !self.tripped.swap(true, Ordering::SeqCst)
+        let fired = !self.tripped.swap(true, Ordering::SeqCst);
+        if fired {
+            self.fires.fetch_add(1, Ordering::SeqCst);
+        }
+        fired
+    }
+
+    /// Lifetime number of latched re-profiling fires.
+    pub fn fire_count(&self) -> u64 {
+        self.fires.load(Ordering::SeqCst)
+    }
+
+    /// Adds this monitor's fire count to a metrics registry.
+    pub fn record_metrics(&self, registry: &coign_obs::Registry) {
+        registry
+            .counter("coign_drift_fires_total")
+            .add(self.fire_count());
     }
 }
 

@@ -22,12 +22,26 @@
 use crate::classifier::{ClassificationId, InstanceClassifier};
 use crate::drift::DriftMonitor;
 use crate::logger::{CallRecord, InfoLogger};
+use crate::profile::icc_size_bounds;
 use coign_com::interface::CallInfo;
 use coign_com::{ComError, ComResult, ComRuntime, InterfacePtr, Invoker, Message};
 use coign_dcom::marshal::{message_reply_size, message_request_size, SizeCache};
 use coign_dcom::Transport;
+use coign_obs::{Histogram, Obs, TraceArg};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Name of the registry histogram recording ICC message sizes (the
+/// paper's exponential size buckets).
+pub const ICC_SIZE_HISTOGRAM: &str = "coign_icc_message_bytes";
+
+/// Fetches the ICC-size histogram handle from an optional obs bundle.
+fn icc_histogram(obs: Option<&Obs>) -> Option<Histogram> {
+    obs.map(|obs| {
+        obs.registry
+            .histogram(ICC_SIZE_HISTOGRAM, &icc_size_bounds())
+    })
+}
 
 /// Fixed profiling-informer cost per intercepted call, microseconds.
 pub const PROFILING_CALL_OVERHEAD_US: u64 = 12;
@@ -95,6 +109,9 @@ pub struct ProfilingInvoker {
     /// the recursive walk (and its per-KB overhead charge) on a hit;
     /// measured sizes are identical either way.
     cache: Arc<SizeCache>,
+    /// Optional observability: marshal-cache miss instants. Per-call trace
+    /// detail stays out of this hot path — the `EventLogger` carries it.
+    obs: Option<Obs>,
 }
 
 impl ProfilingInvoker {
@@ -106,12 +123,26 @@ impl ProfilingInvoker {
         overhead: Arc<OverheadMeter>,
         cache: Arc<SizeCache>,
     ) -> InterfacePtr {
+        Self::wrap_observed(ptr, classifier, logger, overhead, cache, None)
+    }
+
+    /// Wraps a pointer with profiling instrumentation that additionally
+    /// reports to an observability bundle.
+    pub fn wrap_observed(
+        ptr: InterfacePtr,
+        classifier: Arc<InstanceClassifier>,
+        logger: Arc<dyn InfoLogger>,
+        overhead: Arc<OverheadMeter>,
+        cache: Arc<SizeCache>,
+        obs: Option<Obs>,
+    ) -> InterfacePtr {
         let invoker = ProfilingInvoker {
             inner: ptr.clone(),
             classifier,
             logger,
             overhead,
             cache,
+            obs,
         };
         ptr.wrap(Arc::new(invoker))
     }
@@ -163,7 +194,7 @@ impl Invoker for ProfilingInvoker {
             .classifier
             .classification_of(call.owner)
             .unwrap_or(ClassificationId::ROOT);
-        self.logger.log_call(&CallRecord {
+        let record = CallRecord {
             caller,
             caller_class,
             callee: call.owner,
@@ -173,7 +204,43 @@ impl Invoker for ProfilingInvoker {
             req_bytes,
             reply_bytes,
             remotable,
-        });
+        };
+        self.logger.log_call(&record);
+        if let Some(obs) = &self.obs {
+            // Tracing must stay cheap enough to leave on while tens of
+            // thousands of calls replay (perfsuite asserts < 10% overhead),
+            // so the per-call record is the `EventLogger`'s job and only
+            // marshal-cache misses — the rare first deep-copy walk of a new
+            // argument shape — become instants. Hits aggregate into
+            // `coign_marshal_cache_hits_total` after the run.
+            if !req_hit || !reply_hit {
+                let at = rt.clock().now_us();
+                if !req_hit {
+                    obs.tracer.instant_at(
+                        "marshal_cache_miss",
+                        at,
+                        vec![
+                            ("dir", TraceArg::Static("request")),
+                            ("iid", TraceArg::Guid((call.desc.iid.0).0)),
+                            ("method", TraceArg::U64(u64::from(call.method))),
+                            ("bytes", TraceArg::U64(req_bytes)),
+                        ],
+                    );
+                }
+                if !reply_hit {
+                    obs.tracer.instant_at(
+                        "marshal_cache_miss",
+                        at,
+                        vec![
+                            ("dir", TraceArg::Static("reply")),
+                            ("iid", TraceArg::Guid((call.desc.iid.0).0)),
+                            ("method", TraceArg::U64(u64::from(call.method))),
+                            ("bytes", TraceArg::U64(reply_bytes)),
+                        ],
+                    );
+                }
+            }
+        }
         result
     }
 }
@@ -187,6 +254,10 @@ pub struct DistributionInvoker {
     /// Optional message counting for usage-drift detection (§6): counts
     /// only — no parameter walking — so the runtime stays lightweight.
     drift: Option<(Arc<InstanceClassifier>, Arc<DriftMonitor>)>,
+    /// Optional observability: cut-crossing instants, flight-recorder
+    /// entries, the size histogram, and dump-on-error.
+    obs: Option<Obs>,
+    icc_hist: Option<Histogram>,
 }
 
 impl DistributionInvoker {
@@ -206,13 +277,45 @@ impl DistributionInvoker {
         overhead: Arc<OverheadMeter>,
         drift: Option<(Arc<InstanceClassifier>, Arc<DriftMonitor>)>,
     ) -> InterfacePtr {
+        Self::wrap_observed(ptr, transport, overhead, drift, None)
+    }
+
+    /// Wraps a pointer with drift counting and an observability bundle:
+    /// every cut-crossing call becomes an `icc_call` tracer instant and a
+    /// flight-recorder entry, and a dying call dumps the recorder.
+    pub fn wrap_observed(
+        ptr: InterfacePtr,
+        transport: Arc<Transport>,
+        overhead: Arc<OverheadMeter>,
+        drift: Option<(Arc<InstanceClassifier>, Arc<DriftMonitor>)>,
+        obs: Option<Obs>,
+    ) -> InterfacePtr {
         let invoker = DistributionInvoker {
             inner: ptr.clone(),
             transport,
             overhead,
             drift,
+            icc_hist: icc_histogram(obs.as_ref()),
+            obs,
         };
         ptr.wrap(Arc::new(invoker))
+    }
+
+    /// Dumps the flight recorder when a remote call dies of a transport
+    /// failure (post-mortem for Timeout / Partitioned / MachineDown).
+    fn dump_on_error(&self, error: ComError) -> ComError {
+        if let Some(obs) = &self.obs {
+            let reason = match &error {
+                ComError::Timeout { .. } => Some("Timeout"),
+                ComError::Partitioned { .. } => Some("Partitioned"),
+                ComError::MachineDown(_) => Some("MachineDown"),
+                _ => None,
+            };
+            if let Some(reason) = reason {
+                obs.recorder.dump(reason);
+            }
+        }
+        error
     }
 }
 
@@ -260,17 +363,43 @@ impl Invoker for DistributionInvoker {
         // happened exactly once — transport retries are re-sends of the
         // same logical message, not new calls in the distribution.
         self.transport
-            .preflight(rt, caller_machine, callee_machine)?;
+            .preflight(rt, caller_machine, callee_machine)
+            .map_err(|e| self.dump_on_error(e))?;
         let req_bytes = message_request_size(method_desc, msg)?;
         let result = self.inner.call(rt, call.method, msg);
         let reply_bytes = message_reply_size(method_desc, msg)?;
-        self.transport.charge_sized_call_checked(
-            rt,
-            caller_machine,
-            callee_machine,
-            req_bytes,
-            reply_bytes,
-        )?;
+        let attempts = self
+            .transport
+            .charge_sized_call_checked(rt, caller_machine, callee_machine, req_bytes, reply_bytes)
+            .map_err(|e| self.dump_on_error(e))?;
+        if let Some(obs) = &self.obs {
+            let at = rt.clock().now_us();
+            obs.tracer.instant_at(
+                "icc_call",
+                at,
+                vec![
+                    ("iid", TraceArg::Guid((call.desc.iid.0).0)),
+                    ("method", TraceArg::U64(u64::from(call.method))),
+                    ("from", TraceArg::U64(u64::from(caller_machine.0))),
+                    ("to", TraceArg::U64(u64::from(callee_machine.0))),
+                    ("req_bytes", TraceArg::U64(req_bytes)),
+                    ("reply_bytes", TraceArg::U64(reply_bytes)),
+                    ("attempts", TraceArg::U64(u64::from(attempts))),
+                ],
+            );
+            obs.recorder.record(
+                at,
+                "icc_call",
+                format!(
+                    "{}[{}] m{}->m{} req={req_bytes} reply={reply_bytes} attempts={attempts}",
+                    call.desc.name, call.method, caller_machine.0, callee_machine.0
+                ),
+            );
+            if let Some(hist) = &self.icc_hist {
+                hist.observe(req_bytes);
+                hist.observe(reply_bytes);
+            }
+        }
         result
     }
 }

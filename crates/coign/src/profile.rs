@@ -49,6 +49,13 @@ pub fn bucket_bound(bucket: u8) -> u64 {
     BUCKET_BASE.saturating_mul(1u64 << bucket.min(BUCKET_COUNT - 1))
 }
 
+/// The bucket bounds as finite histogram bounds for the metrics registry
+/// (the registry's `coign_icc_message_bytes` histogram mirrors these
+/// paper buckets exactly).
+pub fn icc_size_bounds() -> Vec<u64> {
+    coign_obs::metrics::exponential_bounds(BUCKET_BASE, u32::from(BUCKET_COUNT))
+}
+
 /// Key of one summarized communication entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeKey {

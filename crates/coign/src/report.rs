@@ -88,11 +88,15 @@ pub fn hotspots(
         }
     }
     let mut out: Vec<Hotspot> = by_method.into_values().collect();
+    // Ties must order on the (iid, method) key, not the display name: two
+    // distinct interfaces can resolve to the same name, and a name tie
+    // would then leave the order to HashMap iteration — nondeterministic.
     out.sort_by(|a, b| {
         b.predicted_us
             .partial_cmp(&a.predicted_us)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.interface.cmp(&b.interface))
+            .then(a.iid.cmp(&b.iid))
             .then(a.method.cmp(&b.method))
     });
     out
@@ -166,6 +170,8 @@ pub fn caching_candidates(
             .partial_cmp(&a.potential_savings_us)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.interface.cmp(&b.interface))
+            .then(a.iid.cmp(&b.iid))
+            .then(a.method.cmp(&b.method))
     });
     out
 }
@@ -457,6 +463,40 @@ mod tests {
         );
         assert!(!dot.contains("n1 -- n3 [style=dashed"));
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn tied_rankings_order_on_iid_and_method() {
+        // Four interfaces with byte-identical traffic all resolve to the
+        // same display name, so predicted time AND name tie for every
+        // entry — only the (iid, method) tie-break can order them. Rebuild
+        // the report repeatedly: each pass hashes through a freshly seeded
+        // HashMap, so a missing tie-break would shuffle the order.
+        let mut iids: Vec<Iid> = (0..4)
+            .map(|i| Iid::from_name(&format!("ITie{i}")))
+            .collect();
+        iids.sort();
+        let mut names = HashMap::new();
+        let mut p = IccProfile::new();
+        for iid in &iids {
+            names.insert(*iid, "ITie".to_string());
+            for method in [0u32, 1] {
+                for _ in 0..4 {
+                    p.record_message(c(1), c(2), *iid, method, 128);
+                }
+            }
+        }
+        let mut expected: Vec<(Iid, u32)> = iids.iter().flat_map(|i| [(*i, 0), (*i, 1)]).collect();
+        expected.sort();
+        let dist = split_dist();
+        for _ in 0..8 {
+            let spots = hotspots(&p, &net(), None, &names);
+            let got: Vec<(Iid, u32)> = spots.iter().map(|s| (s.iid, s.method)).collect();
+            assert_eq!(got, expected, "hotspot tie order must be (iid, method)");
+            let cands = caching_candidates(&p, &net(), &dist, &names, 1, 1_000);
+            let got: Vec<(Iid, u32)> = cands.iter().map(|s| (s.iid, s.method)).collect();
+            assert_eq!(got, expected, "candidate tie order must be (iid, method)");
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ use coign_com::{
 };
 use coign_dcom::marshal::SizeCache;
 use coign_dcom::Transport;
+use coign_obs::{Obs, TraceArg};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -68,6 +69,9 @@ pub struct CoignRte {
     images: Mutex<Vec<String>>,
     /// Instantiations re-routed because the target machine was down.
     fallbacks: Mutex<Vec<FallbackEvent>>,
+    /// Observability bundle (tracer + registry + flight recorder) threaded
+    /// into every informer this RTE installs.
+    obs: Option<Obs>,
 }
 
 impl CoignRte {
@@ -81,6 +85,7 @@ impl CoignRte {
             marshal_cache: Arc::new(SizeCache::new()),
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
+            obs: None,
         }
     }
 
@@ -115,7 +120,25 @@ impl CoignRte {
             marshal_cache: Arc::new(SizeCache::new()),
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability bundle. Every informer installed from now
+    /// on reports through it, and in distributed mode the transport's
+    /// fault layer is hooked up too (fault events become tracer instants
+    /// and flight-recorder entries).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        if let RteMode::Distributed { transport, .. } = &self.mode {
+            transport.set_obs(obs.tracer.clone(), obs.recorder.clone());
+        }
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref()
     }
 
     /// The classifier in use.
@@ -193,6 +216,22 @@ impl RuntimeHook for CoignRte {
                         actual: here,
                         at_us: now,
                     });
+                    if let Some(obs) = &self.obs {
+                        obs.tracer.instant_at(
+                            "fallback",
+                            now,
+                            vec![
+                                ("clsid", TraceArg::Guid((req.clsid.0).0)),
+                                ("intended", TraceArg::U64(u64::from(machine.0))),
+                                ("actual", TraceArg::U64(u64::from(here.0))),
+                            ],
+                        );
+                        obs.recorder.record(
+                            now,
+                            "fallback",
+                            format!("{} intended m{} -> local m{}", req.clsid, machine.0, here.0),
+                        );
+                    }
                     machine = here;
                 }
                 Some(rt.create_direct(req.clsid, req.iid, Some(machine)))
@@ -214,20 +253,22 @@ impl RuntimeHook for CoignRte {
             self.logger.log_interface_created(ptr.owner(), ptr.iid());
         }
         match &self.mode {
-            RteMode::Profiling => ProfilingInvoker::wrap(
+            RteMode::Profiling => ProfilingInvoker::wrap_observed(
                 ptr,
                 self.classifier.clone(),
                 self.logger.clone(),
                 self.overhead.clone(),
                 self.marshal_cache.clone(),
+                self.obs.clone(),
             ),
             RteMode::Distributed {
                 transport, drift, ..
-            } => DistributionInvoker::wrap_with_drift(
+            } => DistributionInvoker::wrap_observed(
                 ptr,
                 transport.clone(),
                 self.overhead.clone(),
                 drift.as_ref().map(|m| (self.classifier.clone(), m.clone())),
+                self.obs.clone(),
             ),
         }
     }

@@ -30,6 +30,7 @@ use coign_com::{
 };
 use coign_dcom::{CallPolicy, FaultPlan, FaultStats, NetworkModel, NetworkProfile, Transport};
 use coign_flow::MaxFlowAlgorithm;
+use coign_obs::{Obs, Registry, TraceArg};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -70,6 +71,31 @@ impl FaultReport {
     /// True when the fault layer never perturbed the run.
     pub fn is_clean(&self) -> bool {
         *self == FaultReport::default()
+    }
+
+    /// Adds this report's counters to a metrics registry, under the same
+    /// names the transport's own [`FaultStats::record_metrics`] uses, plus
+    /// the runtime-level `coign_fault_fallbacks_total`.
+    pub fn record_metrics(&self, registry: &Registry) {
+        registry.counter("coign_fault_drops_total").add(self.drops);
+        registry
+            .counter("coign_fault_timeouts_total")
+            .add(self.timeouts);
+        registry
+            .counter("coign_fault_retries_total")
+            .add(self.retries);
+        registry
+            .counter("coign_fault_failed_calls_total")
+            .add(self.failed_calls);
+        registry
+            .counter("coign_fault_machine_down_errors_total")
+            .add(self.machine_down_errors);
+        registry
+            .counter("coign_fault_wasted_us")
+            .add(self.wasted_us);
+        registry
+            .counter("coign_fault_fallbacks_total")
+            .add(self.fallbacks);
     }
 }
 
@@ -119,10 +145,44 @@ impl RunReport {
         self.clock_us as f64 / 1e6
     }
 
+    /// Adds every scalar measurement of this report to a metrics registry.
+    /// The names are the superset a `--metrics` snapshot exposes; they are
+    /// also the single source [`RunReport::summary`] renders from.
+    pub fn record_metrics(&self, registry: &Registry) {
+        registry
+            .counter("coign_compute_us")
+            .add(self.stats.compute_us);
+        registry.counter("coign_comm_us").add(self.stats.comm_us);
+        registry
+            .counter("coign_messages_total")
+            .add(self.stats.messages);
+        registry.counter("coign_bytes_total").add(self.stats.bytes);
+        registry.counter("coign_calls_total").add(self.stats.calls);
+        registry
+            .counter("coign_cross_machine_calls_total")
+            .add(self.stats.cross_machine_calls);
+        registry.counter("coign_clock_us").add(self.clock_us);
+        registry.counter("coign_overhead_us").add(self.overhead_us);
+        self.faults.record_metrics(registry);
+        registry
+            .counter("coign_marshal_cache_hits_total")
+            .add(self.marshal_cache_hits);
+        registry
+            .counter("coign_marshal_cache_misses_total")
+            .add(self.marshal_cache_misses);
+    }
+
     /// Renders the report as a deterministic key=value block, one field
     /// per line — the format CI diffs against committed expectations, so
     /// two runs with the same seeds must produce byte-identical text.
+    ///
+    /// Every numeric line is read back from a throwaway metrics registry
+    /// populated by [`RunReport::record_metrics`], so this report and a
+    /// `--metrics` snapshot can never disagree about a counter.
     pub fn summary(&self) -> String {
+        let registry = Registry::new();
+        self.record_metrics(&registry);
+        let c = |name: &str| registry.counter_value(name).unwrap_or(0);
         let mut placements: Vec<String> = self
             .instance_placements
             .iter()
@@ -149,25 +209,25 @@ impl RunReport {
              fault_fallbacks={}\n\
              marshal_cache_hits={}\n\
              marshal_cache_misses={}\n",
-            self.stats.compute_us,
-            self.stats.comm_us,
-            self.stats.messages,
-            self.stats.bytes,
-            self.stats.calls,
-            self.stats.cross_machine_calls,
-            self.clock_us,
-            self.overhead_us,
+            c("coign_compute_us"),
+            c("coign_comm_us"),
+            c("coign_messages_total"),
+            c("coign_bytes_total"),
+            c("coign_calls_total"),
+            c("coign_cross_machine_calls_total"),
+            c("coign_clock_us"),
+            c("coign_overhead_us"),
             self.instances_per_machine,
             placements.join(", "),
-            self.faults.drops,
-            self.faults.timeouts,
-            self.faults.retries,
-            self.faults.failed_calls,
-            self.faults.machine_down_errors,
-            self.faults.wasted_us,
-            self.faults.fallbacks,
-            self.marshal_cache_hits,
-            self.marshal_cache_misses,
+            c("coign_fault_drops_total"),
+            c("coign_fault_timeouts_total"),
+            c("coign_fault_retries_total"),
+            c("coign_fault_failed_calls_total"),
+            c("coign_fault_machine_down_errors_total"),
+            c("coign_fault_wasted_us"),
+            c("coign_fault_fallbacks_total"),
+            c("coign_marshal_cache_hits_total"),
+            c("coign_marshal_cache_misses_total"),
         )
     }
 }
@@ -226,16 +286,42 @@ pub fn profile_scenario(
     scenario: &str,
     classifier: &Arc<InstanceClassifier>,
 ) -> ComResult<ProfileRun> {
+    profile_scenario_observed(app, scenario, classifier, None)
+}
+
+/// [`profile_scenario`] with an optional observability bundle: the run is
+/// wrapped in a `scenario:<name>` span, every intercepted call emits an
+/// `icc_call` instant, and the marshal-size cache's counters are added to
+/// the bundle's registry when the scenario finishes.
+pub fn profile_scenario_observed(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    obs: Option<&Obs>,
+) -> ComResult<ProfileRun> {
+    let _span = obs.map(|o| {
+        o.tracer.phase_span_with(
+            format!("scenario:{scenario}"),
+            vec![("scenario", TraceArg::Str(scenario.to_string()))],
+        )
+    });
     let rt = ComRuntime::single_machine();
     app.register(&rt);
     classifier.begin_execution();
     let logger = Arc::new(ProfilingLogger::new());
     logger.set_scenario(scenario);
-    let rte = Arc::new(CoignRte::profiling(classifier.clone(), logger.clone()));
+    let mut rte = CoignRte::profiling(classifier.clone(), logger.clone());
+    if let Some(o) = obs {
+        rte = rte.with_obs(o.clone());
+    }
+    let rte = Arc::new(rte);
     rt.add_hook(rte.clone());
 
     app.run_scenario(&rt, scenario)?;
 
+    if let Some(o) = obs {
+        rte.marshal_cache().record_metrics(&o.registry);
+    }
     let instance_pairs = logger.instance_pairs();
     let instance_classes = logger.instance_classes();
     let profile = logger.take_profile();
@@ -262,9 +348,20 @@ pub fn profile_scenarios(
     scenarios: &[&str],
     classifier: &Arc<InstanceClassifier>,
 ) -> ComResult<IccProfile> {
+    profile_scenarios_observed(app, scenarios, classifier, None)
+}
+
+/// [`profile_scenarios`] with an optional observability bundle threaded
+/// through each scenario run.
+pub fn profile_scenarios_observed(
+    app: &dyn Application,
+    scenarios: &[&str],
+    classifier: &Arc<InstanceClassifier>,
+    obs: Option<&Obs>,
+) -> ComResult<IccProfile> {
     let mut merged = IccProfile::new();
     for scenario in scenarios {
-        let run = profile_scenario(app, scenario, classifier)?;
+        let run = profile_scenario_observed(app, scenario, classifier, obs)?;
         merged.merge(&run.profile);
     }
     Ok(merged)
@@ -287,12 +384,48 @@ pub fn profile_scenarios_parallel(
     classifier: &Arc<InstanceClassifier>,
     jobs: usize,
 ) -> ComResult<IccProfile> {
+    profile_scenarios_parallel_observed(app, scenarios, classifier, jobs, None)
+}
+
+/// [`profile_scenarios_parallel`] with an optional observability bundle.
+///
+/// Each worker records into a private child tracer; the children are
+/// merged back — in scenario order — together with a `classifier_fork`
+/// instant per fork (emitted up front) and a `classifier_absorb` instant
+/// per merge, so the exported trace is byte-identical across runs
+/// regardless of worker interleaving. Registry counters are shared
+/// directly: counters commute, so worker order cannot perturb them.
+pub fn profile_scenarios_parallel_observed(
+    app: &dyn Application,
+    scenarios: &[&str],
+    classifier: &Arc<InstanceClassifier>,
+    jobs: usize,
+    obs: Option<&Obs>,
+) -> ComResult<IccProfile> {
     if jobs <= 1 || scenarios.len() <= 1 {
-        return profile_scenarios(app, scenarios, classifier);
+        return profile_scenarios_observed(app, scenarios, classifier, obs);
     }
     let forks: Vec<Arc<InstanceClassifier>> = scenarios
         .iter()
         .map(|_| Arc::new(classifier.fork()))
+        .collect();
+    if let Some(o) = obs {
+        for scenario in scenarios {
+            o.tracer.instant(
+                "classifier_fork",
+                vec![("scenario", TraceArg::Str((*scenario).to_string()))],
+            );
+        }
+    }
+    let children: Vec<Option<Obs>> = scenarios
+        .iter()
+        .map(|_| {
+            obs.map(|o| Obs {
+                tracer: Arc::new(o.tracer.child()),
+                registry: o.registry.clone(),
+                recorder: o.recorder.clone(),
+            })
+        })
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results: Vec<parking_lot::Mutex<Option<ComResult<ProfileRun>>>> = scenarios
@@ -306,7 +439,8 @@ pub fn profile_scenarios_parallel(
                 if i >= scenarios.len() {
                     break;
                 }
-                let run = profile_scenario(app, scenarios[i], &forks[i]);
+                let run =
+                    profile_scenario_observed(app, scenarios[i], &forks[i], children[i].as_ref());
                 *results[i].lock() = Some(run);
             });
         }
@@ -317,6 +451,18 @@ pub fn profile_scenarios_parallel(
             .into_inner()
             .expect("profiling worker exited without reporting a result")?;
         let map = classifier.absorb(&forks[i]);
+        if let Some(o) = obs {
+            if let Some(child) = &children[i] {
+                o.tracer.merge_from(&child.tracer);
+            }
+            o.tracer.instant(
+                "classifier_absorb",
+                vec![
+                    ("scenario", TraceArg::Str(scenarios[i].to_string())),
+                    ("translated", TraceArg::U64(map.len() as u64)),
+                ],
+            );
+        }
         merged.merge(&run.profile.remap_classifications(&map));
     }
     Ok(merged)
@@ -524,7 +670,39 @@ pub fn run_distributed_faulty(
     policy: CallPolicy,
     fault_seed: u64,
 ) -> ComResult<RunReport> {
-    run_distributed_with_transport(
+    run_distributed_faulty_observed(
+        app,
+        scenario,
+        classifier,
+        distribution,
+        network,
+        seed,
+        plan,
+        policy,
+        fault_seed,
+        None,
+    )
+}
+
+/// [`run_distributed_faulty`] with an optional observability bundle: every
+/// cut-crossing call emits an `icc_call` instant and lands in the flight
+/// recorder, fault-layer events (`fault_drop`, `fault_timeout`,
+/// `fault_retry`, …) are traced at their simulated-clock time, and the
+/// report's counters are added to the bundle's registry.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_faulty_observed(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    network: NetworkModel,
+    seed: u64,
+    plan: FaultPlan,
+    policy: CallPolicy,
+    fault_seed: u64,
+    obs: Option<&Obs>,
+) -> ComResult<RunReport> {
+    run_distributed_with_transport_observed(
         app,
         scenario,
         classifier,
@@ -533,6 +711,7 @@ pub fn run_distributed_faulty(
         Arc::new(Transport::with_faults(
             network, seed, plan, policy, fault_seed,
         )),
+        obs,
     )
 }
 
@@ -544,6 +723,26 @@ fn run_distributed_with_transport(
     rt: ComRuntime,
     transport: Arc<Transport>,
 ) -> ComResult<RunReport> {
+    run_distributed_with_transport_observed(
+        app,
+        scenario,
+        classifier,
+        distribution,
+        rt,
+        transport,
+        None,
+    )
+}
+
+fn run_distributed_with_transport_observed(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    rt: ComRuntime,
+    transport: Arc<Transport>,
+    obs: Option<&Obs>,
+) -> ComResult<RunReport> {
     app.register(&rt);
     classifier.begin_execution();
     let factory = ComponentFactory::with_class_pins(
@@ -552,17 +751,21 @@ fn run_distributed_with_transport(
         MachineId::CLIENT,
         rt.machines().len(),
     );
-    let rte = Arc::new(CoignRte::distributed(
+    let mut rte = CoignRte::distributed(
         classifier.clone(),
         Arc::new(crate::logger::NullLogger),
         factory,
         transport.clone(),
-    ));
+    );
+    if let Some(o) = obs {
+        rte = rte.with_obs(o.clone());
+    }
+    let rte = Arc::new(rte);
     rt.add_hook(rte.clone());
 
     app.run_scenario(&rt, scenario)?;
 
-    Ok(RunReport {
+    let report = RunReport {
         stats: rt.stats(),
         clock_us: rt.clock().now_us(),
         overhead_us: rte.overhead_us(),
@@ -571,7 +774,11 @@ fn run_distributed_with_transport(
         faults: FaultReport::from_parts(transport.fault_stats(), rte.fallback_count()),
         marshal_cache_hits: rte.marshal_cache().hits(),
         marshal_cache_misses: rte.marshal_cache().misses(),
-    })
+    };
+    if let Some(o) = obs {
+        report.record_metrics(&o.registry);
+    }
+    Ok(report)
 }
 
 /// Places instances by *class* according to a fixed table — how an

@@ -431,6 +431,27 @@ impl FaultStats {
     pub fn is_clean(&self) -> bool {
         *self == FaultStats::default()
     }
+
+    /// Absorbs these counters into a metrics registry under the
+    /// `coign_fault_*` namespace.
+    pub fn record_metrics(&self, registry: &coign_obs::Registry) {
+        registry.counter("coign_fault_drops_total").add(self.drops);
+        registry
+            .counter("coign_fault_timeouts_total")
+            .add(self.timeouts);
+        registry
+            .counter("coign_fault_retries_total")
+            .add(self.retries);
+        registry
+            .counter("coign_fault_failed_calls_total")
+            .add(self.failed_calls);
+        registry
+            .counter("coign_fault_machine_down_errors_total")
+            .add(self.machine_down_errors);
+        registry
+            .counter("coign_fault_wasted_us")
+            .add(self.wasted_us);
+    }
 }
 
 #[cfg(test)]

@@ -194,6 +194,16 @@ impl SizeCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Absorbs the hit/miss counters into a metrics registry.
+    pub fn record_metrics(&self, registry: &coign_obs::Registry) {
+        registry
+            .counter("coign_marshal_cache_hits_total")
+            .add(self.hits());
+        registry
+            .counter("coign_marshal_cache_misses_total")
+            .add(self.misses());
+    }
+
     /// Request size through the cache; the flag reports a cache hit.
     pub fn request_size(
         &self,

@@ -20,10 +20,12 @@ use crate::marshal::{message_reply_size, message_request_size};
 use crate::network::NetworkModel;
 use coign_com::idl::MethodDesc;
 use coign_com::{ComError, ComResult, ComRuntime, MachineId, Message};
+use coign_obs::{FlightRecorder, TraceArg, Tracer};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Simulated DCOM wire transport between the machines of a topology.
 ///
@@ -41,6 +43,11 @@ pub struct Transport {
     /// is independent of the fault schedule.
     fault_rng: Mutex<StdRng>,
     fault_stats: Mutex<FaultStats>,
+    /// Observability hook: fault events become tracer instants and flight
+    /// recorder entries. Interior-mutable because the transport is shared
+    /// behind an `Arc` before the RTE that owns the hook exists. Only
+    /// fault paths consult it, so a clean run never touches the lock.
+    obs: Mutex<Option<(Arc<Tracer>, Arc<FlightRecorder>)>>,
 }
 
 fn link_key(a: MachineId, b: MachineId) -> (u16, u16) {
@@ -75,6 +82,7 @@ impl Transport {
             policy,
             fault_rng: Mutex::new(StdRng::seed_from_u64(fault_seed)),
             fault_stats: Mutex::new(FaultStats::default()),
+            obs: Mutex::new(None),
         }
     }
 
@@ -112,6 +120,53 @@ impl Transport {
     /// Snapshot of the fault counters accumulated so far.
     pub fn fault_stats(&self) -> FaultStats {
         *self.fault_stats.lock()
+    }
+
+    /// Attaches an observability hook: fault injections, timeouts, and
+    /// retries are reported as tracer instant events (runtime track,
+    /// simulated-clock timestamps) and flight-recorder entries.
+    pub fn set_obs(&self, tracer: Arc<Tracer>, recorder: Arc<FlightRecorder>) {
+        *self.obs.lock() = Some((tracer, recorder));
+    }
+
+    /// Absorbs the accumulated fault counters into a metrics registry.
+    pub fn record_metrics(&self, registry: &coign_obs::Registry) {
+        self.fault_stats().record_metrics(registry);
+    }
+
+    /// Runs `f` against the observability hook, if one is attached.
+    fn with_obs(&self, f: impl FnOnce(&Tracer, &FlightRecorder)) {
+        if let Some((tracer, recorder)) = &*self.obs.lock() {
+            f(tracer, recorder);
+        }
+    }
+
+    /// Reports one fault event between `from` and `to` to the hook.
+    fn fault_event(
+        &self,
+        rt: &ComRuntime,
+        name: &'static str,
+        from: MachineId,
+        to: MachineId,
+        attempt: u32,
+    ) {
+        self.with_obs(|tracer, recorder| {
+            let at = rt.clock().now_us();
+            tracer.instant_at(
+                name,
+                at,
+                vec![
+                    ("from", TraceArg::U64(u64::from(from.0))),
+                    ("to", TraceArg::U64(u64::from(to.0))),
+                    ("attempt", TraceArg::U64(u64::from(attempt))),
+                ],
+            );
+            recorder.record(
+                at,
+                name,
+                format!("m{}->m{} attempt {attempt}", from.0, to.0),
+            );
+        });
     }
 
     /// The model governing one machine pair.
@@ -199,6 +254,22 @@ impl Transport {
         };
         self.wait(rt, us);
         self.fault_stats.lock().retries += 1;
+        self.with_obs(|tracer, recorder| {
+            let at = rt.clock().now_us();
+            tracer.instant_at(
+                "fault_retry",
+                at,
+                vec![
+                    ("retry", TraceArg::U64(u64::from(retry))),
+                    ("backoff_us", TraceArg::U64(us)),
+                ],
+            );
+            recorder.record(
+                at,
+                "fault_retry",
+                format!("retry {retry} after {us}us backoff"),
+            );
+        });
     }
 
     /// Pre-flight check before dispatching a remote call from `from` to
@@ -213,6 +284,7 @@ impl Transport {
         }
         if self.faults.machine_down(to, rt.clock().now_us()) {
             self.fault_stats.lock().machine_down_errors += 1;
+            self.fault_event(rt, "fault_machine_down", from, to, 0);
             return Err(ComError::MachineDown(to));
         }
         for attempt in 1..=self.policy.max_attempts() {
@@ -223,11 +295,13 @@ impl Transport {
             // timeout before concluding the attempt failed.
             self.wait(rt, self.policy.timeout_us);
             self.fault_stats.lock().timeouts += 1;
+            self.fault_event(rt, "fault_timeout", from, to, attempt);
             if attempt < self.policy.max_attempts() {
                 self.backoff(rt, attempt);
             }
         }
         self.fault_stats.lock().failed_calls += 1;
+        self.fault_event(rt, "fault_failed", from, to, self.policy.max_attempts());
         if self.faults.machine_down(to, rt.clock().now_us()) {
             Err(ComError::MachineDown(to))
         } else {
@@ -260,6 +334,7 @@ impl Transport {
             let now = rt.clock().now_us();
             if self.faults.machine_down(to, now) {
                 self.fault_stats.lock().machine_down_errors += 1;
+                self.fault_event(rt, "fault_machine_down", from, to, attempt);
                 return Err(ComError::MachineDown(to));
             }
             let delivered = if self.faults.link_severed(from, to, now) {
@@ -274,6 +349,7 @@ impl Transport {
                     drop(rng);
                     if req_lost || reply_lost {
                         self.fault_stats.lock().drops += 1;
+                        self.fault_event(rt, "fault_drop", from, to, attempt);
                     }
                     !(req_lost || reply_lost)
                 } else {
@@ -282,6 +358,24 @@ impl Transport {
             };
             if delivered {
                 let factor = self.faults.latency_factor(from, to, now);
+                if factor > 1.0 {
+                    self.with_obs(|tracer, recorder| {
+                        tracer.instant_at(
+                            "fault_spike",
+                            now,
+                            vec![
+                                ("from", TraceArg::U64(u64::from(from.0))),
+                                ("to", TraceArg::U64(u64::from(to.0))),
+                                ("factor", TraceArg::F64(factor)),
+                            ],
+                        );
+                        recorder.record(
+                            now,
+                            "fault_spike",
+                            format!("m{}->m{} latency x{factor}", from.0, to.0),
+                        );
+                    });
+                }
                 let (req_us, reply_us) = {
                     let mut rng = self.rng.lock();
                     (
@@ -299,11 +393,13 @@ impl Transport {
             // The caller hears nothing back and waits out the timeout.
             self.wait(rt, self.policy.timeout_us);
             self.fault_stats.lock().timeouts += 1;
+            self.fault_event(rt, "fault_timeout", from, to, attempt);
             if attempt < self.policy.max_attempts() {
                 self.backoff(rt, attempt);
             }
         }
         self.fault_stats.lock().failed_calls += 1;
+        self.fault_event(rt, "fault_failed", from, to, self.policy.max_attempts());
         if self.faults.link_severed(from, to, rt.clock().now_us()) {
             Err(ComError::Partitioned { from, to })
         } else {
@@ -644,5 +740,54 @@ mod tests {
         let (_, stats_b) = run(12);
         assert!(stats_a.drops > 0);
         assert_ne!(stats_a, stats_b, "different fault seeds diverge");
+    }
+
+    #[test]
+    fn obs_hook_reports_fault_events_and_metrics() {
+        let plan = FaultPlan::none().with_loss(1.0);
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            strict_policy(),
+            42,
+        );
+        let tracer = Arc::new(Tracer::enabled());
+        let recorder = Arc::new(FlightRecorder::new(32));
+        t.set_obs(tracer.clone(), recorder.clone());
+        let err = t
+            .charge_sized_call_checked(&rt, MachineId::CLIENT, MachineId::SERVER, 500, 1500)
+            .unwrap_err();
+        assert!(matches!(err, ComError::Timeout { .. }));
+        let summary =
+            coign_obs::validate_chrome_trace(&tracer.export_chrome_json()).expect("valid trace");
+        let stats = t.fault_stats();
+        assert_eq!(summary.instant_count("fault_drop") as u64, stats.drops);
+        assert_eq!(
+            summary.instant_count("fault_timeout") as u64,
+            stats.timeouts
+        );
+        assert_eq!(summary.instant_count("fault_retry") as u64, stats.retries);
+        assert_eq!(
+            summary.instant_count("fault_failed") as u64,
+            stats.failed_calls
+        );
+        // Every tracer instant also landed in the flight recorder.
+        assert_eq!(
+            recorder.len() as u64,
+            stats.drops + stats.timeouts + stats.retries + 1
+        );
+
+        let registry = coign_obs::Registry::new();
+        t.record_metrics(&registry);
+        assert_eq!(
+            registry.counter_value("coign_fault_drops_total"),
+            Some(stats.drops)
+        );
+        assert_eq!(
+            registry.counter_value("coign_fault_wasted_us"),
+            Some(stats.wasted_us)
+        );
     }
 }

@@ -1,0 +1,364 @@
+//! Metrics registry: counters, gauges, and exponential-bucket histograms.
+//!
+//! The registry absorbs the workspace's previously ad-hoc counters
+//! (`FaultStats`, marshal-cache hits/misses, drift-monitor fires,
+//! warm/cold sweep solve counts) behind one namespace. Handles returned by
+//! [`Registry::counter`]/[`Registry::gauge`]/[`Registry::histogram`] are
+//! cheap `Arc`-backed clones whose updates are lock-free atomics, so hot
+//! paths pay one atomic add per observation.
+//!
+//! Two expositions are provided: a Prometheus-style text format
+//! ([`Registry::render_prometheus`]) and a JSON snapshot
+//! ([`Registry::snapshot_json`]). Both render metrics in sorted name
+//! order, so output is deterministic.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle holding one `f64` value.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistCore {
+    /// Upper bounds of the finite buckets, strictly increasing. One extra
+    /// overflow (`+Inf`) bucket follows implicitly.
+    bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) observation counts; `bounds.len() + 1`
+    /// entries, the last being the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Histogram {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistCore {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .partition_point(|bound| value > *bound)
+            .min(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The finite bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.0.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the final entry is the overflow
+    /// bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Exponential bucket bounds mirroring the paper's ICC message-size
+/// buckets: `base`, `2·base`, `4·base`, … for `count` bounds (saturating).
+pub fn exponential_bounds(base: u64, count: u32) -> Vec<u64> {
+    let mut bounds = Vec::with_capacity(count as usize);
+    let mut bound = base;
+    for _ in 0..count {
+        bounds.push(bound);
+        bound = bound.saturating_mul(2);
+    }
+    bounds
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The metrics registry: a namespace of counters, gauges, and histograms.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter with this name, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge with this name, creating it at zero if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram with this name, creating it with the given
+    /// finite bucket bounds if absent. Bounds of an existing histogram are
+    /// not altered.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+            .clone()
+    }
+
+    /// Current value of a counter, if it exists.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner.lock().counters.get(name).map(Counter::value)
+    }
+
+    /// Current value of a gauge, if it exists.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(name).map(Gauge::value)
+    }
+
+    /// Names of all registered counters, sorted.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.inner.lock().counters.keys().cloned().collect()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, counter) in &inner.counters {
+            out.push_str(&format!(
+                "# TYPE {name} counter\n{name} {}\n",
+                counter.value()
+            ));
+        }
+        for (name, gauge) in &inner.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.value()));
+        }
+        for (name, hist) in &inner.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let counts = hist.bucket_counts();
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds().iter().zip(&counts) {
+                cumulative += count;
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                hist.count(),
+                hist.sum(),
+                hist.count()
+            ));
+        }
+        out
+    }
+
+    /// Renders every metric as one JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..}}`. Histograms
+    /// carry their finite bounds, per-bucket counts (last entry =
+    /// overflow), sum, and count.
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, counter)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n\"{name}\":{}", counter.value()));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, gauge)) in inner.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n\"{name}\":{}", gauge.value()));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in inner.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let bounds: Vec<String> = hist.bounds().iter().map(u64::to_string).collect();
+            let counts: Vec<String> = hist.bucket_counts().iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "\n\"{name}\":{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+                bounds.join(","),
+                counts.join(","),
+                hist.sum(),
+                hist.count()
+            ));
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn counters_and_gauges_register_and_update() {
+        let registry = Registry::new();
+        let calls = registry.counter("coign_calls_total");
+        calls.inc();
+        calls.add(4);
+        // Fetching the same name yields the same underlying cell.
+        registry.counter("coign_calls_total").inc();
+        assert_eq!(registry.counter_value("coign_calls_total"), Some(6));
+        registry.gauge("coign_drift_tv").set(0.25);
+        assert_eq!(registry.gauge_value("coign_drift_tv"), Some(0.25));
+        assert_eq!(registry.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn exponential_histogram_mirrors_paper_buckets() {
+        let bounds = exponential_bounds(64, 32);
+        assert_eq!(bounds[0], 64);
+        assert_eq!(bounds[1], 128);
+        assert_eq!(bounds[31], 64u64 << 31);
+        let registry = Registry::new();
+        let hist = registry.histogram("coign_icc_message_bytes", &bounds);
+        hist.observe(1); // first bucket (<= 64)
+        hist.observe(64); // still first bucket (bucket k is (base·2^(k-1), base·2^k])
+        hist.observe(65); // second bucket
+        hist.observe(u64::MAX); // overflow bucket
+        let counts = hist.bucket_counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[32], 1);
+        assert_eq!(hist.count(), 4);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_sorted_and_cumulative() {
+        let registry = Registry::new();
+        registry.counter("b_total").add(2);
+        registry.counter("a_total").add(1);
+        let hist = registry.histogram("h_bytes", &[10, 100]);
+        hist.observe(5);
+        hist.observe(50);
+        hist.observe(500);
+        let text = registry.render_prometheus();
+        let a = text.find("a_total").unwrap();
+        let b = text.find("b_total").unwrap();
+        assert!(a < b, "metrics must render in sorted order");
+        assert!(text.contains("h_bytes_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("h_bytes_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("h_bytes_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("h_bytes_sum 555\n"));
+        assert!(text.contains("h_bytes_count 3\n"));
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_round_trips_values() {
+        let registry = Registry::new();
+        registry.counter("coign_messages_total").add(464);
+        registry.gauge("g").set(1.5);
+        registry.histogram("h", &[64]).observe(70);
+        let snap = registry.snapshot_json();
+        let doc = Json::parse(&snap).expect("snapshot parses");
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("coign_messages_total")
+                .unwrap()
+                .as_u64(),
+            Some(464)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(1.5)
+        );
+        let hist = doc.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("counts").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let build = || {
+            let registry = Registry::new();
+            registry.counter("z").add(1);
+            registry.counter("a").add(2);
+            registry
+                .histogram("h", &exponential_bounds(64, 8))
+                .observe(100);
+            registry.snapshot_json()
+        };
+        assert_eq!(build(), build());
+    }
+}

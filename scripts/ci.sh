@@ -11,11 +11,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace matters: the root manifest is a package, so a bare build
+# would skip coign-cli and coign-bench and the smoke blocks below would
+# run stale `target/release/coign` / `perfsuite` binaries.
+cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q
+echo "==> cargo test --workspace"
+cargo test -q --workspace
 
 echo "==> fault-injection determinism (two seeds vs committed expectations)"
 # The fault layer's whole value is reproducibility: the same image, plan,
@@ -49,6 +52,28 @@ if cmp -s "$TMP/fault_run_seed_7.txt" "$TMP/fault_run_seed_11.txt"; then
   echo "fault seeds 7 and 11 produced identical summaries; seed is ignored"
   exit 1
 fi
+
+echo "==> observability smoke (--trace/--metrics, byte-identical across runs)"
+# Same image, plan, and seed must export byte-identical trace and metrics
+# files — the whole point of keeping host time out of the default export.
+for tag in a b; do
+  "$BIN" run "$IMG" o_oldtb3 ethernet \
+    --fault-plan examples/faults/demo.fplan --fault-seed 7 \
+    --trace "$TMP/trace_${tag}.json" --metrics "$TMP/metrics_${tag}.json" \
+    > /dev/null
+done
+cmp "$TMP/trace_a.json" "$TMP/trace_b.json" \
+  || { echo "same-seed runs exported different traces"; exit 1; }
+cmp "$TMP/metrics_a.json" "$TMP/metrics_b.json" \
+  || { echo "same-seed runs exported different metrics"; exit 1; }
+grep -q '"name":"run","cat":"pipeline","ph":"B"' "$TMP/trace_a.json" \
+  || { echo "trace is missing the run phase span"; exit 1; }
+grep -q '"name":"icc_call"' "$TMP/trace_a.json" \
+  || { echo "trace is missing cut-crossing call instants"; exit 1; }
+grep -q '"name":"fault_drop"' "$TMP/trace_a.json" \
+  || { echo "trace is missing fault-injection instants"; exit 1; }
+grep -q '"coign_cross_machine_calls_total":' "$TMP/metrics_a.json" \
+  || { echo "metrics snapshot is missing the run counters"; exit 1; }
 
 echo "==> perf smoke (BENCH_coign.json)"
 # Records the perf trajectory: profile replay (sequential vs parallel
