@@ -14,11 +14,15 @@
 //! Usage: `perfsuite [out.json]` (default `BENCH_coign.json`).
 
 use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::recovery::RecoveryConfig;
 use coign::runtime::{
-    profile_scenario, profile_scenarios, profile_scenarios_observed, profile_scenarios_parallel,
+    choose_distribution, profile_scenario, profile_scenarios, profile_scenarios_observed,
+    profile_scenarios_parallel, run_distributed, run_distributed_recovering,
 };
 use coign::sweep::{sweep, SweepGrid, SweepMode};
 use coign_apps::scenarios::app_by_name;
+use coign_com::MachineId;
+use coign_dcom::{CallPolicy, FaultPlan, NetworkModel, NetworkProfile, TimeWindow};
 use coign_obs::Obs;
 use std::sync::Arc;
 use std::time::Instant;
@@ -129,6 +133,64 @@ fn main() {
         trace_overhead * 100.0
     );
 
+    // 5. Self-healing recovery: a machine-death run must finish via a
+    // warm-started re-solve — exactly one cold solve however the run
+    // goes — with the exactly-once ledger clean and the final placement
+    // valid with the dead machine excluded.
+    let scenario = SCENARIOS[0];
+    let net_profile = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+    let dist = choose_distribution(app.as_ref(), &profile, &net_profile).expect("analysis");
+    let plain = run_distributed(
+        app.as_ref(),
+        scenario,
+        &classifier,
+        &dist,
+        NetworkModel::ethernet_10baset(),
+        9,
+    )
+    .expect("plain distributed run");
+    let plan = FaultPlan::none().with_machine_down(
+        MachineId::SERVER,
+        TimeWindow::new(plain.clock_us / 3, u64::MAX),
+    );
+    let (recovering, recovering_ms) = timed_min_ms(|| {
+        run_distributed_recovering(
+            app.as_ref(),
+            scenario,
+            &classifier,
+            &dist,
+            &profile,
+            NetworkModel::ethernet_10baset(),
+            9,
+            plan.clone(),
+            CallPolicy::default(),
+            9,
+            RecoveryConfig::default(),
+        )
+        .expect("recovering run")
+    });
+    recovering
+        .outcome
+        .as_ref()
+        .expect("machine-death run must finish after recovery");
+    let coord = &recovering.coordinator;
+    let (recoveries, warm_solves, cold_solves) = (
+        coord.recovery_count(),
+        coord.warm_solves(),
+        coord.cold_solves(),
+    );
+    let migrations = coord.migration_count();
+    assert!(recoveries >= 1, "machine death must trigger a recovery");
+    assert!(
+        warm_solves >= 1,
+        "recovery re-solves must warm-start from the previous flow"
+    );
+    assert_eq!(cold_solves, 1, "only the base solve may be cold");
+    assert_eq!(coord.double_executions(), 0, "exactly-once ledger violated");
+    coord
+        .validate()
+        .expect("post-recovery placement violates constraints");
+
     let json = format!(
         "{{\"profile\":{{\"scenarios\":{},\"sequential_ms\":{sequential_ms:.3},\
          \"parallel_jobs\":{JOBS},\"parallel_ms\":{parallel_ms:.3},\
@@ -137,7 +199,10 @@ fn main() {
          \"sweep\":{{\"grid_points\":{},\"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\
          \"speedup\":{:.3},\"cut_values_identical\":true}},\
          \"trace\":{{\"events\":{traced_events},\"traced_ms\":{traced_ms:.3},\
-         \"overhead_frac\":{trace_overhead:.4}}}}}",
+         \"overhead_frac\":{trace_overhead:.4}}},\
+         \"recovery\":{{\"recoveries\":{recoveries},\"warm_solves\":{warm_solves},\
+         \"cold_solves\":{cold_solves},\"migrations\":{migrations},\
+         \"double_executions\":0,\"recovering_ms\":{recovering_ms:.3}}}}}",
         SCENARIOS.len(),
         cold.points.len(),
         cold_ms / warm_ms,
@@ -147,7 +212,9 @@ fn main() {
     println!(
         "profile {sequential_ms:.1} ms sequential / {parallel_ms:.1} ms with {JOBS} workers; \
          marshal cache hit rate {:.1}%; sweep {cold_ms:.1} ms cold / {warm_ms:.1} ms warm; \
-         tracing {traced_events} events at {:.1}% overhead",
+         tracing {traced_events} events at {:.1}% overhead; \
+         recovery {recoveries} recovery(ies), {warm_solves} warm / {cold_solves} cold solve(s), \
+         {migrations} migration(s) in {recovering_ms:.1} ms",
         hit_rate * 100.0,
         trace_overhead * 100.0
     );

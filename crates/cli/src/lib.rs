@@ -29,17 +29,23 @@ use coign::analysis::Distribution;
 use coign::application::Application;
 use coign::classifier::{ClassifierKind, InstanceClassifier};
 use coign::config::RuntimeMode;
+use coign::recovery::RecoveryConfig;
 use coign::report;
 use coign::rewriter;
 use coign::runtime::{
     check_constraints, choose_distribution, derive_constraints,
     profile_scenarios_parallel_observed, run_distributed_faulty_observed,
+    run_distributed_recovering, run_distributed_recovering_observed,
 };
 use coign::sweep::{sweep, SweepGrid, SweepMode};
 use coign_apps::scenarios::app_by_name;
 use coign_com::{AppImage, ComError, ComResult, ComRuntime, MachineId};
-use coign_dcom::{CallPolicy, FaultPlan, NetworkModel, NetworkProfile};
+use coign_dcom::{
+    CallPolicy, Fault, FaultPlan, LinkSelector, NetworkModel, NetworkProfile, TimeWindow,
+};
 use coign_obs::Obs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -423,6 +429,321 @@ pub fn cmd_run_observed(
         ));
     }
     Ok(out)
+}
+
+/// Options for `coign chaos`.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Master seed: trial `t` derives its plan and fault schedule from
+    /// `seed` and `t` alone, so the summary is byte-identical across
+    /// repeated runs and across `--jobs` settings.
+    pub seed: u64,
+    /// Number of trials to run.
+    pub trials: usize,
+    /// Worker threads (1 = sequential; the summary does not depend on it).
+    pub jobs: usize,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            seed: 0,
+            trials: 8,
+            jobs: 1,
+        }
+    }
+}
+
+/// A bounded fault window inside the run horizon.
+fn chaos_window(rng: &mut StdRng, horizon_us: u64) -> TimeWindow {
+    let from = rng.gen_range(0..horizon_us / 2);
+    let len = rng.gen_range(horizon_us / 20..=horizon_us / 2).max(1);
+    TimeWindow::new(from, from.saturating_add(len))
+}
+
+/// Draws one seeded random fault plan: 1–3 faults over the scenario's
+/// fault-free horizon. Machine-death faults always target the server and
+/// are permanent, so every drawn death must end in a recovery, never a
+/// comeback.
+fn chaos_plan(rng: &mut StdRng, horizon_us: u64) -> FaultPlan {
+    let horizon_us = horizon_us.max(40);
+    let mut plan = FaultPlan::none();
+    for _ in 0..rng.gen_range(1..=3u32) {
+        match rng.gen_range(0..4u32) {
+            0 => {
+                let probability = rng.gen_range(5..=30u32) as f64 / 100.0;
+                plan.push(Fault::Loss {
+                    link: LinkSelector::AllLinks,
+                    probability,
+                    window: chaos_window(rng, horizon_us),
+                });
+            }
+            1 => {
+                let factor = rng.gen_range(2..=8u32) as f64;
+                plan.push(Fault::LatencySpike {
+                    link: LinkSelector::AllLinks,
+                    factor,
+                    window: chaos_window(rng, horizon_us),
+                });
+            }
+            2 => plan.push(Fault::Partition {
+                link: LinkSelector::Link(MachineId::CLIENT, MachineId::SERVER),
+                window: chaos_window(rng, horizon_us),
+            }),
+            _ => {
+                let from = rng.gen_range(horizon_us / 8..=horizon_us / 2);
+                plan.push(Fault::MachineDown {
+                    machine: MachineId::SERVER,
+                    window: TimeWindow::new(from, u64::MAX),
+                });
+            }
+        }
+    }
+    plan
+}
+
+/// One finished chaos trial, rendered and judged.
+struct ChaosTrial {
+    line: String,
+    outcome: &'static str,
+    recoveries: u64,
+    migrations: u64,
+    violations: Vec<String>,
+}
+
+/// Runs trial `index` of the chaos schedule: draw a plan, execute the
+/// scenario under the self-healing runtime, check the invariants.
+#[allow(clippy::too_many_arguments)]
+fn chaos_trial(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &InstanceClassifier,
+    distribution: &Distribution,
+    profile: &coign::IccProfile,
+    network: &NetworkModel,
+    master_seed: u64,
+    horizon_us: u64,
+    index: usize,
+    obs: Option<&Obs>,
+) -> ComResult<ChaosTrial> {
+    let trial_seed = master_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(trial_seed);
+    let plan = chaos_plan(&mut rng, horizon_us);
+    let faults_desc = plan
+        .faults()
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("; ");
+    let fork = Arc::new(classifier.fork());
+    let run = run_distributed_recovering_observed(
+        app,
+        scenario,
+        &fork,
+        distribution,
+        profile,
+        network.clone(),
+        SEED,
+        plan,
+        CallPolicy::default(),
+        trial_seed,
+        RecoveryConfig::default(),
+        obs,
+    )?;
+    let coord = &run.coordinator;
+    let mut violations = Vec::new();
+    // Invariant: every trial either completes, is recovered, or fails with
+    // a *typed* transport error — never an untyped crash.
+    let outcome = match &run.outcome {
+        Ok(()) if coord.recovery_count() > 0 => "recovered",
+        Ok(()) => "ok",
+        Err(ComError::Timeout { .. }) => "failed(timeout)",
+        Err(ComError::Partitioned { .. }) => "failed(partitioned)",
+        Err(ComError::MachineDown(_)) => "failed(machine_down)",
+        Err(other) => {
+            violations.push(format!("untyped failure: {other}"));
+            "failed(untyped)"
+        }
+    };
+    // Invariant: no call ever executes twice, whatever the retry protocol did.
+    if coord.double_executions() != 0 {
+        violations.push(format!(
+            "{} double-executed call(s)",
+            coord.double_executions()
+        ));
+    }
+    // Invariant: the final placement satisfies every constraint with the
+    // dead machines excluded.
+    let placement = match coord.validate() {
+        Ok(()) => "ok",
+        Err(detail) => {
+            violations.push(format!("placement: {detail}"));
+            "VIOLATED"
+        }
+    };
+    // Invariant: recovery re-solves are warm-started from the base flow.
+    if coord.recovery_count() > 0 {
+        if coord.warm_solves() == 0 {
+            violations.push("recovery re-solve was not warm-started".to_string());
+        }
+        if coord.cold_solves() != 1 {
+            violations.push(format!(
+                "{} cold solve(s), expected exactly the base solve",
+                coord.cold_solves()
+            ));
+        }
+    }
+    let line = format!(
+        "trial {index:02} faults=[{faults_desc}] outcome={outcome} recoveries={} epoch={} \
+         warm={} migrations={} redelivered={} replayed={} double={} placement={placement}",
+        coord.recovery_count(),
+        coord.epoch(),
+        coord.warm_solves(),
+        coord.migration_count(),
+        coord.redelivered_calls(),
+        coord.replayed_completions(),
+        coord.double_executions(),
+    );
+    Ok(ChaosTrial {
+        line,
+        outcome,
+        recoveries: coord.recovery_count(),
+        migrations: coord.migration_count(),
+        violations,
+    })
+}
+
+/// `coign chaos <image> <scenario> [network] [--seed N] [--trials N]
+/// [--jobs N]` — the chaos harness: N trials of the scenario under seeded
+/// random fault plans with the self-healing runtime enabled, each trial
+/// checked against the recovery invariants (typed outcomes only, zero
+/// double executions, constraint-satisfying post-recovery placements,
+/// warm-started re-solves). The summary is byte-identical for a given
+/// seed, across repeated runs and across `--jobs`.
+pub fn cmd_chaos(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    opts: &ChaosOptions,
+) -> ComResult<String> {
+    cmd_chaos_observed(path, scenario, network_name, opts, None)
+}
+
+/// [`cmd_chaos`] with an optional observability bundle: trials emit the
+/// full fault/recovery instrumentation (breaker transitions, `recovery`
+/// instants, flight-recorder dumps) and the recovery counters accumulate
+/// in the registry across trials.
+pub fn cmd_chaos_observed(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    opts: &ChaosOptions,
+    obs: Option<&Obs>,
+) -> ComResult<String> {
+    let _span = obs.map(|o| o.tracer.phase_span("chaos"));
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    if record.mode != RuntimeMode::Distributed {
+        return Err(ComError::App(
+            "image is not realized — run `coign analyze` first".to_string(),
+        ));
+    }
+    let distribution = record
+        .distribution
+        .ok_or_else(|| ComError::App("record carries no distribution".to_string()))?;
+    let app = app_for_image(&image)?;
+    check_constraints(app.as_ref(), &record.profile)?;
+    let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
+    let network = network_by_name(network_name)?;
+    // A fault-free probe run fixes the horizon the fault windows are drawn
+    // from (and proves the scenario is healthy before we break it).
+    let probe = run_distributed_recovering(
+        app.as_ref(),
+        scenario,
+        &classifier,
+        &distribution,
+        &record.profile,
+        network.clone(),
+        SEED,
+        FaultPlan::none(),
+        CallPolicy::default(),
+        0,
+        RecoveryConfig::default(),
+    )?;
+    probe.outcome?;
+    let horizon_us = probe.report.clock_us.max(1);
+
+    let jobs = opts.jobs.max(1).min(opts.trials.max(1));
+    let slots: Vec<std::sync::Mutex<Option<ComResult<ChaosTrial>>>> = (0..opts.trials)
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= opts.trials {
+                    break;
+                }
+                let trial = chaos_trial(
+                    app.as_ref(),
+                    scenario,
+                    &classifier,
+                    &distribution,
+                    &record.profile,
+                    &network,
+                    opts.seed,
+                    horizon_us,
+                    i,
+                    obs,
+                );
+                *slots[i].lock().expect("chaos slot") = Some(trial);
+            });
+        }
+    });
+
+    let mut out = format!(
+        "chaos scenario={scenario} network={network_name} seed={} trials={}\n",
+        opts.seed, opts.trials
+    );
+    let (mut ok, mut recovered, mut failed) = (0usize, 0usize, 0usize);
+    let (mut recoveries, mut migrations) = (0u64, 0u64);
+    let mut violations = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let trial = slot
+            .into_inner()
+            .expect("chaos slot lock")
+            .expect("chaos worker exited without reporting a result")?;
+        out.push_str(&trial.line);
+        out.push('\n');
+        match trial.outcome {
+            "ok" => ok += 1,
+            "recovered" => recovered += 1,
+            _ => failed += 1,
+        }
+        recoveries += trial.recoveries;
+        migrations += trial.migrations;
+        violations.extend(
+            trial
+                .violations
+                .into_iter()
+                .map(|v| format!("trial {i:02}: {v}")),
+        );
+    }
+    out.push_str(&format!(
+        "totals: ok={ok} recovered={recovered} failed={failed} \
+         recoveries={recoveries} migrations={migrations}\n"
+    ));
+    if violations.is_empty() {
+        out.push_str("invariants: ok\n");
+        Ok(out)
+    } else {
+        out.push_str(&format!("invariants: {} VIOLATION(S)\n", violations.len()));
+        for violation in &violations {
+            out.push_str(&format!("  {violation}\n"));
+        }
+        Err(ComError::App(out))
+    }
 }
 
 /// `coign show <image>` — prints the configuration record.
@@ -818,6 +1139,76 @@ mod tests {
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn chaos_summary_is_deterministic_across_runs_and_jobs() {
+        let path = temp_image("chaos");
+        cmd_instrument("octarine", &path).unwrap();
+        cmd_profile(&path, &["o_oldtb3"], 1).unwrap();
+        cmd_analyze(&path, "ethernet").unwrap();
+        let opts = ChaosOptions {
+            seed: 7,
+            trials: 6,
+            jobs: 1,
+        };
+        let a = cmd_chaos(&path, "o_oldtb3", "ethernet", &opts).unwrap();
+        let b = cmd_chaos(&path, "o_oldtb3", "ethernet", &opts).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the summary byte-for-byte");
+        for jobs in [2, 4, 8] {
+            let par = cmd_chaos(
+                &path,
+                "o_oldtb3",
+                "ethernet",
+                &ChaosOptions {
+                    jobs,
+                    ..opts.clone()
+                },
+            )
+            .unwrap();
+            assert_eq!(a, par, "summary differs at jobs={jobs}");
+        }
+        assert!(a.contains("invariants: ok"), "summary: {a}");
+        // A different seed draws different fault plans.
+        let other = cmd_chaos(
+            &path,
+            "o_oldtb3",
+            "ethernet",
+            &ChaosOptions { seed: 8, ..opts },
+        )
+        .unwrap();
+        assert_ne!(a, other);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_machine_death_trials_recover_with_warm_resolves() {
+        let path = temp_image("chaosdeath");
+        cmd_instrument("octarine", &path).unwrap();
+        cmd_profile(&path, &["o_oldtb3"], 1).unwrap();
+        cmd_analyze(&path, "ethernet").unwrap();
+        // Enough trials that the seeded generator draws at least one
+        // permanent server death; the invariant checker inside cmd_chaos
+        // then enforces warm re-solves, valid placements, and zero double
+        // executions (a violation makes cmd_chaos return Err).
+        let summary = cmd_chaos(
+            &path,
+            "o_oldtb3",
+            "ethernet",
+            &ChaosOptions {
+                seed: 7,
+                trials: 8,
+                jobs: 2,
+            },
+        )
+        .unwrap();
+        assert!(
+            summary.contains("outcome=recovered"),
+            "no trial recovered: {summary}"
+        );
+        assert!(summary.contains("warm=1"), "summary: {summary}");
+        assert!(summary.contains("invariants: ok"), "summary: {summary}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `coign` — the tool-chain CLI. See the crate docs for the workflow.
 
 use coign_cli::{
-    cmd_analyze_observed, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument, cmd_profile_observed,
-    cmd_run_observed, cmd_script, cmd_show, cmd_strip, cmd_sweep_observed, RunFaults,
+    cmd_analyze_observed, cmd_chaos_observed, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument,
+    cmd_profile_observed, cmd_run_observed, cmd_script, cmd_show, cmd_strip, cmd_sweep_observed,
+    ChaosOptions, RunFaults,
 };
 use coign_obs::Obs;
 use std::path::{Path, PathBuf};
@@ -23,6 +24,10 @@ USAGE:
         [--fault-plan FILE]             inject faults per FILE (loss/spike/partition/down lines)
         [--fault-seed N]                seed the fault schedule (default 0)
         [--summary]                     print the machine-diffable run report
+  coign chaos      <image> <scenario> [network]   chaos harness: seeded random fault
+        [--seed N]                      plans over N trials with the self-healing
+        [--trials N]                    runtime, invariants checked per trial; the
+        [--jobs N]                      summary is byte-identical per seed and jobs
   coign show       <image>              inspect the configuration record
   coign hotspots   <image> [top]        communication hot spots & caching candidates
   coign script     <image> <script>     profile a scripted scenario (octarine)
@@ -96,6 +101,47 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunFaults), String> {
     Ok((network.unwrap_or_else(|| "ethernet".to_string()), faults))
 }
 
+/// Parses `coign chaos`'s trailing arguments: an optional positional
+/// network name plus `--seed/--trials/--jobs` in any order.
+fn parse_chaos_args(rest: &[String]) -> Result<(String, ChaosOptions), String> {
+    let mut network = None;
+    let mut opts = ChaosOptions::default();
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a number argument")?;
+                opts.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--trials" => {
+                let value = it.next().ok_or("--trials needs a number argument")?;
+                opts.trials = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad trial count `{value}`"))?;
+            }
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a number argument")?;
+                opts.jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad job count `{value}`"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `coign chaos`"));
+            }
+            positional => {
+                if network.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected argument `{positional}`"));
+                }
+            }
+        }
+    }
+    Ok((network.unwrap_or_else(|| "ethernet".to_string()), opts))
+}
+
 /// The global `--trace` / `--metrics` flags plus the remaining arguments.
 struct GlobalFlags {
     rest: Vec<String>,
@@ -152,6 +198,10 @@ fn dispatch(args: &[String], obs: Option<&Obs>) -> Result<String, String> {
         "run" => {
             let (network, faults) = parse_run_args(&args[3.min(args.len())..])?;
             cmd_run_observed(Path::new(arg(1)?), arg(2)?, &network, &faults, obs)
+        }
+        "chaos" => {
+            let (network, opts) = parse_chaos_args(&args[3.min(args.len())..])?;
+            cmd_chaos_observed(Path::new(arg(1)?), arg(2)?, &network, &opts, obs)
         }
         "show" => cmd_show(Path::new(arg(1)?)),
         "hotspots" => {

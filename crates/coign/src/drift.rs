@@ -115,11 +115,12 @@ impl DriftMonitor {
         let observed = self.observed.lock();
         let observed_total: u64 = observed.values().sum();
         if observed_total == 0 || self.baseline_total == 0 {
-            return if observed_total == self.baseline_total {
-                0.0
-            } else {
-                1.0
-            };
+            // An empty observation window is "no evidence yet", not "fully
+            // drifted" — returning 1.0 there would re-fire the re-profiling
+            // latch the moment a recovery resets the window, double-counting
+            // a single workload shift. Observed traffic against an empty
+            // baseline is still full drift.
+            return if observed_total == 0 { 0.0 } else { 1.0 };
         }
         let mut l1 = 0.0;
         let mut keys: std::collections::HashSet<_> = self.baseline.keys().collect();
@@ -275,6 +276,38 @@ mod tests {
             monitor.record_call(c(7), c(8));
         }
         assert!(monitor.poll_reprofile(0.25));
+    }
+
+    #[test]
+    fn recovery_reset_does_not_double_count_one_shift() {
+        let monitor = DriftMonitor::from_profile(&baseline_profile());
+        // A workload shift fires the latch once.
+        for _ in 0..200 {
+            monitor.record_call(c(7), c(8));
+        }
+        assert!(monitor.poll_reprofile(0.25));
+        assert_eq!(monitor.fire_count(), 1);
+        // Recovery resets the window, re-arming the latch. The window is
+        // empty now: polling here must NOT fire — that would count the
+        // same shift twice.
+        monitor.reset();
+        assert!(!monitor.poll_reprofile(0.25));
+        assert_eq!(monitor.fire_count(), 1);
+        // Post-recovery traffic matching the baseline keeps it quiet...
+        for _ in 0..15 {
+            monitor.record_call(c(1), c(2));
+        }
+        for _ in 0..5 {
+            monitor.record_call(c(2), c(3));
+        }
+        assert!(!monitor.poll_reprofile(0.25));
+        assert_eq!(monitor.fire_count(), 1);
+        // ...and only a genuine second shift fires again.
+        for _ in 0..500 {
+            monitor.record_call(c(7), c(8));
+        }
+        assert!(monitor.poll_reprofile(0.25));
+        assert_eq!(monitor.fire_count(), 2);
     }
 
     #[test]

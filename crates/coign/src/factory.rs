@@ -31,11 +31,14 @@ pub struct FactoryPeer {
 /// chosen distribution.
 #[derive(Debug)]
 pub struct ComponentFactory {
-    placement: HashMap<ClassificationId, MachineId>,
+    /// The live routing table. Behind a lock so the self-healing runtime
+    /// can swap in a re-solved placement mid-run ([`ComponentFactory::swap_placement`]).
+    placement: Mutex<HashMap<ClassificationId, MachineId>>,
     /// Static per-class pins consulted when a classification was never
     /// profiled — data files and databases live where they live no matter
-    /// what the profile saw.
-    class_pins: HashMap<Clsid, MachineId>,
+    /// what the profile saw. Behind a lock so recovery can retarget pins
+    /// off a dead machine ([`ComponentFactory::retarget_pins`]).
+    class_pins: Mutex<HashMap<Clsid, MachineId>>,
     default_machine: MachineId,
     peers: Mutex<Vec<FactoryPeer>>,
 }
@@ -62,8 +65,8 @@ impl ComponentFactory {
         machine_count: usize,
     ) -> Self {
         ComponentFactory {
-            placement,
-            class_pins,
+            placement: Mutex::new(placement),
+            class_pins: Mutex::new(class_pins),
             default_machine,
             peers: Mutex::new(vec![FactoryPeer::default(); machine_count]),
         }
@@ -94,10 +97,11 @@ impl ComponentFactory {
 
     /// The placement decision without statistics side effects.
     pub fn placement_for(&self, class: ClassificationId, clsid: Clsid) -> MachineId {
-        if let Some(&machine) = self.placement.get(&class) {
+        if let Some(&machine) = self.placement.lock().get(&class) {
             return machine;
         }
         self.class_pins
+            .lock()
             .get(&clsid)
             .copied()
             .unwrap_or(self.default_machine)
@@ -110,7 +114,42 @@ impl ComponentFactory {
 
     /// Number of classifications with an explicit placement.
     pub fn placement_len(&self) -> usize {
-        self.placement.len()
+        self.placement.lock().len()
+    }
+
+    /// Copy of the current routing table.
+    pub fn placement_snapshot(&self) -> HashMap<ClassificationId, MachineId> {
+        self.placement.lock().clone()
+    }
+
+    /// Replaces the routing table with a re-solved placement (online
+    /// re-partitioning). Returns how many classifications changed machine.
+    pub fn swap_placement(&self, new: HashMap<ClassificationId, MachineId>) -> usize {
+        let mut placement = self.placement.lock();
+        let changed = new
+            .iter()
+            .filter(|(class, machine)| placement.get(class) != Some(machine))
+            .count()
+            + placement
+                .keys()
+                .filter(|class| !new.contains_key(class))
+                .count();
+        *placement = new;
+        changed
+    }
+
+    /// Redirects every class pin targeting `from` (e.g. a machine just
+    /// declared dead) to `to`. Returns how many pins moved.
+    pub fn retarget_pins(&self, from: MachineId, to: MachineId) -> usize {
+        let mut pins = self.class_pins.lock();
+        let mut moved = 0;
+        for machine in pins.values_mut() {
+            if *machine == from {
+                *machine = to;
+                moved += 1;
+            }
+        }
+        moved
     }
 }
 
@@ -199,5 +238,38 @@ mod tests {
     #[test]
     fn placement_len_reports_table_size() {
         assert_eq!(factory().placement_len(), 2);
+    }
+
+    #[test]
+    fn swap_placement_reroutes_future_instantiations() {
+        let f = factory();
+        assert_eq!(
+            f.placement_for(ClassificationId(2), any_class()),
+            MachineId::SERVER
+        );
+        let mut new = f.placement_snapshot();
+        new.insert(ClassificationId(2), MachineId::CLIENT);
+        assert_eq!(f.swap_placement(new), 1);
+        assert_eq!(
+            f.placement_for(ClassificationId(2), any_class()),
+            MachineId::CLIENT
+        );
+        // Swapping the identical table changes nothing.
+        let same = f.placement_snapshot();
+        assert_eq!(f.swap_placement(same), 0);
+    }
+
+    #[test]
+    fn retarget_pins_moves_dead_machine_pins() {
+        let store = Clsid::from_name("DocStore");
+        let mut pins = HashMap::new();
+        pins.insert(store, MachineId::SERVER);
+        let f = ComponentFactory::with_class_pins(HashMap::new(), pins, MachineId::CLIENT, 2);
+        assert_eq!(f.retarget_pins(MachineId::SERVER, MachineId::CLIENT), 1);
+        assert_eq!(
+            f.placement_for(ClassificationId(42), store),
+            MachineId::CLIENT
+        );
+        assert_eq!(f.retarget_pins(MachineId::SERVER, MachineId::CLIENT), 0);
     }
 }

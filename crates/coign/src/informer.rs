@@ -23,6 +23,7 @@ use crate::classifier::{ClassificationId, InstanceClassifier};
 use crate::drift::DriftMonitor;
 use crate::logger::{CallRecord, InfoLogger};
 use crate::profile::icc_size_bounds;
+use crate::recovery::RecoveryCoordinator;
 use coign_com::interface::CallInfo;
 use coign_com::{ComError, ComResult, ComRuntime, InterfacePtr, Invoker, Message};
 use coign_dcom::marshal::{message_reply_size, message_request_size, SizeCache};
@@ -254,6 +255,10 @@ pub struct DistributionInvoker {
     /// Optional message counting for usage-drift detection (§6): counts
     /// only — no parameter walking — so the runtime stays lightweight.
     drift: Option<(Arc<InstanceClassifier>, Arc<DriftMonitor>)>,
+    /// Optional self-healing: transport failures consult the coordinator
+    /// (recover + retry) before failing the call, under the exactly-once
+    /// protocol — the side effect of a call never runs twice.
+    recovery: Option<Arc<RecoveryCoordinator>>,
     /// Optional observability: cut-crossing instants, flight-recorder
     /// entries, the size histogram, and dump-on-error.
     obs: Option<Obs>,
@@ -290,11 +295,26 @@ impl DistributionInvoker {
         drift: Option<(Arc<InstanceClassifier>, Arc<DriftMonitor>)>,
         obs: Option<Obs>,
     ) -> InterfacePtr {
+        Self::wrap_recovering(ptr, transport, overhead, drift, None, obs)
+    }
+
+    /// Wraps a pointer with the full self-healing proxy: drift counting,
+    /// observability, and a recovery coordinator consulted on transport
+    /// failures. With `recovery: None` this is exactly [`DistributionInvoker::wrap_observed`].
+    pub fn wrap_recovering(
+        ptr: InterfacePtr,
+        transport: Arc<Transport>,
+        overhead: Arc<OverheadMeter>,
+        drift: Option<(Arc<InstanceClassifier>, Arc<DriftMonitor>)>,
+        recovery: Option<Arc<RecoveryCoordinator>>,
+        obs: Option<Obs>,
+    ) -> InterfacePtr {
         let invoker = DistributionInvoker {
             inner: ptr.clone(),
             transport,
             overhead,
             drift,
+            recovery,
             icc_hist: icc_histogram(obs.as_ref()),
             obs,
         };
@@ -317,6 +337,38 @@ impl DistributionInvoker {
         }
         error
     }
+
+    /// Whether a failed delivery attempt should be retried: only with a
+    /// coordinator installed, within the attempt budget, and when (a) the
+    /// coordinator just recovered, (b) the placement epoch advanced under
+    /// this call (another call's recovery migrated the callee — retry on
+    /// the new placement), or (c) the failure is still feeding the machine
+    /// breaker toward a trip.
+    fn try_recover(
+        &self,
+        rt: &ComRuntime,
+        error: &ComError,
+        attempt: u32,
+        max_attempts: u32,
+        seen_epoch: &mut u64,
+    ) -> bool {
+        let Some(recovery) = &self.recovery else {
+            return false;
+        };
+        if attempt >= max_attempts {
+            return false;
+        }
+        if recovery.on_call_failure(rt, error) {
+            *seen_epoch = recovery.epoch();
+            return true;
+        }
+        let epoch = recovery.epoch();
+        if epoch != *seen_epoch {
+            *seen_epoch = epoch;
+            return true;
+        }
+        false
+    }
 }
 
 impl Invoker for DistributionInvoker {
@@ -338,7 +390,13 @@ impl Invoker for DistributionInvoker {
             .machine();
 
         if caller_machine == callee_machine {
-            return self.inner.call(rt, call.method, msg);
+            let result = self.inner.call(rt, call.method, msg);
+            if result.is_ok() {
+                if let Some(recovery) = &self.recovery {
+                    recovery.poll_drift(rt);
+                }
+            }
+            return result;
         }
 
         // Cross-machine: marshal request, dispatch, marshal reply. A
@@ -362,16 +420,87 @@ impl Invoker for DistributionInvoker {
         // charged inside the transport). Drift counting above already
         // happened exactly once — transport retries are re-sends of the
         // same logical message, not new calls in the distribution.
-        self.transport
-            .preflight(rt, caller_machine, callee_machine)
-            .map_err(|e| self.dump_on_error(e))?;
-        let req_bytes = message_request_size(method_desc, msg)?;
-        let result = self.inner.call(rt, call.method, msg);
-        let reply_bytes = message_reply_size(method_desc, msg)?;
-        let attempts = self
-            .transport
-            .charge_sized_call_checked(rt, caller_machine, callee_machine, req_bytes, reply_bytes)
-            .map_err(|e| self.dump_on_error(e))?;
+        //
+        // With a recovery coordinator installed, a failed delivery may
+        // recover (re-solve the cut, migrate the callee) and retry under
+        // the exactly-once protocol: the side effect runs on the first
+        // successful dispatch and never again — a later failure only
+        // re-delivers (or, once the callee is local, replays) the reply
+        // the call already produced.
+        let max_attempts = self.recovery.as_ref().map_or(1, |r| r.max_call_attempts());
+        let mut seen_epoch = self.recovery.as_ref().map_or(0, |r| r.epoch());
+        let mut executed = false;
+        let mut result: ComResult<()> = Ok(());
+        let mut req_bytes = 0u64;
+        let mut attempt = 0u32;
+        let (caller_machine, callee_machine, reply_bytes, attempts) = loop {
+            attempt += 1;
+            // Re-read both ends: a recovery on an earlier attempt may have
+            // migrated the callee — or the calling instance itself, when
+            // its own machine died mid-call.
+            let caller_machine = rt.current_machine();
+            let callee_machine = rt
+                .instance(call.owner)
+                .ok_or(ComError::DeadInstance(call.owner.0))?
+                .machine();
+            if callee_machine == caller_machine {
+                // The callee migrated next to the caller mid-call.
+                if executed {
+                    // The remote execution already happened; only the
+                    // reply delivery failed. Complete with the reply we
+                    // hold — the side effect must not run twice.
+                    if let Some(recovery) = &self.recovery {
+                        recovery.note_replayed_completion();
+                        if result.is_ok() {
+                            recovery.poll_drift(rt);
+                        }
+                    }
+                    return result;
+                }
+                let result = self.inner.call(rt, call.method, msg);
+                if result.is_ok() {
+                    if let Some(recovery) = &self.recovery {
+                        recovery.poll_drift(rt);
+                    }
+                }
+                return result;
+            }
+            match self.transport.preflight(rt, caller_machine, callee_machine) {
+                Ok(()) => {}
+                Err(error) => {
+                    if self.try_recover(rt, &error, attempt, max_attempts, &mut seen_epoch) {
+                        continue;
+                    }
+                    return Err(self.dump_on_error(error));
+                }
+            }
+            if executed {
+                // Deliver the existing reply again; never re-dispatch.
+                if let Some(recovery) = &self.recovery {
+                    recovery.note_redelivered();
+                }
+            } else {
+                req_bytes = message_request_size(method_desc, msg)?;
+                result = self.inner.call(rt, call.method, msg);
+                executed = true;
+            }
+            let reply_bytes = message_reply_size(method_desc, msg)?;
+            match self.transport.charge_sized_call_checked(
+                rt,
+                caller_machine,
+                callee_machine,
+                req_bytes,
+                reply_bytes,
+            ) {
+                Ok(attempts) => break (caller_machine, callee_machine, reply_bytes, attempts),
+                Err(error) => {
+                    if self.try_recover(rt, &error, attempt, max_attempts, &mut seen_epoch) {
+                        continue;
+                    }
+                    return Err(self.dump_on_error(error));
+                }
+            }
+        };
         if let Some(obs) = &self.obs {
             let at = rt.clock().now_us();
             obs.tracer.instant_at(
@@ -398,6 +527,11 @@ impl Invoker for DistributionInvoker {
             if let Some(hist) = &self.icc_hist {
                 hist.observe(req_bytes);
                 hist.observe(reply_bytes);
+            }
+        }
+        if result.is_ok() {
+            if let Some(recovery) = &self.recovery {
+                recovery.poll_drift(rt);
             }
         }
         result

@@ -50,6 +50,7 @@ pub mod metrics;
 pub mod multiway;
 pub mod predict;
 pub mod profile;
+pub mod recovery;
 pub mod replay;
 pub mod report;
 pub mod rewriter;
@@ -61,7 +62,9 @@ pub use analysis::{analyze, Distribution};
 pub use application::Application;
 pub use classifier::{ClassificationId, ClassifierKind, Descriptor, InstanceClassifier};
 pub use profile::IccProfile;
+pub use recovery::{RecoveryConfig, RecoveryCoordinator, RecoveryEvent, RecoveryTrigger};
 pub use rte::{CoignRte, FallbackEvent};
 pub use runtime::{
-    run_default, run_distributed, run_distributed_faulty, run_raw, FaultReport, RunReport,
+    run_default, run_distributed, run_distributed_faulty, run_distributed_recovering,
+    run_distributed_recovering_observed, run_raw, FaultReport, RecoveryRun, RunReport,
 };

@@ -1,0 +1,763 @@
+//! The self-healing runtime: online re-partitioning and instance migration.
+//!
+//! Coign's analysis normally runs once, offline: profile → min-cut →
+//! distribution → execute. This module closes the loop *during* execution.
+//! When the transport's circuit breakers declare a machine dead (consecutive
+//! [`coign_com::ComError::MachineDown`] failures tripping the machine-level
+//! breaker), or when the [`DriftMonitor`] reports that observed usage has
+//! drifted from the profiled scenarios, the [`RecoveryCoordinator`]:
+//!
+//! 1. **Re-solves the cut online** ([`RecoverySolver`]): the same flow
+//!    network the analysis engine built, with per-node adjustable pin edges
+//!    to the terminals. A dead machine pins every classification to the
+//!    survivor side (pins that demanded the dead machine are redirected —
+//!    the machine they asked for no longer exists). The solve warm-starts
+//!    from the previous solution's flow snapshot via
+//!    [`FlowNetwork::clamp_flows`] + [`min_cut_warm`], so recovery never
+//!    pays for a cold max-flow run.
+//! 2. **Swaps the live placement**: the component factory's routing table is
+//!    replaced atomically, so instantiations after the recovery land on the
+//!    new cut.
+//! 3. **Migrates live instances** whose classification moved: each move
+//!    deep-copies a nominal state snapshot through the DCOM marshaling value
+//!    tree and charges the simulated clock for the transfer, then retargets
+//!    the instance record. In-flight calls observe the move through an
+//!    epoch counter and the exactly-once retry protocol in the distribution
+//!    informer: a call that failed *before* executing is retried (possibly
+//!    landing locally after the migration); a call whose reply delivery
+//!    failed *after* executing completes with the reply it already holds —
+//!    the side effect never runs twice.
+
+use crate::classifier::{ClassificationId, InstanceClassifier};
+use crate::constraints::Constraint;
+use crate::drift::DriftMonitor;
+use crate::factory::ComponentFactory;
+use crate::icc::IccGraph;
+use coign_com::{ComError, ComResult, ComRuntime, MachineId, Value};
+use coign_dcom::{value_size, BreakerPolicy, HealthMonitor};
+use coign_flow::{min_cut_warm, FlowNetwork, INFINITE};
+use coign_obs::{Obs, TraceArg};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fixed cost of relocating one live instance, microseconds (the remote
+/// re-instantiation round-trip, minus the state payload).
+pub const MIGRATION_CALL_US: u64 = 25;
+
+/// Cost per kilobyte of marshaled instance state moved, microseconds.
+pub const MIGRATION_PER_KB_US: u64 = 2;
+
+/// Size of the nominal per-instance state blob, bytes.
+pub const MIGRATION_STATE_BLOB_BYTES: u64 = 4096;
+
+/// The nominal state snapshot deep-copied when an instance migrates: a
+/// small header plus a data blob, sized through the same value tree the
+/// DCOM marshaler uses for call parameters.
+fn migration_state_tree() -> Value {
+    Value::Struct(vec![
+        Value::I8(0),
+        Value::Str(String::from("state")),
+        Value::Blob(MIGRATION_STATE_BLOB_BYTES),
+    ])
+}
+
+/// Tuning knobs for the self-healing runtime.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryConfig {
+    /// Circuit-breaker policy installed on the transport's health monitor.
+    pub breaker: BreakerPolicy,
+    /// Usage-drift threshold that triggers a mid-run re-solve, or `None`
+    /// to leave drift-triggered recovery off (machine-death recovery is
+    /// always on).
+    pub drift_threshold: Option<f64>,
+}
+
+/// What tripped a recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryTrigger {
+    /// The machine-level circuit breaker declared a machine dead.
+    MachineDeath,
+    /// The drift monitor's latched threshold fired mid-run.
+    Drift,
+}
+
+impl RecoveryTrigger {
+    /// Stable name used in traces and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryTrigger::MachineDeath => "machine_death",
+            RecoveryTrigger::Drift => "drift",
+        }
+    }
+}
+
+/// One completed recovery: trigger, scope, and effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Simulated time the recovery completed, microseconds.
+    pub at_us: u64,
+    /// What tripped it.
+    pub trigger: RecoveryTrigger,
+    /// The machine declared dead, if the trigger was a machine death (or a
+    /// drift re-solve while a machine was already dead).
+    pub dead_machine: Option<MachineId>,
+    /// Live instances relocated to realize the new cut.
+    pub migrations: u64,
+    /// Placement epoch after this recovery (starts at 0, +1 per recovery).
+    pub epoch: u64,
+}
+
+/// The online re-partitioning solver: the analysis engine's flow network
+/// kept alive across solves, with adjustable pin edges so constraints can
+/// be rewritten per solve without rebuilding the graph.
+///
+/// Edge layout (insertion order, hence pair index order): communication
+/// edges in `weights_us` (BTreeMap) order, sorted non-remotable pairs at
+/// [`INFINITE`], colocation constraints at [`INFINITE`], then one
+/// `(source, node)` and one `(node, sink)` pin pair per node at capacity 0.
+/// Per solve the pin capacities are set (0 or [`INFINITE`]), the previous
+/// flow snapshot is repaired against the new capacities with
+/// [`FlowNetwork::clamp_flows`], and [`min_cut_warm`] finishes the run.
+pub struct RecoverySolver {
+    flow: FlowNetwork,
+    source: usize,
+    sink: usize,
+    nodes: Vec<ClassificationId>,
+    /// Per node: pair indices of its (pin-to-source, pin-to-sink) edges.
+    pin_pairs: Vec<(usize, usize)>,
+    /// Baseline pins from the constraint set (absolute pins are modeled
+    /// here, not in the static part of the network).
+    base_client: Vec<bool>,
+    base_server: Vec<bool>,
+    prev_flows: Option<Vec<u64>>,
+    warm_solves: u64,
+    cold_solves: u64,
+}
+
+impl RecoverySolver {
+    /// Builds the solver's network from the concrete ICC graph and the
+    /// application's constraint set.
+    pub fn new(graph: &IccGraph, constraints: &[Constraint]) -> Self {
+        let n = graph.node_count();
+        let (source, sink) = (n, n + 1);
+        let mut flow = FlowNetwork::new(n + 2);
+        let mut pairs = 0usize;
+        for ((a, b), weight) in &graph.weights_us {
+            flow.add_undirected(*a, *b, IccGraph::capacity_of(*weight));
+            pairs += 1;
+        }
+        let mut non_remotable: Vec<_> = graph.non_remotable.iter().copied().collect();
+        non_remotable.sort_unstable();
+        for (a, b) in non_remotable {
+            flow.add_undirected(a, b, INFINITE);
+            pairs += 1;
+        }
+        let mut base_client = vec![false; n];
+        let mut base_server = vec![false; n];
+        for constraint in constraints {
+            match constraint {
+                Constraint::PinClient(class) => {
+                    if let Some(&node) = graph.index.get(class) {
+                        base_client[node] = true;
+                    }
+                }
+                Constraint::PinServer(class) => {
+                    if let Some(&node) = graph.index.get(class) {
+                        base_server[node] = true;
+                    }
+                }
+                Constraint::Colocate(a, b) => {
+                    if let (Some(&na), Some(&nb)) = (graph.index.get(a), graph.index.get(b)) {
+                        if na != nb {
+                            flow.add_undirected(na, nb, INFINITE);
+                            pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut pin_pairs = Vec::with_capacity(n);
+        for node in 0..n {
+            let client = pairs;
+            flow.add_undirected(source, node, 0);
+            pairs += 1;
+            let server = pairs;
+            flow.add_undirected(node, sink, 0);
+            pairs += 1;
+            pin_pairs.push((client, server));
+        }
+        RecoverySolver {
+            flow,
+            source,
+            sink,
+            nodes: graph.nodes.clone(),
+            pin_pairs,
+            base_client,
+            base_server,
+            prev_flows: None,
+            warm_solves: 0,
+            cold_solves: 0,
+        }
+    }
+
+    /// Solves the cut. With `dead: None` the baseline constraint pins
+    /// apply; with a dead machine every node is pinned to the survivor
+    /// side (pins that demanded the dead machine are redirected). The
+    /// first solve is cold; every later one warm-starts from the previous
+    /// flow snapshot.
+    pub fn solve(
+        &mut self,
+        dead: Option<MachineId>,
+    ) -> ComResult<HashMap<ClassificationId, MachineId>> {
+        self.flow.reset();
+        for (node, &(client_pair, server_pair)) in self.pin_pairs.iter().enumerate() {
+            let (client, server) = match dead {
+                None => (self.base_client[node], self.base_server[node]),
+                Some(machine) => {
+                    let survivor_is_client = machine != MachineId::CLIENT;
+                    (survivor_is_client, !survivor_is_client)
+                }
+            };
+            self.flow
+                .set_undirected_capacity(client_pair, if client { INFINITE } else { 0 });
+            self.flow
+                .set_undirected_capacity(server_pair, if server { INFINITE } else { 0 });
+        }
+        let cut = match self.prev_flows.take() {
+            Some(mut flows) => {
+                self.flow.clamp_flows(self.source, self.sink, &mut flows);
+                self.warm_solves += 1;
+                min_cut_warm(&mut self.flow, self.source, self.sink, Some(&flows))
+            }
+            None => {
+                self.cold_solves += 1;
+                min_cut_warm(&mut self.flow, self.source, self.sink, None)
+            }
+        };
+        if cut.cut_value >= INFINITE {
+            return Err(ComError::App(
+                "re-partitioning constraints are contradictory: the recovery cut severs \
+                 an infinite-capacity edge"
+                    .to_string(),
+            ));
+        }
+        self.prev_flows = Some(self.flow.snapshot_flows());
+        let mut placement = HashMap::with_capacity(self.nodes.len());
+        for (node, class) in self.nodes.iter().enumerate() {
+            let machine = if cut.source_side[node] {
+                MachineId::CLIENT
+            } else {
+                MachineId::SERVER
+            };
+            placement.insert(*class, machine);
+        }
+        Ok(placement)
+    }
+
+    /// Warm-started solves performed so far.
+    pub fn warm_solves(&self) -> u64 {
+        self.warm_solves
+    }
+
+    /// Cold solves performed so far (the base solve; recovery re-solves
+    /// must never add to this).
+    pub fn cold_solves(&self) -> u64 {
+        self.cold_solves
+    }
+}
+
+/// Checks a placement against the constraint set, the non-remotable pairs,
+/// and (optionally) a dead machine. With a dead machine, absolute pins to
+/// it are treated as redirected to the survivor, and nothing may remain
+/// placed on it. Classifications absent from the placement are skipped.
+pub fn validate_placement(
+    placement: &HashMap<ClassificationId, MachineId>,
+    constraints: &[Constraint],
+    non_remotable: &[(ClassificationId, ClassificationId)],
+    dead: Option<MachineId>,
+) -> Result<(), String> {
+    let survivor = dead.map(|m| {
+        if m == MachineId::CLIENT {
+            MachineId::SERVER
+        } else {
+            MachineId::CLIENT
+        }
+    });
+    if let Some(machine) = dead {
+        let mut entries: Vec<_> = placement.iter().collect();
+        entries.sort();
+        if let Some((class, _)) = entries.iter().find(|(_, &m)| m == machine) {
+            return Err(format!(
+                "classification {class} is placed on dead machine {machine}"
+            ));
+        }
+    }
+    let pin_target = |want: MachineId| {
+        if dead == Some(want) {
+            survivor.expect("survivor exists when a machine is dead")
+        } else {
+            want
+        }
+    };
+    for constraint in constraints {
+        match constraint {
+            Constraint::PinClient(class) => {
+                if let Some(&machine) = placement.get(class) {
+                    let want = pin_target(MachineId::CLIENT);
+                    if machine != want {
+                        return Err(format!(
+                            "classification {class} pinned to client but placed on {machine}"
+                        ));
+                    }
+                }
+            }
+            Constraint::PinServer(class) => {
+                if let Some(&machine) = placement.get(class) {
+                    let want = pin_target(MachineId::SERVER);
+                    if machine != want {
+                        return Err(format!(
+                            "classification {class} pinned to server but placed on {machine}"
+                        ));
+                    }
+                }
+            }
+            Constraint::Colocate(a, b) => {
+                if let (Some(&ma), Some(&mb)) = (placement.get(a), placement.get(b)) {
+                    if ma != mb {
+                        return Err(format!(
+                            "colocated classifications {a} and {b} split across {ma} and {mb}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for &(a, b) in non_remotable {
+        if let (Some(&ma), Some(&mb)) = (placement.get(&a), placement.get(&b)) {
+            if ma != mb {
+                return Err(format!(
+                    "non-remotable pair {a}/{b} split across {ma} and {mb}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Orchestrates online recovery: consumes machine-death declarations from
+/// the transport's [`HealthMonitor`], drift fires from the
+/// [`DriftMonitor`], re-solves the cut, swaps the factory's placement, and
+/// migrates live instances.
+pub struct RecoveryCoordinator {
+    solver: Mutex<RecoverySolver>,
+    factory: Arc<ComponentFactory>,
+    classifier: Arc<InstanceClassifier>,
+    health: Arc<HealthMonitor>,
+    drift: Option<(Arc<DriftMonitor>, f64)>,
+    constraints: Vec<Constraint>,
+    non_remotable: Vec<(ClassificationId, ClassificationId)>,
+    epoch: AtomicU64,
+    events: Mutex<Vec<RecoveryEvent>>,
+    dead: Mutex<BTreeSet<MachineId>>,
+    migrations: AtomicU64,
+    migrated_state_bytes: AtomicU64,
+    replayed_completions: AtomicU64,
+    redelivered_calls: AtomicU64,
+    double_executions: AtomicU64,
+    obs: Option<Obs>,
+}
+
+impl RecoveryCoordinator {
+    /// Creates the coordinator and performs the base solve (cold), so that
+    /// every recovery re-solve warm-starts from a real flow snapshot.
+    pub fn new(
+        graph: &IccGraph,
+        constraints: &[Constraint],
+        factory: Arc<ComponentFactory>,
+        classifier: Arc<InstanceClassifier>,
+        health: Arc<HealthMonitor>,
+        drift: Option<(Arc<DriftMonitor>, f64)>,
+        obs: Option<Obs>,
+    ) -> ComResult<Arc<RecoveryCoordinator>> {
+        let mut solver = RecoverySolver::new(graph, constraints);
+        solver.solve(None)?;
+        let mut non_remotable: Vec<_> = graph
+            .non_remotable
+            .iter()
+            .map(|&(a, b)| (graph.nodes[a], graph.nodes[b]))
+            .collect();
+        non_remotable.sort_unstable();
+        Ok(Arc::new(RecoveryCoordinator {
+            solver: Mutex::new(solver),
+            factory,
+            classifier,
+            health,
+            drift,
+            constraints: constraints.to_vec(),
+            non_remotable,
+            epoch: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+            dead: Mutex::new(BTreeSet::new()),
+            migrations: AtomicU64::new(0),
+            migrated_state_bytes: AtomicU64::new(0),
+            replayed_completions: AtomicU64::new(0),
+            redelivered_calls: AtomicU64::new(0),
+            double_executions: AtomicU64::new(0),
+            obs,
+        }))
+    }
+
+    /// The transport's health monitor this coordinator drains.
+    pub fn health(&self) -> &Arc<HealthMonitor> {
+        &self.health
+    }
+
+    /// Current placement epoch: 0 until the first recovery, +1 per
+    /// recovery. An in-flight call that observes an epoch bump knows its
+    /// routing decision may be stale and re-reads the instance's machine.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Completed recoveries, in order.
+    pub fn events(&self) -> Vec<RecoveryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of completed recoveries.
+    pub fn recovery_count(&self) -> u64 {
+        self.events.lock().len() as u64
+    }
+
+    /// Machines currently declared dead.
+    pub fn dead_machines(&self) -> Vec<MachineId> {
+        self.dead.lock().iter().copied().collect()
+    }
+
+    /// Live instances migrated across all recoveries.
+    pub fn migration_count(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// Marshaled state bytes moved by migrations.
+    pub fn migrated_state_bytes(&self) -> u64 {
+        self.migrated_state_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Calls completed from an already-executed remote attempt after a
+    /// recovery (the reply was replayed, the side effect did not re-run).
+    pub fn replayed_completions(&self) -> u64 {
+        self.replayed_completions.load(Ordering::Relaxed)
+    }
+
+    /// Reply re-delivery attempts for already-executed calls that stayed
+    /// remote after a recovery.
+    pub fn redelivered_calls(&self) -> u64 {
+        self.redelivered_calls.load(Ordering::Relaxed)
+    }
+
+    /// Defensive ledger: calls whose side effect ran more than once. The
+    /// retry protocol makes this structurally impossible; the chaos
+    /// harness asserts it stays zero.
+    pub fn double_executions(&self) -> u64 {
+        self.double_executions.load(Ordering::Relaxed)
+    }
+
+    /// Warm-started re-solves performed.
+    pub fn warm_solves(&self) -> u64 {
+        self.solver.lock().warm_solves()
+    }
+
+    /// Cold solves performed (the base solve only).
+    pub fn cold_solves(&self) -> u64 {
+        self.solver.lock().cold_solves()
+    }
+
+    /// Upper bound on delivery attempts per logical call in the
+    /// distribution informer's retry loop: enough preflight failures to
+    /// trip the machine breaker, plus the post-recovery attempt.
+    pub fn max_call_attempts(&self) -> u32 {
+        self.health.policy().failure_threshold + 2
+    }
+
+    pub(crate) fn note_replayed_completion(&self) {
+        self.replayed_completions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_redelivered(&self) {
+        self.redelivered_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a double execution in the defensive ledger. The retry
+    /// protocol never calls this on any reachable path; it exists so a
+    /// future protocol change that breaks exactly-once fails the chaos
+    /// invariants instead of passing silently.
+    pub fn note_double_execution(&self) {
+        self.double_executions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn current_dead(&self) -> Option<MachineId> {
+        self.dead.lock().iter().next().copied()
+    }
+
+    /// Validates the factory's *current* placement against the constraint
+    /// set and the dead-machine set.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_placement(
+            &self.factory.placement_snapshot(),
+            &self.constraints,
+            &self.non_remotable,
+            self.current_dead(),
+        )
+    }
+
+    /// Reacts to a failed remote call. Returns `true` when the caller
+    /// should retry: either a recovery just completed (the callee may have
+    /// migrated next to the caller), or the failure is a machine-down
+    /// error still feeding the breaker toward a trip.
+    pub fn on_call_failure(&self, rt: &ComRuntime, error: &ComError) -> bool {
+        let mut recovered = false;
+        for machine in self.health.drain_opened_machines() {
+            if self.dead.lock().insert(machine) {
+                recovered |= self.recover(rt, RecoveryTrigger::MachineDeath, Some(machine));
+            }
+        }
+        if recovered {
+            return true;
+        }
+        matches!(error, ComError::MachineDown(_)) && self.dead.lock().is_empty()
+    }
+
+    /// Polls the drift monitor after a successful call; a latched fire
+    /// triggers a warm re-solve and resets the observation window for the
+    /// new placement. Returns `true` when a recovery ran.
+    pub fn poll_drift(&self, rt: &ComRuntime) -> bool {
+        let Some((monitor, threshold)) = &self.drift else {
+            return false;
+        };
+        if !monitor.poll_reprofile(*threshold) {
+            return false;
+        }
+        let recovered = self.recover(rt, RecoveryTrigger::Drift, None);
+        monitor.reset();
+        recovered
+    }
+
+    /// One full recovery: warm re-solve, placement validation, factory
+    /// swap, instance migration, epoch bump, event + observability.
+    fn recover(&self, rt: &ComRuntime, trigger: RecoveryTrigger, dead: Option<MachineId>) -> bool {
+        let dead = dead.or_else(|| self.current_dead());
+        let placement = match self.solver.lock().solve(dead) {
+            Ok(placement) => placement,
+            Err(_) => return false,
+        };
+        if validate_placement(&placement, &self.constraints, &self.non_remotable, dead).is_err() {
+            return false;
+        }
+        if let Some(machine) = dead {
+            let survivor = if machine == MachineId::CLIENT {
+                MachineId::SERVER
+            } else {
+                MachineId::CLIENT
+            };
+            self.factory.retarget_pins(machine, survivor);
+        }
+        self.factory.swap_placement(placement.clone());
+        let mut migrations = 0u64;
+        for instance in rt.instances_snapshot() {
+            let class = self
+                .classifier
+                .classification_of(instance.id)
+                .unwrap_or(ClassificationId::ROOT);
+            let target = placement
+                .get(&class)
+                .copied()
+                .unwrap_or_else(|| self.factory.placement_for(class, instance.clsid));
+            if instance.machine() == target {
+                continue;
+            }
+            // Relocation is modeled as the paper would do it over DCOM:
+            // marshal the instance's state, ship it, unmarshal on the
+            // target — so the move costs simulated time proportional to
+            // the state's wire size.
+            let bytes =
+                value_size(&migration_state_tree()).expect("migration state tree is remotable");
+            rt.clock()
+                .advance_us(MIGRATION_CALL_US + (bytes / 1024) * MIGRATION_PER_KB_US);
+            instance.set_machine(target);
+            self.migrated_state_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+            migrations += 1;
+        }
+        self.migrations.fetch_add(migrations, Ordering::Relaxed);
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let event = RecoveryEvent {
+            at_us: rt.clock().now_us(),
+            trigger,
+            dead_machine: dead,
+            migrations,
+            epoch,
+        };
+        self.events.lock().push(event);
+        if let Some(obs) = &self.obs {
+            let mut args = vec![
+                ("trigger", TraceArg::Static(trigger.name())),
+                ("migrations", TraceArg::U64(migrations)),
+                ("epoch", TraceArg::U64(epoch)),
+            ];
+            if let Some(machine) = dead {
+                args.push(("dead_machine", TraceArg::U64(u64::from(machine.0))));
+            }
+            obs.tracer.instant_at("recovery", event.at_us, args);
+            obs.recorder.record(
+                event.at_us,
+                "recovery",
+                format!(
+                    "trigger={} dead={} migrations={migrations} epoch={epoch}",
+                    trigger.name(),
+                    dead.map_or_else(|| "-".to_string(), |m| m.to_string()),
+                ),
+            );
+            obs.recorder.dump("Recovery");
+        }
+        true
+    }
+
+    /// Adds the coordinator's counters to a metrics registry.
+    pub fn record_metrics(&self, registry: &coign_obs::Registry) {
+        registry
+            .counter("coign_recovery_events_total")
+            .add(self.recovery_count());
+        registry
+            .counter("coign_recovery_warm_solves_total")
+            .add(self.warm_solves());
+        registry
+            .counter("coign_recovery_cold_solves_total")
+            .add(self.cold_solves());
+        registry
+            .counter("coign_recovery_migrations_total")
+            .add(self.migration_count());
+        registry
+            .counter("coign_recovery_migrated_state_bytes")
+            .add(self.migrated_state_bytes());
+        registry
+            .counter("coign_recovery_replayed_completions_total")
+            .add(self.replayed_completions());
+        registry
+            .counter("coign_recovery_redelivered_calls_total")
+            .add(self.redelivered_calls());
+        registry
+            .counter("coign_recovery_double_executions_total")
+            .add(self.double_executions());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::IccProfile;
+    use coign_com::{Clsid, Iid};
+    use coign_dcom::{NetworkModel, NetworkProfile};
+
+    fn c(n: u32) -> ClassificationId {
+        ClassificationId(n)
+    }
+
+    /// Root ↔ viewer: light. viewer ↔ reader: light. reader ↔ storage:
+    /// heavy. Storage pinned to the server.
+    fn document_graph() -> (IccGraph, Vec<Constraint>) {
+        let iid = Iid::from_name("IX");
+        let mut p = IccProfile::new();
+        for (id, name) in [(1, "Viewer"), (2, "Reader"), (3, "Storage")] {
+            p.record_instance(c(id), Clsid::from_name(name));
+        }
+        for _ in 0..50 {
+            p.record_message(ClassificationId::ROOT, c(1), iid, 0, 100);
+        }
+        p.record_message(c(1), c(2), iid, 0, 2_000);
+        for _ in 0..200 {
+            p.record_message(c(2), c(3), iid, 0, 60_000);
+        }
+        let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+        let constraints = vec![
+            Constraint::PinClient(ClassificationId::ROOT),
+            Constraint::PinServer(c(3)),
+        ];
+        (IccGraph::build(&p, &network), constraints)
+    }
+
+    #[test]
+    fn base_solve_matches_the_analysis_engine() {
+        let (graph, constraints) = document_graph();
+        let mut solver = RecoverySolver::new(&graph, &constraints);
+        let placement = solver.solve(None).unwrap();
+        assert_eq!(placement[&c(3)], MachineId::SERVER);
+        assert_eq!(placement[&c(2)], MachineId::SERVER);
+        assert_eq!(placement[&c(1)], MachineId::CLIENT);
+        assert_eq!(placement[&ClassificationId::ROOT], MachineId::CLIENT);
+        assert_eq!(solver.cold_solves(), 1);
+        assert_eq!(solver.warm_solves(), 0);
+    }
+
+    #[test]
+    fn dead_server_solve_is_warm_and_pins_everything_to_the_client() {
+        let (graph, constraints) = document_graph();
+        let mut solver = RecoverySolver::new(&graph, &constraints);
+        solver.solve(None).unwrap();
+        let placement = solver.solve(Some(MachineId::SERVER)).unwrap();
+        for (&class, &machine) in &placement {
+            assert_eq!(machine, MachineId::CLIENT, "{class} left on dead server");
+        }
+        assert_eq!(solver.cold_solves(), 1, "recovery re-solve must be warm");
+        assert_eq!(solver.warm_solves(), 1);
+        validate_placement(&placement, &constraints, &[], Some(MachineId::SERVER)).unwrap();
+    }
+
+    #[test]
+    fn repeated_solves_alternate_without_going_cold() {
+        let (graph, constraints) = document_graph();
+        let mut solver = RecoverySolver::new(&graph, &constraints);
+        let base = solver.solve(None).unwrap();
+        solver.solve(Some(MachineId::SERVER)).unwrap();
+        let back = solver.solve(None).unwrap();
+        assert_eq!(base, back, "re-solving the base constraints must converge");
+        assert_eq!(solver.cold_solves(), 1);
+        assert_eq!(solver.warm_solves(), 2);
+    }
+
+    #[test]
+    fn validate_placement_catches_violations() {
+        let (_, constraints) = document_graph();
+        let mut placement = HashMap::new();
+        placement.insert(ClassificationId::ROOT, MachineId::CLIENT);
+        placement.insert(c(3), MachineId::CLIENT); // violates PinServer
+        assert!(validate_placement(&placement, &constraints, &[], None).is_err());
+        placement.insert(c(3), MachineId::SERVER);
+        validate_placement(&placement, &constraints, &[], None).unwrap();
+        // Dead server: the redirected pin makes client placement legal...
+        placement.insert(c(3), MachineId::CLIENT);
+        validate_placement(&placement, &constraints, &[], Some(MachineId::SERVER)).unwrap();
+        // ...but anything still on the dead machine is not.
+        placement.insert(c(3), MachineId::SERVER);
+        assert!(
+            validate_placement(&placement, &constraints, &[], Some(MachineId::SERVER)).is_err()
+        );
+        // Split non-remotable pairs are caught.
+        placement.insert(c(3), MachineId::SERVER);
+        assert!(validate_placement(
+            &placement,
+            &constraints,
+            &[(ClassificationId::ROOT, c(3))],
+            None
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn migration_state_tree_is_remotable_and_sized() {
+        let bytes = value_size(&migration_state_tree()).unwrap();
+        assert!(bytes > MIGRATION_STATE_BLOB_BYTES);
+    }
+}

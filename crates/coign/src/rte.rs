@@ -35,7 +35,9 @@ use std::sync::Arc;
 enum RteMode {
     Profiling,
     Distributed {
-        factory: ComponentFactory,
+        /// Shared with the recovery coordinator, which swaps the placement
+        /// table mid-run when the cut is re-solved online.
+        factory: Arc<ComponentFactory>,
         transport: Arc<Transport>,
         drift: Option<Arc<DriftMonitor>>,
     },
@@ -72,6 +74,10 @@ pub struct CoignRte {
     /// Observability bundle (tracer + registry + flight recorder) threaded
     /// into every informer this RTE installs.
     obs: Option<Obs>,
+    /// Self-healing coordinator, installed after construction (it needs the
+    /// RTE's factory); every distribution informer wrapped from then on
+    /// routes failures through it.
+    recovery: Mutex<Option<Arc<crate::recovery::RecoveryCoordinator>>>,
 }
 
 impl CoignRte {
@@ -86,6 +92,7 @@ impl CoignRte {
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
             obs: None,
+            recovery: Mutex::new(None),
         }
     }
 
@@ -110,7 +117,7 @@ impl CoignRte {
     ) -> Self {
         CoignRte {
             mode: RteMode::Distributed {
-                factory,
+                factory: Arc::new(factory),
                 transport,
                 drift,
             },
@@ -121,7 +128,29 @@ impl CoignRte {
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
             obs: None,
+            recovery: Mutex::new(None),
         }
+    }
+
+    /// The component factory, in distributed mode. Shared so the recovery
+    /// coordinator can swap its placement table while the run is live.
+    pub fn factory(&self) -> Option<Arc<ComponentFactory>> {
+        match &self.mode {
+            RteMode::Profiling => None,
+            RteMode::Distributed { factory, .. } => Some(factory.clone()),
+        }
+    }
+
+    /// Installs the self-healing coordinator. Interfaces wrapped after this
+    /// point route transport failures through it (recover + retry) instead
+    /// of failing the call outright.
+    pub fn set_recovery(&self, coordinator: Arc<crate::recovery::RecoveryCoordinator>) {
+        *self.recovery.lock() = Some(coordinator);
+    }
+
+    /// The installed recovery coordinator, if any.
+    pub fn recovery(&self) -> Option<Arc<crate::recovery::RecoveryCoordinator>> {
+        self.recovery.lock().clone()
     }
 
     /// Attaches an observability bundle. Every informer installed from now
@@ -231,6 +260,9 @@ impl RuntimeHook for CoignRte {
                             "fallback",
                             format!("{} intended m{} -> local m{}", req.clsid, machine.0, here.0),
                         );
+                        // A placement fallback is a degradation worth a
+                        // post-mortem, same as a dying call.
+                        obs.recorder.dump("Fallback");
                     }
                     machine = here;
                 }
@@ -263,11 +295,12 @@ impl RuntimeHook for CoignRte {
             ),
             RteMode::Distributed {
                 transport, drift, ..
-            } => DistributionInvoker::wrap_observed(
+            } => DistributionInvoker::wrap_recovering(
                 ptr,
                 transport.clone(),
                 self.overhead.clone(),
                 drift.as_ref().map(|m| (self.classifier.clone(), m.clone())),
+                self.recovery.lock().clone(),
                 self.obs.clone(),
             ),
         }

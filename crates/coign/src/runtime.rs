@@ -19,16 +19,21 @@ use crate::analysis::{analyze, Distribution};
 use crate::application::Application;
 use crate::classifier::{ClassificationId, InstanceClassifier};
 use crate::constraints::{derive_static_constraints, resolve_named_constraints, Constraint};
+use crate::drift::DriftMonitor;
 use crate::factory::ComponentFactory;
+use crate::icc::IccGraph;
 use crate::informer::{DistributionInvoker, OverheadMeter};
 use crate::logger::{PairTraffic, ProfilingLogger};
 use crate::profile::IccProfile;
+use crate::recovery::{RecoveryConfig, RecoveryCoordinator};
 use crate::rte::CoignRte;
 use coign_com::{
     ClassRegistry, Clsid, ComError, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr,
     MachineId, RtStats, RuntimeHook,
 };
-use coign_dcom::{CallPolicy, FaultPlan, FaultStats, NetworkModel, NetworkProfile, Transport};
+use coign_dcom::{
+    CallPolicy, FaultPlan, FaultStats, HealthMonitor, NetworkModel, NetworkProfile, Transport,
+};
 use coign_flow::MaxFlowAlgorithm;
 use coign_obs::{Obs, Registry, TraceArg};
 use std::collections::HashMap;
@@ -715,6 +720,147 @@ pub fn run_distributed_faulty_observed(
     )
 }
 
+/// Outcome of a self-healing distributed execution.
+///
+/// Unlike the plain runners, the report is produced even when the scenario
+/// itself failed: under fault injection a typed transport failure is trial
+/// data (the chaos harness classifies it), not an abort.
+pub struct RecoveryRun {
+    /// Execution measurements (always present).
+    pub report: RunReport,
+    /// The coordinator: recovery events, placement epoch, solver and
+    /// exactly-once counters, and the health monitor it drained.
+    pub coordinator: Arc<RecoveryCoordinator>,
+    /// The scenario's own result.
+    pub outcome: ComResult<()>,
+}
+
+/// Executes a scenario under `distribution` with the full self-healing
+/// runtime: circuit breakers on the transport, online re-partitioning when
+/// a machine dies (warm-started from the base solve's flow snapshot),
+/// instance migration, and the exactly-once retry protocol at the proxy.
+///
+/// With an empty plan this is bit-identical to [`run_distributed`]: the
+/// health monitor is only fed on faulty paths, drift polling is clock-free
+/// until a latched fire, and no recovery ever triggers.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_recovering(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    profile: &IccProfile,
+    network: NetworkModel,
+    seed: u64,
+    plan: FaultPlan,
+    policy: CallPolicy,
+    fault_seed: u64,
+    config: RecoveryConfig,
+) -> ComResult<RecoveryRun> {
+    run_distributed_recovering_observed(
+        app,
+        scenario,
+        classifier,
+        distribution,
+        profile,
+        network,
+        seed,
+        plan,
+        policy,
+        fault_seed,
+        config,
+        None,
+    )
+}
+
+/// [`run_distributed_recovering`] with an optional observability bundle:
+/// breaker transitions, recovery events, and migrations become tracer
+/// instants and flight-recorder entries (a recovery also dumps the
+/// recorder), and the coordinator's and health monitor's counters are
+/// added to the registry after the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_recovering_observed(
+    app: &dyn Application,
+    scenario: &str,
+    classifier: &Arc<InstanceClassifier>,
+    distribution: &Distribution,
+    profile: &IccProfile,
+    network: NetworkModel,
+    seed: u64,
+    plan: FaultPlan,
+    policy: CallPolicy,
+    fault_seed: u64,
+    config: RecoveryConfig,
+    obs: Option<&Obs>,
+) -> ComResult<RecoveryRun> {
+    let rt = ComRuntime::client_server();
+    app.register(&rt);
+    classifier.begin_execution();
+    let net_profile = NetworkProfile::exact(&network);
+    let transport = Arc::new(Transport::with_faults(
+        network, seed, plan, policy, fault_seed,
+    ));
+    let health = Arc::new(HealthMonitor::new(config.breaker));
+    transport.set_health(health.clone());
+    let drift = config
+        .drift_threshold
+        .map(|threshold| (Arc::new(DriftMonitor::from_profile(profile)), threshold));
+    let factory = ComponentFactory::with_class_pins(
+        distribution.placement.clone(),
+        storage_class_pins(&rt),
+        MachineId::CLIENT,
+        rt.machines().len(),
+    );
+    let mut rte = CoignRte::distributed_with_monitor(
+        classifier.clone(),
+        Arc::new(crate::logger::NullLogger),
+        factory,
+        transport.clone(),
+        drift.as_ref().map(|(monitor, _)| monitor.clone()),
+    );
+    if let Some(o) = obs {
+        rte = rte.with_obs(o.clone());
+    }
+    let rte = Arc::new(rte);
+    let factory = rte.factory().expect("distributed-mode RTE has a factory");
+    let constraints = derive_constraints(app, profile);
+    let graph = IccGraph::build(profile, &net_profile);
+    let coordinator = RecoveryCoordinator::new(
+        &graph,
+        &constraints,
+        factory,
+        classifier.clone(),
+        health,
+        drift,
+        obs.cloned(),
+    )?;
+    rte.set_recovery(coordinator.clone());
+    rt.add_hook(rte.clone());
+
+    let outcome = app.run_scenario(&rt, scenario);
+
+    let report = RunReport {
+        stats: rt.stats(),
+        clock_us: rt.clock().now_us(),
+        overhead_us: rte.overhead_us(),
+        instances_per_machine: count_per_machine(&rt),
+        instance_placements: placements(&rt),
+        faults: FaultReport::from_parts(transport.fault_stats(), rte.fallback_count()),
+        marshal_cache_hits: rte.marshal_cache().hits(),
+        marshal_cache_misses: rte.marshal_cache().misses(),
+    };
+    if let Some(o) = obs {
+        report.record_metrics(&o.registry);
+        coordinator.record_metrics(&o.registry);
+        coordinator.health().record_metrics(&o.registry);
+    }
+    Ok(RecoveryRun {
+        report,
+        coordinator,
+        outcome,
+    })
+}
+
 fn run_distributed_with_transport(
     app: &dyn Application,
     scenario: &str,
@@ -1121,5 +1267,276 @@ mod tests {
         .unwrap();
         assert_eq!(a.clock_us, b.clock_us);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn zero_fault_recovery_run_is_bit_identical_to_plain_distributed() {
+        use coign_dcom::CallPolicy;
+        let app = MiniApp;
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let profile = profile_scenarios(&app, &["m_run"], &classifier).unwrap();
+        let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+        let dist = choose_distribution(&app, &profile, &network).unwrap();
+        let plain = run_distributed(
+            &app,
+            "m_run",
+            &classifier,
+            &dist,
+            NetworkModel::ethernet_10baset(),
+            9,
+        )
+        .unwrap();
+        let recovering = run_distributed_recovering(
+            &app,
+            "m_run",
+            &classifier,
+            &dist,
+            &profile,
+            NetworkModel::ethernet_10baset(),
+            9,
+            FaultPlan::none(),
+            CallPolicy::default(),
+            9,
+            crate::recovery::RecoveryConfig::default(),
+        )
+        .unwrap();
+        recovering.outcome.unwrap();
+        // The self-healing machinery must be inert on a clean wire: same
+        // clock, same stats, same placements as the plain runner.
+        assert_eq!(recovering.report.clock_us, plain.clock_us);
+        assert_eq!(recovering.report.stats, plain.stats);
+        assert_eq!(
+            recovering.report.instance_placements,
+            plain.instance_placements
+        );
+        let coord = &recovering.coordinator;
+        assert_eq!(coord.recovery_count(), 0);
+        assert_eq!(coord.epoch(), 0);
+        assert_eq!(coord.migration_count(), 0);
+        assert_eq!(coord.cold_solves(), 1, "only the base solve ran");
+        assert!(coord.dead_machines().is_empty());
+    }
+
+    #[test]
+    fn machine_death_mid_run_recovers_with_a_warm_resolve() {
+        use coign_dcom::{CallPolicy, TimeWindow};
+        let app = MiniApp;
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let profile = profile_scenarios(&app, &["m_run"], &classifier).unwrap();
+        let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+        let dist = choose_distribution(&app, &profile, &network).unwrap();
+        let plain = run_distributed(
+            &app,
+            "m_run",
+            &classifier,
+            &dist,
+            NetworkModel::ethernet_10baset(),
+            9,
+        )
+        .unwrap();
+        // Kill the server a third of the way through the run and never
+        // bring it back.
+        let plan = FaultPlan::none().with_machine_down(
+            MachineId::SERVER,
+            TimeWindow::new(plain.clock_us / 3, u64::MAX),
+        );
+        let run = run_distributed_recovering(
+            &app,
+            "m_run",
+            &classifier,
+            &dist,
+            &profile,
+            NetworkModel::ethernet_10baset(),
+            9,
+            plan,
+            CallPolicy::default(),
+            9,
+            crate::recovery::RecoveryConfig::default(),
+        )
+        .unwrap();
+        // The scenario survives: the breaker trips, the cut is re-solved
+        // with the server pinned dead, and the reader migrates client-side.
+        run.outcome.unwrap();
+        let coord = &run.coordinator;
+        assert_eq!(coord.recovery_count(), 1, "exactly one recovery");
+        assert!(coord.dead_machines().contains(&MachineId::SERVER));
+        assert_eq!(coord.epoch(), 1);
+        assert!(
+            coord.warm_solves() >= 1,
+            "recovery re-solve is warm-started"
+        );
+        assert_eq!(coord.cold_solves(), 1, "only the base solve is cold");
+        assert!(coord.migration_count() >= 1, "the reader moved");
+        assert!(coord.migrated_state_bytes() > 0);
+        assert_eq!(coord.double_executions(), 0);
+        // The post-recovery placement satisfies every constraint with the
+        // dead machine excluded.
+        coord.validate().unwrap();
+        // Everything now lives on the client.
+        for (_, machine) in &run.report.instance_placements {
+            assert_eq!(*machine, MachineId::CLIENT);
+        }
+        let event = &coord.events()[0];
+        assert_eq!(
+            event.trigger,
+            crate::recovery::RecoveryTrigger::MachineDeath
+        );
+        assert_eq!(event.dead_machine, Some(MachineId::SERVER));
+    }
+
+    /// A shell driving a storage-pinned counter component: each logical
+    /// call increments a shared ledger exactly once, so any re-execution
+    /// under the recovery retry protocol is directly observable.
+    struct CountingApp {
+        executions: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    struct CountShell {
+        counter_clsid: Clsid,
+        counter_iid: Iid,
+    }
+    impl ComObject for CountShell {
+        fn invoke(
+            &self,
+            ctx: &CallCtx<'_>,
+            _iid: Iid,
+            _method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            ctx.compute(100);
+            let counter = ctx.create(self.counter_clsid, self.counter_iid)?;
+            for _ in 0..12 {
+                let mut inner = Message::outputs(1);
+                counter.call(ctx.rt(), 0, &mut inner)?;
+            }
+            msg.set(0, Value::I8(12));
+            Ok(())
+        }
+    }
+
+    struct CountServer {
+        executions: Arc<std::sync::atomic::AtomicU64>,
+    }
+    impl ComObject for CountServer {
+        fn invoke(
+            &self,
+            ctx: &CallCtx<'_>,
+            _iid: Iid,
+            _method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            ctx.compute(50);
+            self.executions
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            msg.set(0, Value::Blob(20_000));
+            Ok(())
+        }
+    }
+
+    impl Application for CountingApp {
+        fn name(&self) -> &str {
+            "countapp"
+        }
+        fn register(&self, rt: &ComRuntime) {
+            let icounter = InterfaceBuilder::new("ICounter")
+                .method("Bump", |m| m.output("data", PType::Blob))
+                .build();
+            let counter_iid = icounter.iid;
+            let executions = self.executions.clone();
+            let counter_clsid = rt.registry().register(
+                "CountServer",
+                vec![icounter],
+                ApiImports::STORAGE,
+                move |_, _| {
+                    Arc::new(CountServer {
+                        executions: executions.clone(),
+                    })
+                },
+            );
+            let ishell = InterfaceBuilder::new("ICountShell")
+                .method("Run", |m| m.output("total", PType::I8))
+                .build();
+            rt.registry()
+                .register("CountShell", vec![ishell], ApiImports::GUI, move |_, _| {
+                    Arc::new(CountShell {
+                        counter_clsid,
+                        counter_iid,
+                    })
+                });
+        }
+        fn scenarios(&self) -> Vec<&'static str> {
+            vec!["count"]
+        }
+        fn run_scenario(&self, rt: &ComRuntime, _scenario: &str) -> ComResult<()> {
+            let ishell = Iid::from_name("ICountShell");
+            let shell = rt.create_instance(Clsid::from_name("CountShell"), ishell)?;
+            shell.call(rt, 0, &mut Message::outputs(1))?;
+            Ok(())
+        }
+        fn image(&self) -> AppImage {
+            AppImage::new("countapp.exe", vec![Clsid::from_name("CountShell")])
+        }
+        fn default_placement(&self, _class: &str) -> MachineId {
+            MachineId::CLIENT
+        }
+    }
+
+    #[test]
+    fn recovered_calls_execute_exactly_once() {
+        use coign_dcom::{CallPolicy, TimeWindow};
+        let executions = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let app = CountingApp {
+            executions: executions.clone(),
+        };
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let profile = profile_scenarios(&app, &["count"], &classifier).unwrap();
+        let network = NetworkProfile::exact(&NetworkModel::ethernet_10baset());
+        let dist = choose_distribution(&app, &profile, &network).unwrap();
+        let plain = run_distributed(
+            &app,
+            "count",
+            &classifier,
+            &dist,
+            NetworkModel::ethernet_10baset(),
+            9,
+        )
+        .unwrap();
+        let profiling_and_plain = executions.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            profiling_and_plain >= 24,
+            "profiling + plain run both count"
+        );
+        // Kill the server mid-run at several different instants: whichever
+        // side of the execute/charge boundary the death lands on, every
+        // logical call must execute exactly once.
+        for fraction in [4u64, 3, 2] {
+            executions.store(0, std::sync::atomic::Ordering::SeqCst);
+            let plan = FaultPlan::none().with_machine_down(
+                MachineId::SERVER,
+                TimeWindow::new(plain.clock_us / fraction, u64::MAX),
+            );
+            let run = run_distributed_recovering(
+                &app,
+                "count",
+                &classifier,
+                &dist,
+                &profile,
+                NetworkModel::ethernet_10baset(),
+                9,
+                plan,
+                CallPolicy::default(),
+                9,
+                crate::recovery::RecoveryConfig::default(),
+            )
+            .unwrap();
+            run.outcome.unwrap();
+            assert_eq!(
+                executions.load(std::sync::atomic::Ordering::SeqCst),
+                12,
+                "every logical call executes exactly once (death at 1/{fraction})"
+            );
+            assert_eq!(run.coordinator.double_executions(), 0);
+            run.coordinator.validate().unwrap();
+        }
     }
 }

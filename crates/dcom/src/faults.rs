@@ -325,6 +325,66 @@ impl FaultPlan {
     }
 }
 
+impl std::fmt::Display for LinkSelector {
+    /// Renders the selector in the textual plan format: `*` or `A-B`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkSelector::AllLinks => write!(f, "*"),
+            LinkSelector::Link(a, b) => write!(f, "{}-{}", a.0, b.0),
+        }
+    }
+}
+
+impl std::fmt::Display for TimeWindow {
+    /// Renders the window in the textual plan format: `FROM..UNTIL` with
+    /// either side omitted when it is open (`0` / unbounded).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.from_us > 0 {
+            write!(f, "{}", self.from_us)?;
+        }
+        write!(f, "..")?;
+        if self.until_us < u64::MAX {
+            write!(f, "{}", self.until_us)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Fault {
+    /// Renders the fault as one line of the textual plan format.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Loss {
+                link,
+                probability,
+                window,
+            } => write!(f, "loss {probability} {link} {window}"),
+            Fault::LatencySpike {
+                link,
+                factor,
+                window,
+            } => write!(f, "spike {factor} {link} {window}"),
+            Fault::Partition { link, window } => write!(f, "partition {link} {window}"),
+            Fault::MachineDown { machine, window } => {
+                write!(f, "down {} {window}", machine.0)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// Renders the plan in the textual format [`FaultPlan::parse`] reads:
+    /// one fault per line. `parse(&plan.to_string())` reproduces the plan
+    /// exactly — numeric values print with Rust's shortest round-tripping
+    /// float representation.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for fault in &self.faults {
+            writeln!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
 fn parse_link(token: Option<&str>) -> Result<LinkSelector, String> {
     match token {
         None | Some("*") => Ok(LinkSelector::AllLinks),
@@ -593,5 +653,113 @@ mod tests {
         assert!(stats.is_clean());
         stats.retries = 1;
         assert!(!stats.is_clean());
+    }
+
+    #[test]
+    fn display_uses_the_documented_grammar() {
+        let plan = FaultPlan::none()
+            .with_loss(0.05)
+            .with_spike(4.0, TimeWindow::new(10_000, 20_000))
+            .with_partition(C, S, TimeWindow::new(5_000, 9_000))
+            .with_machine_down(S, TimeWindow::from(30_000));
+        assert_eq!(
+            plan.to_string(),
+            "loss 0.05 * ..\n\
+             spike 4 * 10000..20000\n\
+             partition 0-1 5000..9000\n\
+             down 1 30000..\n"
+        );
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_machine() -> impl Strategy<Value = MachineId> {
+        (0u16..8).prop_map(MachineId)
+    }
+
+    fn arb_link() -> impl Strategy<Value = LinkSelector> {
+        prop_oneof![
+            Just(LinkSelector::AllLinks),
+            (arb_machine(), arb_machine()).prop_map(|(a, b)| LinkSelector::Link(a, b)),
+        ]
+    }
+
+    fn arb_window() -> impl Strategy<Value = TimeWindow> {
+        prop_oneof![
+            Just(TimeWindow::ALWAYS),
+            (0u64..1_000_000).prop_map(TimeWindow::from),
+            (0u64..1_000_000, 0u64..1_000_000)
+                .prop_map(|(a, b)| TimeWindow::new(a.min(b), a.max(b))),
+        ]
+    }
+
+    fn arb_fault() -> impl Strategy<Value = Fault> {
+        prop_oneof![
+            // The vendored proptest has no float-range strategies; integer
+            // grids mapped through division exercise plenty of
+            // non-terminating binary fractions anyway.
+            (arb_link(), 0u32..=10_000, arb_window()).prop_map(|(link, millis, window)| {
+                Fault::Loss {
+                    link,
+                    probability: f64::from(millis) / 10_000.0,
+                    window,
+                }
+            }),
+            (arb_link(), 0u32..=100_000, arb_window()).prop_map(|(link, thousandths, window)| {
+                Fault::LatencySpike {
+                    link,
+                    factor: f64::from(thousandths) / 1_000.0,
+                    window,
+                }
+            }),
+            (arb_link(), arb_window()).prop_map(|(link, window)| Fault::Partition { link, window }),
+            (arb_machine(), arb_window())
+                .prop_map(|(machine, window)| Fault::MachineDown { machine, window }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn plan_format_round_trips(faults in proptest::collection::vec(arb_fault(), 0..12)) {
+            // Floats print with Rust's shortest round-tripping
+            // representation, so re-parsing must reproduce the plan bit
+            // for bit.
+            let mut plan = FaultPlan::none();
+            for fault in faults {
+                plan.push(fault);
+            }
+            let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+            prop_assert_eq!(reparsed, plan);
+        }
+
+        #[test]
+        fn parser_errors_but_never_panics_on_arbitrary_text(text in ".{0,48}") {
+            // Any outcome is acceptable except a panic.
+            let _ = FaultPlan::parse(&text);
+        }
+
+        #[test]
+        fn parser_errors_but_never_panics_on_plan_like_garbage(
+            keyword in prop_oneof![
+                Just("loss".to_string()),
+                Just("spike".to_string()),
+                Just("partition".to_string()),
+                Just("down".to_string()),
+                "[a-z]{1,8}",
+            ],
+            tokens in proptest::collection::vec("[-0-9a-z.*#]{0,6}", 0..5),
+        ) {
+            // Near-miss lines: right keywords, mangled operands. Malformed
+            // input must surface as a typed codec error, never a panic.
+            let line = format!("{keyword} {}", tokens.join(" "));
+            if let Err(error) = FaultPlan::parse(&line) {
+                prop_assert!(matches!(error, ComError::Codec(_)));
+            }
+        }
     }
 }

@@ -17,17 +17,22 @@
 //! * [`faults`] — seeded fault injection (loss, latency spikes, partitions,
 //!   machine death) and the retry/timeout/backoff policy at the proxy
 //!   boundary.
+//! * [`health`] — per-link circuit breakers (closed/open/half-open) fed by
+//!   call outcomes, with deterministic probe scheduling on the simulated
+//!   clock; the failure-detection half of the self-healing runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod health;
 pub mod marshal;
 pub mod network;
 pub mod profiler;
 pub mod transport;
 
 pub use faults::{CallPolicy, Fault, FaultPlan, FaultStats, LinkSelector, TimeWindow};
+pub use health::{BreakerDecision, BreakerPolicy, BreakerState, BreakerTransition, HealthMonitor};
 pub use marshal::{message_reply_size, message_request_size, value_size};
 pub use network::NetworkModel;
 pub use profiler::NetworkProfile;

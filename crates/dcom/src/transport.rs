@@ -16,6 +16,7 @@
 //! without the fault layer.
 
 use crate::faults::{CallPolicy, FaultPlan, FaultStats};
+use crate::health::{BreakerDecision, HealthMonitor};
 use crate::marshal::{message_reply_size, message_request_size};
 use crate::network::NetworkModel;
 use coign_com::idl::MethodDesc;
@@ -48,6 +49,10 @@ pub struct Transport {
     /// behind an `Arc` before the RTE that owns the hook exists. Only
     /// fault paths consult it, so a clean run never touches the lock.
     obs: Mutex<Option<(Arc<Tracer>, Arc<FlightRecorder>)>>,
+    /// Optional circuit-breaker layer (see [`crate::health`]). Fed and
+    /// consulted only on fault paths — with an empty fault plan the
+    /// monitor is never touched, keeping clean runs bit-identical.
+    health: Mutex<Option<Arc<HealthMonitor>>>,
 }
 
 fn link_key(a: MachineId, b: MachineId) -> (u16, u16) {
@@ -83,6 +88,7 @@ impl Transport {
             fault_rng: Mutex::new(StdRng::seed_from_u64(fault_seed)),
             fault_stats: Mutex::new(FaultStats::default()),
             obs: Mutex::new(None),
+            health: Mutex::new(None),
         }
     }
 
@@ -129,9 +135,24 @@ impl Transport {
         *self.obs.lock() = Some((tracer, recorder));
     }
 
+    /// Attaches a circuit-breaker health monitor. Outcomes of fault-path
+    /// calls feed it, and an open breaker fails calls fast; with an empty
+    /// fault plan the monitor is never consulted.
+    pub fn set_health(&self, monitor: Arc<HealthMonitor>) {
+        *self.health.lock() = Some(monitor);
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health(&self) -> Option<Arc<HealthMonitor>> {
+        self.health.lock().clone()
+    }
+
     /// Absorbs the accumulated fault counters into a metrics registry.
     pub fn record_metrics(&self, registry: &coign_obs::Registry) {
         self.fault_stats().record_metrics(registry);
+        if let Some(monitor) = self.health() {
+            monitor.record_metrics(registry);
+        }
     }
 
     /// Runs `f` against the observability hook, if one is attached.
@@ -167,6 +188,61 @@ impl Transport {
                 format!("m{}->m{} attempt {attempt}", from.0, to.0),
             );
         });
+    }
+
+    /// Consults the breaker gate for a call about to cross `from`↔`to`.
+    /// Fast-fails with the tripping error when the breaker is open and no
+    /// probe is due; lets probes through with an instant event.
+    fn health_gate(&self, rt: &ComRuntime, from: MachineId, to: MachineId) -> ComResult<()> {
+        let Some(monitor) = self.health() else {
+            return Ok(());
+        };
+        match monitor.check(from, to, rt.clock().now_us()) {
+            BreakerDecision::Allow => Ok(()),
+            BreakerDecision::Probe => {
+                self.fault_event(rt, "breaker_half_open", from, to, 0);
+                Ok(())
+            }
+            BreakerDecision::FastFail(error) => {
+                self.fault_event(rt, "breaker_fast_fail", from, to, 0);
+                Err(error)
+            }
+        }
+    }
+
+    /// Feeds a successful call outcome to the breaker layer.
+    fn health_success(&self, rt: &ComRuntime, from: MachineId, to: MachineId) {
+        if let Some(monitor) = self.health() {
+            if let Some(transition) = monitor.on_success(from, to) {
+                self.fault_event(rt, transition.event_name(), from, to, 0);
+            }
+        }
+    }
+
+    /// Feeds a failed call outcome to the breaker layer, reporting any
+    /// breaker transition and newly dead machine to the obs hook.
+    fn health_failure(&self, rt: &ComRuntime, from: MachineId, to: MachineId, error: &ComError) {
+        if let Some(monitor) = self.health() {
+            let now = rt.clock().now_us();
+            let (transition, machine) = monitor.on_failure(from, to, error, now);
+            if let Some(t) = transition {
+                self.fault_event(rt, t.event_name(), from, to, 0);
+            }
+            if let Some(m) = machine {
+                self.with_obs(|tracer, recorder| {
+                    tracer.instant_at(
+                        "machine_declared_dead",
+                        now,
+                        vec![("machine", TraceArg::U64(u64::from(m.0)))],
+                    );
+                    recorder.record(
+                        now,
+                        "machine_declared_dead",
+                        format!("m{} breaker opened", m.0),
+                    );
+                });
+            }
+        }
     }
 
     /// The model governing one machine pair.
@@ -282,10 +358,17 @@ impl Transport {
         if self.faults.is_empty() {
             return Ok(());
         }
-        if self.faults.machine_down(to, rt.clock().now_us()) {
+        self.health_gate(rt, from, to)?;
+        // A dead endpoint — target or caller — fails fast with the
+        // machine's identity: the severance is the death, not a partition,
+        // and the recovery layer needs to know *which* machine to re-solve
+        // around.
+        if let Some(machine) = self.dead_endpoint(from, to, rt.clock().now_us()) {
             self.fault_stats.lock().machine_down_errors += 1;
             self.fault_event(rt, "fault_machine_down", from, to, 0);
-            return Err(ComError::MachineDown(to));
+            let error = ComError::MachineDown(machine);
+            self.health_failure(rt, from, to, &error);
+            return Err(error);
         }
         for attempt in 1..=self.policy.max_attempts() {
             if !self.faults.link_severed(from, to, rt.clock().now_us()) {
@@ -302,10 +385,23 @@ impl Transport {
         }
         self.fault_stats.lock().failed_calls += 1;
         self.fault_event(rt, "fault_failed", from, to, self.policy.max_attempts());
-        if self.faults.machine_down(to, rt.clock().now_us()) {
-            Err(ComError::MachineDown(to))
+        let error = match self.dead_endpoint(from, to, rt.clock().now_us()) {
+            Some(machine) => ComError::MachineDown(machine),
+            None => ComError::Partitioned { from, to },
+        };
+        self.health_failure(rt, from, to, &error);
+        Err(error)
+    }
+
+    /// The dead endpoint of the `from`→`to` link at `now_us`, if any (the
+    /// target takes precedence when both are down).
+    fn dead_endpoint(&self, from: MachineId, to: MachineId, now_us: u64) -> Option<MachineId> {
+        if self.faults.machine_down(to, now_us) {
+            Some(to)
+        } else if self.faults.machine_down(from, now_us) {
+            Some(from)
         } else {
-            Err(ComError::Partitioned { from, to })
+            None
         }
     }
 
@@ -329,13 +425,16 @@ impl Transport {
             self.charge_sized_call_on(rt, from, to, req_bytes, reply_bytes);
             return Ok(1);
         }
+        self.health_gate(rt, from, to)?;
         let model = self.link(from, to);
         for attempt in 1..=self.policy.max_attempts() {
             let now = rt.clock().now_us();
-            if self.faults.machine_down(to, now) {
+            if let Some(machine) = self.dead_endpoint(from, to, now) {
                 self.fault_stats.lock().machine_down_errors += 1;
                 self.fault_event(rt, "fault_machine_down", from, to, attempt);
-                return Err(ComError::MachineDown(to));
+                let error = ComError::MachineDown(machine);
+                self.health_failure(rt, from, to, &error);
+                return Err(error);
             }
             let delivered = if self.faults.link_severed(from, to, now) {
                 false
@@ -388,6 +487,7 @@ impl Transport {
                     req_bytes + reply_bytes,
                     2,
                 );
+                self.health_success(rt, from, to);
                 return Ok(attempt);
             }
             // The caller hears nothing back and waits out the timeout.
@@ -400,16 +500,18 @@ impl Transport {
         }
         self.fault_stats.lock().failed_calls += 1;
         self.fault_event(rt, "fault_failed", from, to, self.policy.max_attempts());
-        if self.faults.link_severed(from, to, rt.clock().now_us()) {
-            Err(ComError::Partitioned { from, to })
+        let error = if self.faults.link_severed(from, to, rt.clock().now_us()) {
+            ComError::Partitioned { from, to }
         } else {
-            Err(ComError::Timeout {
+            ComError::Timeout {
                 detail: format!(
                     "{from}→{to} after {} attempt(s)",
                     self.policy.max_attempts()
                 ),
-            })
-        }
+            }
+        };
+        self.health_failure(rt, from, to, &error);
+        Err(error)
     }
 }
 
@@ -740,6 +842,135 @@ mod tests {
         let (_, stats_b) = run(12);
         assert!(stats_a.drops > 0);
         assert_ne!(stats_a, stats_b, "different fault seeds diverge");
+    }
+
+    use crate::health::{BreakerPolicy, BreakerState, HealthMonitor};
+
+    #[test]
+    fn health_monitor_stays_pristine_on_a_zero_fault_plan() {
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            7,
+            FaultPlan::none(),
+            CallPolicy::default(),
+            99,
+        );
+        let monitor = Arc::new(HealthMonitor::new(BreakerPolicy::default()));
+        t.set_health(monitor.clone());
+        for _ in 0..10 {
+            t.preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+                .unwrap();
+            t.charge_sized_call_checked(&rt, MachineId::CLIENT, MachineId::SERVER, 500, 1500)
+                .unwrap();
+        }
+        assert!(
+            monitor.is_pristine(),
+            "empty plan must never consult the breaker layer"
+        );
+        // And the charged time matches a transport with no health layer.
+        let plain = ComRuntime::client_server();
+        let p = Transport::new(NetworkModel::ethernet_10baset(), 7);
+        for _ in 0..10 {
+            p.charge_sized_call(&plain, 500, 1500);
+        }
+        assert_eq!(rt.clock().now_us(), plain.clock().now_us());
+    }
+
+    #[test]
+    fn breaker_trips_on_repeated_machine_death_and_fast_fails() {
+        let plan = FaultPlan::none().with_machine_down(MachineId::SERVER, TimeWindow::ALWAYS);
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            strict_policy(),
+            42,
+        );
+        let monitor = Arc::new(HealthMonitor::new(BreakerPolicy::default()));
+        t.set_health(monitor.clone());
+        for _ in 0..3 {
+            let err = t
+                .preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+                .unwrap_err();
+            assert_eq!(err, ComError::MachineDown(MachineId::SERVER));
+        }
+        assert_eq!(
+            monitor.link_state(MachineId::CLIENT, MachineId::SERVER),
+            BreakerState::Open
+        );
+        assert!(monitor.machine_open(MachineId::SERVER));
+        assert_eq!(monitor.drain_opened_machines(), vec![MachineId::SERVER]);
+        // The open breaker now rejects without touching the fault stats.
+        let before = t.fault_stats();
+        let clock_before = rt.clock().now_us();
+        let err = t
+            .preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+            .unwrap_err();
+        assert_eq!(err, ComError::MachineDown(MachineId::SERVER));
+        assert_eq!(t.fault_stats(), before);
+        assert_eq!(
+            rt.clock().now_us(),
+            clock_before,
+            "fast fails charge nothing"
+        );
+        assert_eq!(monitor.stats().fast_fails, 1);
+    }
+
+    #[test]
+    fn breaker_probe_recovers_after_a_transient_partition() {
+        // Partition [0, 25ms); each failed preflight burns 40ms+backoffs,
+        // so the breaker trips during the partition and the first probe
+        // after the window finds the link healthy again.
+        let plan = FaultPlan::none().with_partition(
+            MachineId::CLIENT,
+            MachineId::SERVER,
+            TimeWindow::new(0, 25_000),
+        );
+        let rt = ComRuntime::client_server();
+        let t = Transport::with_faults(
+            NetworkModel::ethernet_10baset(),
+            1,
+            plan,
+            CallPolicy {
+                timeout_us: 5_000,
+                max_retries: 0,
+                backoff_base_us: 0,
+                backoff_multiplier: 1.0,
+                backoff_jitter: 0.0,
+            },
+            42,
+        );
+        let monitor = Arc::new(HealthMonitor::new(BreakerPolicy {
+            failure_threshold: 3,
+            success_threshold: 1,
+            probe_interval_us: 20_000,
+        }));
+        t.set_health(monitor.clone());
+        // Three 5 ms timeouts (t = 5, 10, 15 ms) trip the breaker.
+        for _ in 0..3 {
+            t.preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+                .unwrap_err();
+        }
+        assert_eq!(
+            monitor.link_state(MachineId::CLIENT, MachineId::SERVER),
+            BreakerState::Open
+        );
+        // Probe due at 15ms + 20ms = 35ms; burn simulated time to get there.
+        rt.clock().advance_us(25_000);
+        t.preflight(&rt, MachineId::CLIENT, MachineId::SERVER)
+            .unwrap();
+        t.charge_sized_call_checked(&rt, MachineId::CLIENT, MachineId::SERVER, 500, 1500)
+            .unwrap();
+        assert_eq!(
+            monitor.link_state(MachineId::CLIENT, MachineId::SERVER),
+            BreakerState::Closed,
+            "the successful probe closed the breaker"
+        );
+        let stats = monitor.stats();
+        assert_eq!((stats.opens, stats.probes, stats.closes), (1, 1, 1));
+        assert!(!monitor.machine_open(MachineId::SERVER));
     }
 
     #[test]

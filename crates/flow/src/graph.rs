@@ -154,6 +154,104 @@ impl FlowNetwork {
         (0..self.edges.len()).map(|e| self.flow_on(e)).collect()
     }
 
+    /// Repairs a [`FlowNetwork::snapshot_flows`] snapshot so it is a valid
+    /// feasible flow under the network's *current* capacities, which may be
+    /// smaller than the capacities the snapshot was taken under.
+    ///
+    /// [`push_relabel::max_flow_warm`](crate::push_relabel::max_flow_warm)
+    /// requires capacities that only grew since the snapshot; a recovery
+    /// re-solve violates that — pinning a component away from a dead
+    /// machine shrinks an edge that may have carried flow. This primitive
+    /// restores feasibility: each pair is normalized to its net flow and
+    /// clamped to the current capacity, then conservation is repaired by
+    /// cancelling flow into over-full nodes (propagating the cancellation
+    /// backward toward the flow's origin) and out of starved nodes
+    /// (propagating forward). Every repair step strictly decreases the
+    /// total flow, so the loop terminates; nodes are visited lowest-id
+    /// first and adjacency lists in insertion order, so the result is
+    /// deterministic. The repaired snapshot is then a legal warm start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the edge table.
+    pub fn clamp_flows(&self, s: NodeId, t: NodeId, flows: &mut [u64]) {
+        assert_eq!(
+            flows.len(),
+            self.edges.len(),
+            "flow snapshot does not match the network topology"
+        );
+        // Normalize each pair to its net direction and clamp to the
+        // current capacity of that slot.
+        for base in (0..flows.len()).step_by(2) {
+            let net = i128::from(flows[base]) - i128::from(flows[base + 1]);
+            let (slot, amount) = if net >= 0 {
+                (base, u64::try_from(net).expect("net flow fits u64"))
+            } else {
+                (base + 1, u64::try_from(-net).expect("net flow fits u64"))
+            };
+            flows[base] = 0;
+            flows[base + 1] = 0;
+            flows[slot] = amount.min(self.original_caps[slot]);
+        }
+        let mut balance = vec![0i128; self.node_count()];
+        for (e, &f) in flows.iter().enumerate() {
+            if f > 0 {
+                balance[self.edges[e ^ 1].to] -= i128::from(f);
+                balance[self.edges[e].to] += i128::from(f);
+            }
+        }
+        // Interior nodes must conserve exactly; the source may only emit
+        // (net inflow there would surface as a deficit at the sink) and
+        // the sink may only absorb.
+        let needs_repair = |v: NodeId, b: i128| {
+            if v == s {
+                b > 0
+            } else if v == t {
+                b < 0
+            } else {
+                b != 0
+            }
+        };
+        while let Some(v) = (0..self.node_count()).find(|&v| needs_repair(v, balance[v])) {
+            if balance[v] > 0 {
+                // Excess inflow: cancel incoming flow, handing the excess
+                // back to each arc's tail.
+                let mut need = u64::try_from(balance[v]).expect("balance fits u64");
+                for &e in &self.adj[v] {
+                    let inc = e ^ 1; // the arc head(e) → v
+                    let cut = need.min(flows[inc]);
+                    if cut > 0 {
+                        flows[inc] -= cut;
+                        balance[v] -= i128::from(cut);
+                        balance[self.edges[e].to] += i128::from(cut);
+                        need -= cut;
+                    }
+                    if need == 0 {
+                        break;
+                    }
+                }
+                debug_assert_eq!(need, 0, "excess exceeds inflow at node {v}");
+            } else {
+                // Starved: cancel outgoing flow, handing the deficit
+                // forward to each arc's head.
+                let mut need = u64::try_from(-balance[v]).expect("balance fits u64");
+                for &e in &self.adj[v] {
+                    let cut = need.min(flows[e]);
+                    if cut > 0 {
+                        flows[e] -= cut;
+                        balance[v] += i128::from(cut);
+                        balance[self.edges[e].to] -= i128::from(cut);
+                        need -= cut;
+                    }
+                    if need == 0 {
+                        break;
+                    }
+                }
+                debug_assert_eq!(need, 0, "deficit exceeds outflow at node {v}");
+            }
+        }
+    }
+
     pub(crate) fn push_along(&mut self, e: usize, amount: u64) {
         self.edges[e].cap -= amount;
         self.edges[e ^ 1].cap += amount;
@@ -266,6 +364,89 @@ mod tests {
         assert_eq!(g.conservation_violations(0, 2), vec![1]);
         g.push_along(2, 3);
         assert!(g.conservation_violations(0, 2).is_empty());
+    }
+
+    /// Per-node net balance of a snapshot (inflow − outflow).
+    fn balances(g: &FlowNetwork, flows: &[u64]) -> Vec<i128> {
+        let mut balance = vec![0i128; g.node_count()];
+        for (e, &f) in flows.iter().enumerate() {
+            balance[g.head(e ^ 1)] -= f as i128;
+            balance[g.head(e)] += f as i128;
+        }
+        balance
+    }
+
+    #[test]
+    fn clamp_flows_repairs_a_shrunk_chain() {
+        // 0 —10— 1 —10— 2 carrying 10 units; the middle edge shrinks to 3.
+        let mut g = FlowNetwork::new(3);
+        g.add_undirected(0, 1, 10);
+        g.add_undirected(1, 2, 10);
+        crate::push_relabel::max_flow(&mut g, 0, 2);
+        let mut flows = g.snapshot_flows();
+        g.reset();
+        g.set_undirected_capacity(1, 3);
+        g.clamp_flows(0, 2, &mut flows);
+        // Both edges now carry 3 units forward: feasible and conserving.
+        assert_eq!(flows, vec![3, 0, 3, 0]);
+        assert_eq!(balances(&g, &flows), vec![-3, 0, 3]);
+    }
+
+    #[test]
+    fn clamp_flows_to_zero_capacity_drains_the_path() {
+        let mut g = FlowNetwork::new(3);
+        g.add_undirected(0, 1, 5);
+        g.add_undirected(1, 2, 5);
+        crate::push_relabel::max_flow(&mut g, 0, 2);
+        let mut flows = g.snapshot_flows();
+        g.reset();
+        g.set_undirected_capacity(0, 0);
+        g.clamp_flows(0, 2, &mut flows);
+        assert_eq!(flows, vec![0; 4]);
+    }
+
+    #[test]
+    fn clamp_flows_is_identity_on_a_feasible_snapshot() {
+        let mut g = FlowNetwork::new(4);
+        g.add_undirected(0, 1, 7);
+        g.add_undirected(1, 2, 4);
+        g.add_undirected(2, 3, 9);
+        crate::push_relabel::max_flow(&mut g, 0, 3);
+        let snapshot = g.snapshot_flows();
+        g.reset();
+        let mut flows = snapshot.clone();
+        g.clamp_flows(0, 3, &mut flows);
+        assert_eq!(flows, snapshot);
+    }
+
+    #[test]
+    fn clamp_flows_reroutes_around_a_dead_branch() {
+        // Two disjoint 0→3 paths; killing one leaves the other intact.
+        let mut g = FlowNetwork::new(4);
+        g.add_undirected(0, 1, 6);
+        g.add_undirected(1, 3, 6);
+        g.add_undirected(0, 2, 4);
+        g.add_undirected(2, 3, 4);
+        crate::push_relabel::max_flow(&mut g, 0, 3);
+        let mut flows = g.snapshot_flows();
+        g.reset();
+        g.set_undirected_capacity(1, 0); // sever 1→3
+        g.clamp_flows(0, 3, &mut flows);
+        let balance = balances(&g, &flows);
+        assert_eq!(balance[1], 0);
+        assert_eq!(balance[2], 0);
+        assert_eq!(balance[3], 4, "the surviving path still carries 4");
+        for (e, &f) in flows.iter().enumerate() {
+            assert!(f <= g.original(e), "clamped flow exceeds capacity");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn clamp_flows_rejects_wrong_snapshot_length() {
+        let mut g = FlowNetwork::new(2);
+        g.add_undirected(0, 1, 1);
+        g.clamp_flows(0, 1, &mut [0u64; 3]);
     }
 
     #[test]

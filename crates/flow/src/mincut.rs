@@ -286,6 +286,41 @@ mod proptests {
         }
 
         #[test]
+        fn clamped_warm_starts_survive_capacity_shrinks(
+            seed in any::<u64>(),
+            n in 3usize..16,
+            extra in 0usize..16,
+        ) {
+            // Solve once, then rewrite every edge capacity from a second
+            // seeded stream — some shrink (including to zero), some grow.
+            // `clamp_flows` must repair the stale snapshot into a legal
+            // warm start that reproduces the cold answer exactly.
+            let mut g = random_graph_scaled(seed, n, extra, 4);
+            min_cut(&mut g, 0, n - 1, MaxFlowAlgorithm::LiftToFront);
+            let mut flows = g.snapshot_flows();
+            g.reset();
+            let mut caps = StdRng::seed_from_u64(seed ^ 0x5eed);
+            for pair in 0..g.edge_count() {
+                g.set_undirected_capacity(pair, caps.gen_range(0u64..600));
+            }
+            g.clamp_flows(0, n - 1, &mut flows);
+            for (e, &f) in flows.iter().enumerate() {
+                prop_assert!(f <= g.original(e), "clamped flow exceeds capacity");
+            }
+            let warm = min_cut_warm(&mut g, 0, n - 1, Some(&flows));
+            prop_assert!(g.conservation_violations(0, n - 1).is_empty());
+            for alg in MaxFlowAlgorithm::ALL {
+                let mut cold = random_graph_scaled(seed, n, extra, 4);
+                let mut caps = StdRng::seed_from_u64(seed ^ 0x5eed);
+                for pair in 0..cold.edge_count() {
+                    cold.set_undirected_capacity(pair, caps.gen_range(0u64..600));
+                }
+                let cut = min_cut(&mut cold, 0, n - 1, alg);
+                prop_assert_eq!(cut.cut_value, warm.cut_value);
+            }
+        }
+
+        #[test]
         fn flow_conserves_on_random_graphs(seed in any::<u64>(), n in 3usize..16) {
             let mut g = random_graph(seed, n, 10);
             crate::push_relabel::max_flow(&mut g, 0, n - 1);

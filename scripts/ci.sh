@@ -53,6 +53,38 @@ if cmp -s "$TMP/fault_run_seed_7.txt" "$TMP/fault_run_seed_11.txt"; then
   exit 1
 fi
 
+echo "==> chaos harness determinism (two seeds vs committed expectations, --jobs cross-check)"
+# The chaos summary must be byte-identical for a given seed — across
+# machines (the committed expectations), across runs, and across worker
+# counts. Five trials at seed 7 include machine-death trials, so the
+# expectation also pins that the self-healing path actually fires.
+# Regenerate after an intentional change with the same flag as above.
+for seed in 7 11; do
+  "$BIN" chaos "$IMG" o_oldtb3 ethernet --seed "$seed" --trials 5 \
+    > "$TMP/chaos_seed_${seed}.txt"
+  if [[ "${1:-}" == "--regen-fault-expectations" ]]; then
+    cp "$TMP/chaos_seed_${seed}.txt" "scripts/expected/chaos_seed_${seed}.txt"
+    echo "regenerated scripts/expected/chaos_seed_${seed}.txt"
+  else
+    diff -u "scripts/expected/chaos_seed_${seed}.txt" "$TMP/chaos_seed_${seed}.txt" \
+      || { echo "chaos summary drifted for seed ${seed}"; exit 1; }
+  fi
+done
+if cmp -s "$TMP/chaos_seed_7.txt" "$TMP/chaos_seed_11.txt"; then
+  echo "chaos seeds 7 and 11 produced identical summaries; seed is ignored"
+  exit 1
+fi
+"$BIN" chaos "$IMG" o_oldtb3 ethernet --seed 7 --trials 5 --jobs 4 \
+  > "$TMP/chaos_seed_7_jobs4.txt"
+cmp "$TMP/chaos_seed_7.txt" "$TMP/chaos_seed_7_jobs4.txt" \
+  || { echo "chaos summary differs between --jobs 1 and --jobs 4"; exit 1; }
+grep -q "outcome=recovered" "$TMP/chaos_seed_7.txt" \
+  || { echo "chaos seed 7 never exercised the recovery path"; exit 1; }
+grep -q "invariants: ok" "$TMP/chaos_seed_7.txt" \
+  || { echo "chaos invariants violated at seed 7"; exit 1; }
+grep -q "invariants: ok" "$TMP/chaos_seed_11.txt" \
+  || { echo "chaos invariants violated at seed 11"; exit 1; }
+
 echo "==> observability smoke (--trace/--metrics, byte-identical across runs)"
 # Same image, plan, and seed must export byte-identical trace and metrics
 # files — the whole point of keeping host time out of the default export.
