@@ -13,7 +13,7 @@
 //! logic itself stays put.
 
 use crate::common::{
-    blob_of, call, i4_of, iface_of, register_gui_class, work, GuiSpec, WIDGET_BUILD,
+    blob_of, call, fingerprint_of, i4_of, iface_of, register_gui_class, work, GuiSpec, WIDGET_BUILD,
 };
 use coign::application::Application;
 use coign::constraints::NamedConstraint;
@@ -69,24 +69,29 @@ pub fn imanager() -> Arc<InterfaceDesc> {
         .build()
 }
 
-/// `ICache`: a client-facing result cache.
+/// `ICache`: a client-facing result cache. `Fill` is the one mutation;
+/// the paging queries afterwards only read the cached rows.
 pub fn icache() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("ICache")
-        .method("Fill", |m| m.input("rows", PType::Blob))
+        .method("Fill", |m| m.input("rows", PType::Blob).mutates_state())
         .method("Get", |m| {
-            m.input("key", PType::I4).output("value", PType::Blob)
+            m.input("key", PType::I4)
+                .output("value", PType::Blob)
+                .reads_state()
         })
         .build()
 }
 
 /// `IRecord`: a row-backed business object (stays on the middle tier).
+/// Cross-checks read the database; the record itself never changes.
 pub fn irecord() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IRecord")
         .method("Init", |m| {
             m.input("driver", PType::Interface(Iid::from_name("IOdbc")))
                 .input("row", PType::Blob)
+                .reads_state()
         })
-        .method("Validate", |m| m.output("ok", PType::I4))
+        .method("Validate", |m| m.output("ok", PType::I4).pure())
         .build()
 }
 
@@ -95,9 +100,12 @@ pub fn ivalidator() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IValidator")
         .method("Init", |m| {
             m.input("driver", PType::Interface(Iid::from_name("IOdbc")))
+                .mutates_state()
         })
         .method("Check", |m| {
-            m.input("field", PType::Blob).output("ok", PType::I4)
+            m.input("field", PType::Blob)
+                .output("ok", PType::I4)
+                .reads_state()
         })
         .build()
 }
@@ -170,6 +178,10 @@ impl ComObject for ResultCache {
             _ => Err(ComError::App(format!("ICache has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&*self.rows.lock())
+    }
 }
 
 /// A row-backed business object: heavy traffic with the driver.
@@ -202,6 +214,10 @@ impl ComObject for Record {
             _ => Err(ComError::App(format!("IRecord has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // row snapshot, fixed at creation
+    }
 }
 
 /// Field validator: pulls rule tables once, then answers client checks.
@@ -233,6 +249,10 @@ impl ComObject for Validator {
             }
             _ => Err(ComError::App(format!("IValidator has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&*self.rules.lock())
     }
 }
 
@@ -353,6 +373,10 @@ impl ComObject for Manager {
             }
             _ => Err(ComError::App(format!("IManager has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&(self.entity, self.driver.lock().is_some()))
     }
 }
 

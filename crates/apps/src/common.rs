@@ -95,17 +95,33 @@ pub fn iwindow_site() -> Arc<InterfaceDesc> {
         .build()
 }
 
-/// `IStore`: the data-file interface (page reads and named streams).
+/// `IStore`: the data-file interface (page reads and named streams). The
+/// file content is fixed at registration, so every method is a state read.
 pub fn istore() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IStore")
         .method("ReadPage", |m| {
-            m.input("page", PType::I4).output("data", PType::Blob)
+            m.input("page", PType::I4)
+                .output("data", PType::Blob)
+                .reads_state()
         })
         .method("ReadStream", |m| {
-            m.input("name", PType::Str).output("data", PType::Blob)
+            m.input("name", PType::Str)
+                .output("data", PType::Blob)
+                .reads_state()
         })
-        .method("PageCount", |m| m.output("pages", PType::I4))
+        .method("PageCount", |m| m.output("pages", PType::I4).reads_state())
         .build()
+}
+
+/// Hashes a component's mutable state into a COIGN045 fingerprint.
+///
+/// `DefaultHasher::new()` uses fixed keys, so fingerprints are stable
+/// within a profiling run — all the effect cross-check needs.
+pub fn fingerprint_of(value: &impl std::hash::Hash) -> Option<u64> {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    Some(h.finish())
 }
 
 /// Scales a component's compute charge to the paper's hardware era.
@@ -336,6 +352,15 @@ impl ComObject for GuiNode {
             _ => Err(ComError::App(format!("IWidget has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        let state = self.state.lock();
+        fingerprint_of(&(
+            state.site.is_some(),
+            state.children.len() as u64,
+            state.idle_count,
+        ))
+    }
 }
 
 /// Registers a GUI widget class under `name`.
@@ -410,6 +435,10 @@ impl ComObject for IdleLoop {
             _ => Err(ComError::App(format!("IIdleLoop has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&(self.sinks.lock().len() as u64, self.theme.lock().is_some()))
+    }
 }
 
 /// The shared theme/resource engine: allocates transient widgets on behalf
@@ -458,6 +487,10 @@ impl ComObject for ThemeEngine {
             }
             _ => Err(ComError::App(format!("ITheme has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // stateless service
     }
 }
 
@@ -541,6 +574,10 @@ impl ComObject for FileStore {
             }
             _ => Err(ComError::App(format!("IStore has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&(self.pages, self.page_size, &self.streams))
     }
 }
 

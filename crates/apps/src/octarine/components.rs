@@ -19,7 +19,9 @@
 //!   negotiation cluster therefore follows the reader to the server —
 //!   the paper's Figure 8.
 
-use crate::common::{blob_of, i4_of, iface_of, work, STORE_READ_PAGE, STORE_READ_STREAM};
+use crate::common::{
+    blob_of, fingerprint_of, i4_of, iface_of, work, STORE_READ_PAGE, STORE_READ_STREAM,
+};
 use coign_com::idl::{InterfaceBuilder, InterfaceDesc};
 use coign_com::{
     ApiImports, CallCtx, Clsid, ComError, ComObject, ComResult, ComRuntime, Iid, InterfacePtr,
@@ -70,28 +72,41 @@ pub const EMBEDDED_ROWS: i32 = 4;
 /// Cell-set components per table (row groups negotiated as units).
 pub const CELL_SETS_PER_TABLE: usize = 12;
 
-/// `IDocReader`.
+/// `IDocReader`. `Open` loads the document (the one mutation); everything
+/// after it only reads the loaded content.
 pub fn idoc_reader() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IDocReader")
         .method("Open", |m| {
-            m.input("kind", PType::Str).input("pages", PType::I4)
+            m.input("kind", PType::Str)
+                .input("pages", PType::I4)
+                .mutates_state()
         })
-        .method("GetOutline", |m| m.output("outline", PType::Blob))
+        .method("GetOutline", |m| {
+            m.output("outline", PType::Blob).reads_state()
+        })
         .method("GetParaText", |m| {
             m.input("page", PType::I4)
                 .input("idx", PType::I4)
                 .output("text", PType::Blob)
                 .output("block", PType::Interface(Iid::from_name("ITextBlock")))
+                .reads_state()
         })
-        .method("GetPropStream", |m| m.output("props", PType::Blob))
+        .method("GetPropStream", |m| {
+            m.output("props", PType::Blob).reads_state()
+        })
         .method("GetTableBatch", |m| {
-            m.input("table", PType::I4).output("batch", PType::Blob)
+            m.input("table", PType::I4)
+                .output("batch", PType::Blob)
+                .reads_state()
         })
-        .method("GetTemplate", |m| m.output("template", PType::Blob))
+        .method("GetTemplate", |m| {
+            m.output("template", PType::Blob).reads_state()
+        })
         .method("GetLineMetrics", |m| {
             m.input("para", PType::I4)
                 .input("line", PType::I4)
                 .output("metrics", PType::Blob)
+                .pure()
         })
         .build()
 }
@@ -121,39 +136,48 @@ pub fn itext_props() -> Arc<InterfaceDesc> {
             m.input("reader", PType::Interface(Iid::from_name("IDocReader")))
         })
         .method("Query", |m| {
-            m.input("key", PType::I4).output("value", PType::Blob)
+            m.input("key", PType::I4)
+                .output("value", PType::Blob)
+                .reads_state()
         })
         // Font caches are allocated *through* the shared property set: all
         // layouts of a document funnel their cache creation through one
         // instance and one internal `AllocFace` hop — the chains that make
         // classifier accuracy depend on stack-walk depth (Table 3).
+        // Allocation reads the loaded style data; it never writes it.
         .method("MakeFontCache", |m| {
             m.output("cache", PType::Interface(Iid::from_name("IFontCache")))
+                .reads_state()
         })
         .method("AllocFace", |m| {
             m.output("cache", PType::Interface(Iid::from_name("IFontCache")))
+                .reads_state()
         })
         .build()
 }
 
 /// `ITextBlock`: one paragraph's backing text, handed out by the reader.
+/// A flyweight over immutable text — every method is effect-free, so the
+/// replication lints prove the class legal to duplicate.
 pub fn itext_block() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("ITextBlock")
-        .method("Init", |m| m.input("text", PType::Blob))
+        .method("Init", |m| m.input("text", PType::Blob).pure())
         .method("GetRange", |m| {
             m.input("from", PType::I4)
                 .input("to", PType::I4)
                 .output("text", PType::Blob)
+                .pure()
         })
         .build()
 }
 
-/// `IFontCache`: cached font metrics for one paragraph layout.
+/// `IFontCache`: cached font metrics for one paragraph layout. The metrics
+/// are fixed at creation — effect-free, hence replicable.
 pub fn ifont_cache() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IFontCache")
-        .method("Init", |m| m.input("face", PType::Blob))
+        .method("Init", |m| m.input("face", PType::Blob).pure())
         .method("Measure", |m| {
-            m.input("key", PType::I4).output("width", PType::I4)
+            m.input("key", PType::I4).output("width", PType::I4).pure()
         })
         .build()
 }
@@ -236,10 +260,10 @@ pub fn itext_run() -> Arc<InterfaceDesc> {
         .build()
 }
 
-/// `IPageStub` — placeholder for a not-yet-displayed page.
+/// `IPageStub` — placeholder for a not-yet-displayed page. Stateless.
 pub fn ipage_stub() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IPageStub")
-        .method("Init", |m| m.input("page", PType::I4))
+        .method("Init", |m| m.input("page", PType::I4).pure())
         .build()
 }
 
@@ -280,22 +304,28 @@ pub fn itable_model() -> Arc<InterfaceDesc> {
         .build()
 }
 
-/// `ITableCol`.
+/// `ITableCol`. Column statistics are fixed at creation; balancing is a
+/// computation over them — effect-free, hence replicable.
 pub fn itable_col() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("ITableCol")
-        .method("Init", |m| m.input("stats", PType::Blob))
+        .method("Init", |m| m.input("stats", PType::Blob).pure())
         .method("Balance", |m| {
-            m.input("round", PType::I4).output("width", PType::I4)
+            m.input("round", PType::I4)
+                .output("width", PType::I4)
+                .pure()
         })
         .build()
 }
 
-/// `ICellSet` — a negotiated row-group of table cells.
+/// `ICellSet` — a negotiated row-group of table cells. Placement derives
+/// from the fixed cell data — effect-free, hence replicable.
 pub fn icell_set() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("ICellSet")
-        .method("Init", |m| m.input("cells", PType::Blob))
+        .method("Init", |m| m.input("cells", PType::Blob).pure())
         .method("Place", |m| {
-            m.input("round", PType::I4).output("rect", PType::Blob)
+            m.input("round", PType::I4)
+                .output("rect", PType::Blob)
+                .pure()
         })
         .build()
 }
@@ -510,6 +540,11 @@ impl ComObject for DocReader {
             _ => Err(ComError::App(format!("IDocReader has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        let state = self.state.lock();
+        fingerprint_of(&(state.store.is_some(), &state.kind, state.pages))
+    }
 }
 
 impl DocReader {
@@ -575,6 +610,10 @@ impl ComObject for TextProps {
             _ => Err(ComError::App(format!("ITextProps has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&*self.loaded.lock())
+    }
 }
 
 /// One paragraph's backing text block.
@@ -601,6 +640,10 @@ impl ComObject for TextBlock {
             _ => Err(ComError::App(format!("ITextBlock has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // stateless flyweight
+    }
 }
 
 /// Cached font metrics, allocated through the shared property set.
@@ -626,6 +669,10 @@ impl ComObject for FontCache {
             }
             _ => Err(ComError::App(format!("IFontCache has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // stateless flyweight
     }
 }
 
@@ -840,6 +887,10 @@ impl ComObject for PageStub {
     ) -> ComResult<()> {
         work(ctx, 1);
         Ok(())
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // stateless placeholder
     }
 }
 
@@ -1152,6 +1203,10 @@ impl ComObject for TableColumn {
             _ => Err(ComError::App(format!("ITableCol has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // stateless flyweight
+    }
 }
 
 /// A negotiated row group of table cells.
@@ -1177,6 +1232,10 @@ impl ComObject for CellSet {
             }
             _ => Err(ComError::App(format!("ICellSet has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // stateless flyweight
     }
 }
 
@@ -1206,6 +1265,10 @@ impl ComObject for RowBatch {
             }
             _ => Err(ComError::App(format!("IRowBatch has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&*self.bytes.lock())
     }
 }
 

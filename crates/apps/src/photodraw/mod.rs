@@ -9,9 +9,9 @@
 //! components, only the reader and seven property sets can usefully move).
 
 use crate::common::{
-    blob_of, call, i4_of, iface_of, register_gui_class, register_idle_loop, register_theme_engine,
-    work, GuiSpec, IDLE_PUMP, STORE_READ_PAGE, STORE_READ_STREAM, WIDGET_BUILD, WIDGET_PAINT,
-    WIDGET_REGISTER_IDLE,
+    blob_of, call, fingerprint_of, i4_of, iface_of, register_gui_class, register_idle_loop,
+    register_theme_engine, work, GuiSpec, IDLE_PUMP, STORE_READ_PAGE, STORE_READ_STREAM,
+    WIDGET_BUILD, WIDGET_PAINT, WIDGET_REGISTER_IDLE,
 };
 use coign::application::Application;
 use coign_com::idl::{InterfaceBuilder, InterfaceDesc};
@@ -31,29 +31,39 @@ pub const SPRITE_FANOUT: usize = 3;
 /// Property queries the UI sends each property set.
 pub const PROP_QUERIES: i32 = 4;
 
-/// `IPdReader`: the composition reader.
+/// `IPdReader`: the composition reader. `Open` loads the file; the chunk
+/// and stream accessors afterwards only read it.
 pub fn ipd_reader() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IPdReader")
-        .method("Open", |m| m.input("doc", PType::Str))
+        .method("Open", |m| m.input("doc", PType::Str).mutates_state())
         .method("GetChunk", |m| {
-            m.input("i", PType::I4).output("pixels", PType::Blob)
+            m.input("i", PType::I4)
+                .output("pixels", PType::Blob)
+                .reads_state()
         })
         .method("GetPropStream", |m| {
-            m.input("name", PType::Str).output("data", PType::Blob)
+            m.input("name", PType::Str)
+                .output("data", PType::Blob)
+                .reads_state()
         })
-        .method("ChunkCount", |m| m.output("n", PType::I4))
+        .method("ChunkCount", |m| m.output("n", PType::I4).reads_state())
         .build()
 }
 
-/// `IPdPropSet`: a high-level property set.
+/// `IPdPropSet`: a high-level property set — a read-only projection of
+/// data in the file, so the replication lints prove the class legal to
+/// duplicate (these are the seven components Figure 4 moves).
 pub fn ipd_prop_set() -> Arc<InterfaceDesc> {
     InterfaceBuilder::new("IPdPropSet")
         .method("Init", |m| {
             m.input("reader", PType::Interface(Iid::from_name("IPdReader")))
                 .input("stream", PType::Str)
+                .reads_state()
         })
         .method("Query", |m| {
-            m.input("key", PType::I4).output("value", PType::Blob)
+            m.input("key", PType::I4)
+                .output("value", PType::Blob)
+                .pure()
         })
         .build()
 }
@@ -66,8 +76,9 @@ pub fn isprite() -> Arc<InterfaceDesc> {
                 .input("canvas", PType::Interface(Iid::from_name("IBlitSink")))
                 .input("depth", PType::I4)
                 .input("chunk", PType::I4)
+                .mutates_state()
         })
-        .method("Compose", |m| m.output("regions", PType::I4))
+        .method("Compose", |m| m.output("regions", PType::I4).reads_state())
         .build()
 }
 
@@ -105,9 +116,12 @@ pub fn itransform() -> Arc<InterfaceDesc> {
         .method("Apply", |m| {
             m.input("region", PType::Opaque)
                 .input("strength", PType::I4)
+                .mutates_state()
         })
         .method("Params", |m| {
-            m.input("key", PType::I4).output("value", PType::Blob)
+            m.input("key", PType::I4)
+                .output("value", PType::Blob)
+                .reads_state()
         })
         .build()
 }
@@ -190,6 +204,11 @@ impl ComObject for PdReader {
             _ => Err(ComError::App(format!("IPdReader has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        let state = self.state.lock();
+        fingerprint_of(&(state.store.is_some(), state.chunks))
+    }
 }
 
 /// A high-level property set: large input from the file, small replies to
@@ -220,6 +239,10 @@ impl ComObject for PdPropSet {
             }
             _ => Err(ComError::App(format!("IPdPropSet has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&0u64) // read-only projection of the file
     }
 }
 
@@ -306,6 +329,10 @@ impl ComObject for SpriteCache {
             _ => Err(ComError::App(format!("ISprite has no method {method}"))),
         }
     }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&(self.children.lock().len() as u64))
+    }
 }
 
 /// The marquee selection tool: owns a shared-memory region of the image.
@@ -360,6 +387,10 @@ impl ComObject for PdTransform {
             }
             _ => Err(ComError::App(format!("ITransform has no method {method}"))),
         }
+    }
+
+    fn state_fingerprint(&self) -> Option<u64> {
+        fingerprint_of(&self.cost_us)
     }
 }
 

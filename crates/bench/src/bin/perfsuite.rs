@@ -14,6 +14,10 @@
 //! Usage: `perfsuite [out.json]` (default `BENCH_coign.json`).
 
 use coign::classifier::{ClassifierKind, InstanceClassifier};
+use coign::multiway::{
+    analyze_multiway_with_replication, anchor_unpinned_machines, derive_tier_constraints,
+    ReplicationPlan,
+};
 use coign::recovery::RecoveryConfig;
 use coign::runtime::{
     choose_distribution, profile_scenario, profile_scenarios, profile_scenarios_observed,
@@ -191,6 +195,71 @@ fn main() {
         .validate()
         .expect("post-recovery placement violates constraints");
 
+    // 6. Multiway placement with replication: the 3-machine solve over the
+    // accumulated profile, without and with the replication plan from the
+    // stage-4/5 legality analysis. The home placement must be identical in
+    // both solves (replicas are additional copies, never moves), and on
+    // the annotated octarine image the plan must buy a strictly positive
+    // traffic reduction.
+    let machines = 3;
+    let rt = coign_com::ComRuntime::single_machine();
+    app.register(&rt);
+    let registry = rt.registry();
+    let mut constraints = derive_tier_constraints(
+        &profile,
+        registry,
+        MachineId::CLIENT,
+        MachineId((machines - 1) as u16),
+    );
+    let extra = anchor_unpinned_machines(&profile, &net_profile, &constraints, machines)
+        .expect("anchor unpinned machines");
+    constraints.extend(extra);
+    let mut sink = coign::lint::DiagnosticSink::new();
+    let report = coign::lint::analyze_replication(registry, &mut sink);
+    let replication_plan = ReplicationPlan::from_report(&report, &profile, registry);
+    let (plain, plain_place_ms) = timed_min_ms(|| {
+        analyze_multiway_with_replication(
+            &profile,
+            &net_profile,
+            &constraints,
+            machines,
+            &ReplicationPlan::empty(),
+        )
+        .expect("plain multiway placement")
+    });
+    let (replicated, replicated_place_ms) = timed_min_ms(|| {
+        analyze_multiway_with_replication(
+            &profile,
+            &net_profile,
+            &constraints,
+            machines,
+            &replication_plan,
+        )
+        .expect("replicated multiway placement")
+    });
+    assert!(
+        plain.replicas.is_empty(),
+        "empty plan must place no replicas"
+    );
+    assert_eq!(
+        plain.distribution.placement, replicated.distribution.placement,
+        "replication moved the home placement"
+    );
+    let (heuristic_cut_ms, refined_cut_ms) = (
+        plain.heuristic_cut_us / 1e3,
+        plain.distribution.predicted_comm_us / 1e3,
+    );
+    let replication_gain_ms = replicated.replication_gain_us() / 1e3;
+    let replica_count = replicated.replicas.len();
+    assert!(
+        refined_cut_ms <= heuristic_cut_ms + 1e-9,
+        "greedy refinement regressed the heuristic cut"
+    );
+    assert!(
+        replica_count >= 1 && replication_gain_ms > 0.0,
+        "annotated octarine must yield at least one strictly-profitable replica"
+    );
+
     let json = format!(
         "{{\"profile\":{{\"scenarios\":{},\"sequential_ms\":{sequential_ms:.3},\
          \"parallel_jobs\":{JOBS},\"parallel_ms\":{parallel_ms:.3},\
@@ -202,7 +271,12 @@ fn main() {
          \"overhead_frac\":{trace_overhead:.4}}},\
          \"recovery\":{{\"recoveries\":{recoveries},\"warm_solves\":{warm_solves},\
          \"cold_solves\":{cold_solves},\"migrations\":{migrations},\
-         \"double_executions\":0,\"recovering_ms\":{recovering_ms:.3}}}}}",
+         \"double_executions\":0,\"recovering_ms\":{recovering_ms:.3}}},\
+         \"multiway\":{{\"machines\":{machines},\"heuristic_cut_ms\":{heuristic_cut_ms:.3},\
+         \"refined_cut_ms\":{refined_cut_ms:.3},\"replicas\":{replica_count},\
+         \"replication_gain_ms\":{replication_gain_ms:.3},\
+         \"plain_place_ms\":{plain_place_ms:.3},\
+         \"replicated_place_ms\":{replicated_place_ms:.3}}}}}",
         SCENARIOS.len(),
         cold.points.len(),
         cold_ms / warm_ms,
@@ -214,7 +288,9 @@ fn main() {
          marshal cache hit rate {:.1}%; sweep {cold_ms:.1} ms cold / {warm_ms:.1} ms warm; \
          tracing {traced_events} events at {:.1}% overhead; \
          recovery {recoveries} recovery(ies), {warm_solves} warm / {cold_solves} cold solve(s), \
-         {migrations} migration(s) in {recovering_ms:.1} ms",
+         {migrations} migration(s) in {recovering_ms:.1} ms; \
+         multiway cut {heuristic_cut_ms:.1} ms heuristic / {refined_cut_ms:.1} ms refined, \
+         {replica_count} replica(s) saving {replication_gain_ms:.1} ms",
         hit_rate * 100.0,
         trace_overhead * 100.0
     );

@@ -33,9 +33,9 @@ use coign::recovery::RecoveryConfig;
 use coign::report;
 use coign::rewriter;
 use coign::runtime::{
-    check_constraints, choose_distribution, derive_constraints,
-    profile_scenarios_parallel_observed, run_distributed_faulty_observed,
-    run_distributed_recovering, run_distributed_recovering_observed,
+    check_constraints, choose_distribution, derive_constraints, profile_scenarios_crosschecked,
+    run_distributed_faulty_observed, run_distributed_recovering,
+    run_distributed_recovering_observed,
 };
 use coign::sweep::{sweep, SweepGrid, SweepMode};
 use coign_apps::scenarios::app_by_name;
@@ -161,22 +161,37 @@ pub fn cmd_profile_observed(
     let record = rewriter::read_config(&image)?;
     let app = app_for_image(&image)?;
     let classifier = Arc::new(InstanceClassifier::decode(&record.classifier)?);
-    let profile =
-        profile_scenarios_parallel_observed(app.as_ref(), scenarios, &classifier, jobs, obs)?;
+    let (profile, violations) =
+        profile_scenarios_crosschecked(app.as_ref(), scenarios, &classifier, jobs, obs)?;
     rewriter::accumulate_profile(&mut image, &profile)?;
     // Persist the classifier's grown descriptor table too.
     let mut record = rewriter::read_config(&image)?;
     record.classifier = classifier.encode();
     image.set_config_record(record.encode());
     store(path, &image)?;
-    Ok(format!(
+    if let Some(o) = obs {
+        o.registry
+            .counter("coign_effect_violations")
+            .add(violations.len() as u64);
+    }
+    let mut out = format!(
         "profiled {} ({} worker(s)): {} messages, {} bytes ({} classifications so far)",
         scenarios.join(", "),
         jobs.max(1).min(scenarios.len()),
         profile.total_messages(),
         profile.total_bytes(),
         classifier.classification_count(),
-    ))
+    );
+    for v in &violations {
+        out.push_str(&format!(
+            "\nwarning COIGN045: {}::{} ({}) declared `{}` but its instance state changed during profiling",
+            v.class,
+            v.method,
+            v.interface,
+            v.declared.label(),
+        ));
+    }
+    Ok(out)
 }
 
 /// `coign analyze <image> [network]` — chooses a distribution for the
@@ -325,6 +340,212 @@ fn render_sweep_json(grid: &SweepGrid, result: &coign::sweep::SweepResult) -> St
     }
     out.push_str("]}");
     out
+}
+
+/// Options for `coign place` (`--machines`, `--replicate`, `--json`).
+#[derive(Debug, Clone)]
+pub struct PlaceOptions {
+    /// Number of machines in the topology (≥ 2).
+    pub machines: usize,
+    /// Permit replication of classes the lint stages prove immutable.
+    pub replicate: bool,
+    /// Emit the machine-readable JSON record instead of the human report.
+    pub json: bool,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            machines: 3,
+            replicate: false,
+            json: false,
+        }
+    }
+}
+
+/// `coign place <image> <scenario> [network] [--machines N] [--replicate]
+/// [--json]` — partitions the accumulated profile across N machines with
+/// the isolation-heuristic multiway cut plus exact warm refinement.
+///
+/// With `--replicate`, classes the stage-4/5 lints prove immutable
+/// ([`coign::lint::analyze_replication`]) may additionally be *copied* onto
+/// machines whose local traffic they serve, whenever the copy strictly
+/// reduces modeled cut traffic. The report is rendered purely from the
+/// resulting placement, so on an application with no replicable classes
+/// `--replicate` output is byte-identical to the plain multiway placement.
+pub fn cmd_place(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    opts: &PlaceOptions,
+) -> ComResult<String> {
+    cmd_place_observed(path, scenario, network_name, opts, None)
+}
+
+/// [`cmd_place`] with an optional observability bundle: the command runs
+/// under a `place` phase span and the registry gains
+/// `coign_replicas_placed` / `coign_replication_gain_us` counters.
+pub fn cmd_place_observed(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    opts: &PlaceOptions,
+    obs: Option<&Obs>,
+) -> ComResult<String> {
+    use coign::multiway::{
+        analyze_multiway_with_replication, anchor_unpinned_machines, derive_tier_constraints,
+        ReplicationPlan,
+    };
+
+    let _span = obs.map(|o| o.tracer.phase_span("place"));
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    if record.profile.total_messages() == 0 {
+        return Err(ComError::App(
+            "no profile accumulated yet — run `coign profile` first".to_string(),
+        ));
+    }
+    if !record.profile.scenarios.iter().any(|s| s == scenario) {
+        return Err(ComError::App(format!(
+            "scenario `{scenario}` was never profiled into this image (profiled: {})",
+            record.profile.scenarios.join(", ")
+        )));
+    }
+    if opts.machines < 2 {
+        return Err(ComError::App(
+            "placement needs at least two machines (--machines N)".to_string(),
+        ));
+    }
+    let app = app_for_image(&image)?;
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let registry = rt.registry();
+    let network = network_by_name(network_name)?;
+    let profile = NetworkProfile::measure(&network, PROFILE_SAMPLES, SEED);
+
+    // Replication legality comes exclusively from the stage-4/5 lints:
+    // without `--replicate` (or without annotation evidence) the plan is
+    // empty and the solver provably places zero replicas.
+    let plan = if opts.replicate {
+        let mut sink = coign::lint::DiagnosticSink::new();
+        let report = coign::lint::analyze_replication(registry, &mut sink);
+        ReplicationPlan::from_report(&report, &record.profile, registry)
+    } else {
+        ReplicationPlan::empty()
+    };
+
+    let mut constraints = derive_tier_constraints(
+        &record.profile,
+        registry,
+        MachineId::CLIENT,
+        MachineId((opts.machines - 1) as u16),
+    );
+    let extra = anchor_unpinned_machines(&record.profile, &profile, &constraints, opts.machines)?;
+    constraints.extend(extra);
+
+    let placement = {
+        let _mincut = obs.map(|o| o.tracer.phase_span("mincut"));
+        analyze_multiway_with_replication(
+            &record.profile,
+            &profile,
+            &constraints,
+            opts.machines,
+            &plan,
+        )?
+    };
+    if let Some(o) = obs {
+        o.registry
+            .counter("coign_replicas_placed")
+            .add(placement.replicas.len() as u64);
+        o.registry
+            .counter("coign_replication_gain_us")
+            .add(placement.replication_gain_us().round() as u64);
+    }
+
+    let label = |id: coign::ClassificationId| {
+        coign::lint::classification_label(&record.profile, registry, id)
+    };
+    // Name-sorted per-machine rosters, deterministically.
+    let mut rosters: Vec<Vec<String>> = vec![Vec::new(); opts.machines];
+    for (class, machine) in &placement.distribution.placement {
+        rosters[machine.0 as usize].push(label(*class));
+    }
+    for roster in &mut rosters {
+        roster.sort();
+    }
+
+    if opts.json {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"app\":\"{}\",\"scenario\":\"{scenario}\",\"network\":\"{}\",\"machines\":{},",
+            image.name, profile.network_name, opts.machines
+        ));
+        out.push_str(&format!(
+            "\"heuristic_cut_us\":{:.3},\"predicted_comm_us\":{:.3},\
+             \"replicated_comm_us\":{:.3},\"replication_gain_us\":{:.3},",
+            placement.heuristic_cut_us,
+            placement.distribution.predicted_comm_us,
+            placement.replicated_comm_us,
+            placement.replication_gain_us(),
+        ));
+        out.push_str("\"placement\":[");
+        for (m, roster) in rosters.iter().enumerate() {
+            if m > 0 {
+                out.push(',');
+            }
+            let classes: Vec<String> = roster.iter().map(|c| format!("\"{c}\"")).collect();
+            out.push_str(&format!(
+                "{{\"machine\":{m},\"classes\":[{}]}}",
+                classes.join(",")
+            ));
+        }
+        out.push_str("],\"replicas\":[");
+        for (i, replica) in placement.replicas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"class\":\"{}\",\"machine\":{},\"gain_us\":{:.3}}}",
+                label(replica.class),
+                replica.machine.0,
+                replica.gain_us,
+            ));
+        }
+        out.push_str("]}");
+        return Ok(out);
+    }
+
+    let mut out = format!(
+        "placed {} for {scenario} across {} machine(s) on {}:\n",
+        image.name, opts.machines, profile.network_name
+    );
+    for (m, roster) in rosters.iter().enumerate() {
+        out.push_str(&format!("  machine {m}: {}\n", roster.join(", ")));
+    }
+    out.push_str(&format!(
+        "cut: heuristic {:.3} ms, refined {:.3} ms\n",
+        placement.heuristic_cut_us / 1000.0,
+        placement.distribution.predicted_comm_us / 1000.0,
+    ));
+    if placement.replicas.is_empty() {
+        out.push_str("replicas: none\n");
+    } else {
+        out.push_str(&format!(
+            "replicas: {} (gain {:.3} ms, replicated traffic {:.3} ms)\n",
+            placement.replicas.len(),
+            placement.replication_gain_us() / 1000.0,
+            placement.replicated_comm_us / 1000.0,
+        ));
+        for replica in &placement.replicas {
+            out.push_str(&format!(
+                "  + {} -> machine {} (gain {:.3} ms)\n",
+                label(replica.class),
+                replica.machine.0,
+                replica.gain_us / 1000.0,
+            ));
+        }
+    }
+    Ok(out)
 }
 
 /// Fault-injection options of `coign run` (`--fault-plan`, `--fault-seed`,
@@ -905,12 +1126,28 @@ pub fn cmd_dot(path: &Path, out: &Path) -> ComResult<String> {
     let names = report::class_names(&rt);
     let network = NetworkProfile::measure(&NetworkModel::ethernet_10baset(), PROFILE_SAMPLES, SEED);
     let constraints = derive_constraints(app.as_ref(), &record.profile);
-    let dot = report::to_dot(
+    // Replication-legality overlay: double-circle the replicable classes,
+    // shade the mutable-shared ones, and label read-only edges. Shading
+    // mirrors COIGN043's gating — only classes with annotation evidence,
+    // so the conservative mutates-by-default mass stays unshaded.
+    let mut sink = coign::lint::DiagnosticSink::new();
+    let effect_analysis = coign::lint::effects::check_effects(rt.registry(), &mut sink);
+    let mut replication =
+        coign::lint::sharing::check_sharing(rt.registry(), &effect_analysis, &mut sink);
+    replication
+        .mutable_shared
+        .retain(|class| effect_analysis.is_annotated(class));
+    let facts = report::DotFacts {
+        replication: Some(replication),
+        effects: report::method_effects(&rt),
+    };
+    let dot = report::to_dot_annotated(
         &record.profile,
         &network,
         record.distribution.as_ref(),
         &constraints,
         &names,
+        &facts,
     );
     std::fs::write(out, &dot)
         .map_err(|e| ComError::App(format!("cannot write {}: {e}", out.display())))?;
@@ -951,6 +1188,8 @@ mod tests {
 
         let msg = cmd_profile(&path, &["o_oldtb3"], 1).unwrap();
         assert!(msg.contains("messages"));
+        // Honest annotations: the dynamic cross-check stays silent.
+        assert!(!msg.contains("COIGN045"));
 
         let msg = cmd_show(&path).unwrap();
         assert!(msg.contains("mode:       profiling"));
@@ -981,7 +1220,8 @@ mod tests {
     fn profiles_accumulate_across_invocations() {
         let path = temp_image("acc");
         cmd_instrument("benefits", &path).unwrap();
-        cmd_profile(&path, &["b_vueone"], 1).unwrap();
+        let msg = cmd_profile(&path, &["b_vueone"], 1).unwrap();
+        assert!(!msg.contains("COIGN045"));
         cmd_profile(&path, &["b_addone"], 1).unwrap();
         let show = cmd_show(&path).unwrap();
         assert!(show.contains("b_vueone, b_addone"));
@@ -1073,6 +1313,11 @@ mod tests {
         // (the ROOT pin alone guarantees at least one).
         assert!(dot.contains("shape=diamond"));
         assert!(dot.contains("n0 -- client [style=dashed"));
+        // The replication overlay: the table flyweights are effect-free,
+        // so their nodes draw double-circled and the model→column edges
+        // carry the declared effect label.
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("(pure)"));
 
         // Scripts are octarine-only.
         let pd = temp_image("pdscript");
@@ -1208,6 +1453,86 @@ mod tests {
         );
         assert!(summary.contains("warm=1"), "summary: {summary}");
         assert!(summary.contains("invariants: ok"), "summary: {summary}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn place_partitions_across_three_machines_deterministically() {
+        let path = temp_image("place");
+        cmd_instrument("octarine", &path).unwrap();
+        // Placing before profiling (or for an unprofiled scenario) is
+        // rejected.
+        assert!(
+            cmd_place(&path, "o_oldtb3", "ethernet", &PlaceOptions::default())
+                .unwrap_err()
+                .to_string()
+                .contains("no profile")
+        );
+        cmd_profile(&path, &["o_oldtb3"], 1).unwrap();
+        assert!(
+            cmd_place(&path, "o_newdoc", "ethernet", &PlaceOptions::default())
+                .unwrap_err()
+                .to_string()
+                .contains("never profiled")
+        );
+
+        let opts = PlaceOptions::default();
+        let human = cmd_place(&path, "o_oldtb3", "ethernet", &opts).unwrap();
+        assert!(human.contains("across 3 machine(s)"));
+        assert!(human.contains("machine 2:"));
+        assert!(human.contains("cut: heuristic"));
+        // Deterministic, twice in a row.
+        assert_eq!(
+            human,
+            cmd_place(&path, "o_oldtb3", "ethernet", &opts).unwrap()
+        );
+
+        let json_opts = PlaceOptions {
+            json: true,
+            ..opts.clone()
+        };
+        let json = cmd_place(&path, "o_oldtb3", "ethernet", &json_opts).unwrap();
+        assert!(json.starts_with("{\"app\":\"octarine.exe\""));
+        assert!(json.contains("\"placement\":["));
+        assert_eq!(
+            json,
+            cmd_place(&path, "o_oldtb3", "ethernet", &json_opts).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn place_replication_strictly_reduces_octarine_traffic() {
+        let path = temp_image("placerep");
+        cmd_instrument("octarine", &path).unwrap();
+        // The 208-page text document: reader and properties split away from
+        // the layout cluster, so the effect-free flyweights (text blocks,
+        // font caches) see traffic from more than one machine.
+        cmd_profile(&path, &["o_oldwp7"], 1).unwrap();
+        let plain = cmd_place(&path, "o_oldwp7", "ethernet", &PlaceOptions::default()).unwrap();
+        let replicated = cmd_place(
+            &path,
+            "o_oldwp7",
+            "ethernet",
+            &PlaceOptions {
+                replicate: true,
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap();
+        // The annotated example app has at least one provably replicable
+        // class whose copy strictly reduces modeled cut traffic.
+        assert!(replicated.contains("replicas: "), "{replicated}");
+        assert!(!replicated.contains("replicas: none"), "{replicated}");
+        // The home assignment (and the whole preamble) never changes;
+        // replication only adds copies.
+        let preamble = |s: &str| {
+            s.lines()
+                .take_while(|l| !l.starts_with("replicas:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(preamble(&plain), preamble(&replicated));
         std::fs::remove_file(&path).ok();
     }
 

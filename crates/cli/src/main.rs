@@ -2,8 +2,8 @@
 
 use coign_cli::{
     cmd_analyze_observed, cmd_chaos_observed, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument,
-    cmd_profile_observed, cmd_run_observed, cmd_script, cmd_show, cmd_strip, cmd_sweep_observed,
-    ChaosOptions, RunFaults,
+    cmd_place_observed, cmd_profile_observed, cmd_run_observed, cmd_script, cmd_show, cmd_strip,
+    cmd_sweep_observed, ChaosOptions, PlaceOptions, RunFaults,
 };
 use coign_obs::Obs;
 use std::path::{Path, PathBuf};
@@ -20,6 +20,10 @@ USAGE:
                                          the merged log is identical for every N)
   coign analyze    <image> [network]    choose & realize a distribution (ethernet|isdn|atm|san)
   coign sweep      <image> [--json]     partition across a latency/bandwidth grid (warm-started)
+  coign place      <image> <scenario> [network]   multiway placement across N machines
+        [--machines N]                  topology size (default 3)
+        [--replicate]                   copy classes the stage-4/5 lints prove immutable
+        [--json]                        emit the machine-readable placement record
   coign run        <image> <scenario> [network]   execute distributed
         [--fault-plan FILE]             inject faults per FILE (loss/spike/partition/down lines)
         [--fault-seed N]                seed the fault schedule (default 0)
@@ -99,6 +103,37 @@ fn parse_run_args(rest: &[String]) -> Result<(String, RunFaults), String> {
         }
     }
     Ok((network.unwrap_or_else(|| "ethernet".to_string()), faults))
+}
+
+/// Parses `coign place`'s trailing arguments: an optional positional
+/// network name plus `--machines/--replicate/--json` in any order.
+fn parse_place_args(rest: &[String]) -> Result<(String, PlaceOptions), String> {
+    let mut network = None;
+    let mut opts = PlaceOptions::default();
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--machines" => {
+                let value = it.next().ok_or("--machines needs a number argument")?;
+                opts.machines = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 2)
+                    .ok_or_else(|| format!("bad machine count `{value}` (need ≥ 2)"))?;
+            }
+            "--replicate" => opts.replicate = true,
+            "--json" => opts.json = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `coign place`"));
+            }
+            positional => {
+                if network.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected argument `{positional}`"));
+                }
+            }
+        }
+    }
+    Ok((network.unwrap_or_else(|| "ethernet".to_string()), opts))
 }
 
 /// Parses `coign chaos`'s trailing arguments: an optional positional
@@ -198,6 +233,10 @@ fn dispatch(args: &[String], obs: Option<&Obs>) -> Result<String, String> {
         "run" => {
             let (network, faults) = parse_run_args(&args[3.min(args.len())..])?;
             cmd_run_observed(Path::new(arg(1)?), arg(2)?, &network, &faults, obs)
+        }
+        "place" => {
+            let (network, opts) = parse_place_args(&args[3.min(args.len())..])?;
+            cmd_place_observed(Path::new(arg(1)?), arg(2)?, &network, &opts, obs)
         }
         "chaos" => {
             let (network, opts) = parse_chaos_args(&args[3.min(args.len())..])?;

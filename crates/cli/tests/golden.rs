@@ -19,8 +19,18 @@
 //! cargo run -p coign-cli --bin coign -- sweep /tmp/sweep.cimg --json \
 //!     > crates/cli/tests/golden/octarine_sweep.json
 //! ```
+//!
+//! The benefits and photodraw `check --json` reports pin the replication-
+//! legality stages (COIGN040–044) across the other two applications; their
+//! images are freshly instrumented scratch copies (`coign instrument
+//! benefits /tmp/b.cimg && coign check /tmp/b.cimg --json > ...`). The
+//! `coign dot` overlay is pinned from a profiled + analyzed octarine
+//! image (same profile recipe as the sweep golden, then `coign analyze
+//! <img> ethernet && coign dot <img> .../octarine_dot.gv`). COIGN045 is
+//! dynamic-only — it renders in `coign profile` output, never in `check`,
+//! and stays absent from honest runs (asserted in the CLI unit tests).
 
-use coign_cli::{cmd_check, cmd_profile, cmd_sweep};
+use coign_cli::{cmd_analyze, cmd_check, cmd_dot, cmd_instrument, cmd_profile, cmd_sweep};
 use std::path::{Path, PathBuf};
 
 fn example_image() -> PathBuf {
@@ -28,6 +38,10 @@ fn example_image() -> PathBuf {
         .join("../../examples/octarine.cimg")
         .canonicalize()
         .expect("examples/octarine.cimg exists")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("coign_golden_{tag}_{}.cimg", std::process::id()))
 }
 
 #[test]
@@ -51,7 +65,87 @@ fn check_json_golden_is_wellformed() {
     let trimmed = golden.trim_end();
     assert!(trimmed.starts_with("{\"errors\":"));
     assert!(trimmed.ends_with("]}"));
-    assert_eq!(trimmed.matches("\"code\":").count(), 2);
+    assert_eq!(trimmed.matches("\"code\":").count(), 20);
+    // The replication-legality stages contribute their share: partial
+    // annotations, pure interfaces, mutable-shared warnings, and the
+    // replicable flyweight verdicts.
+    assert_eq!(trimmed.matches("\"code\":\"COIGN040\"").count(), 2);
+    assert_eq!(trimmed.matches("\"code\":\"COIGN042\"").count(), 6);
+    assert_eq!(trimmed.matches("\"code\":\"COIGN043\"").count(), 2);
+    assert_eq!(trimmed.matches("\"code\":\"COIGN044\"").count(), 8);
+}
+
+#[test]
+fn check_json_output_is_deterministic_across_runs() {
+    // Byte-identity across two full passes over the same image: every
+    // stage iterates name-sorted structures, so nothing may depend on
+    // hash-map order or interleaving.
+    let first = cmd_check(&example_image(), true).unwrap();
+    let second = cmd_check(&example_image(), true).unwrap();
+    assert_eq!(first, second, "`coign check --json` must be deterministic");
+}
+
+#[test]
+fn benefits_check_json_matches_golden_file() {
+    let img = scratch("bencheck");
+    let report = cmd_instrument("benefits", &img)
+        .map_err(|e| e.to_string())
+        .and_then(|_| cmd_check(&img, true));
+    std::fs::remove_file(&img).ok();
+    let report = report.expect("instrument + check succeed on benefits");
+    let golden = include_str!("golden/benefits_check.json");
+    assert_eq!(
+        report.trim_end(),
+        golden.trim_end(),
+        "`coign check --json` on benefits drifted from the committed golden \
+         output; if the change is intentional, regenerate it (see module docs)"
+    );
+}
+
+#[test]
+fn photodraw_check_json_matches_golden_file() {
+    let img = scratch("pdcheck");
+    let report = cmd_instrument("photodraw", &img)
+        .map_err(|e| e.to_string())
+        .and_then(|_| cmd_check(&img, true));
+    std::fs::remove_file(&img).ok();
+    let report = report.expect("instrument + check succeed on photodraw");
+    let golden = include_str!("golden/photodraw_check.json");
+    assert_eq!(
+        report.trim_end(),
+        golden.trim_end(),
+        "`coign check --json` on photodraw drifted from the committed golden \
+         output; if the change is intentional, regenerate it (see module docs)"
+    );
+}
+
+#[test]
+fn dot_output_matches_golden_file() {
+    // The full replication-legality overlay on a profiled + analyzed
+    // octarine image: double-circled replicable flyweights, shaded
+    // annotated mutable-shared classes, and effect-labelled edges.
+    let img = scratch("dot");
+    let out = std::env::temp_dir().join(format!("coign_golden_dot_{}.gv", std::process::id()));
+    std::fs::copy(example_image(), &img).expect("copy example image to scratch path");
+    let rendered = cmd_profile(&img, &["o_oldtb3", "o_newdoc"], 2)
+        .and_then(|_| cmd_analyze(&img, "ethernet"))
+        .and_then(|_| cmd_dot(&img, &out))
+        .and_then(|_| {
+            std::fs::read_to_string(&out)
+                .map_err(|e| coign_com::ComError::App(format!("read {}: {e}", out.display())))
+        });
+    std::fs::remove_file(&img).ok();
+    std::fs::remove_file(&out).ok();
+    let rendered = rendered.expect("profile + analyze + dot succeed");
+    let golden = include_str!("golden/octarine_dot.gv");
+    assert_eq!(
+        rendered, golden,
+        "`coign dot` drifted from the committed golden output; if the \
+         change is intentional, regenerate it (see module docs)"
+    );
+    assert!(golden.contains("peripheries=2"));
+    assert!(golden.contains("fillcolor=mistyrose"));
+    assert!(golden.contains("(pure)") && golden.contains("(reads)"));
 }
 
 #[test]

@@ -25,10 +25,12 @@ use crate::logger::{CallRecord, InfoLogger};
 use crate::profile::icc_size_bounds;
 use crate::recovery::RecoveryCoordinator;
 use coign_com::interface::CallInfo;
-use coign_com::{ComError, ComResult, ComRuntime, InterfacePtr, Invoker, Message};
+use coign_com::{ComError, ComResult, ComRuntime, InterfacePtr, Invoker, Message, StateEffect};
 use coign_dcom::marshal::{message_reply_size, message_request_size, SizeCache};
 use coign_dcom::Transport;
 use coign_obs::{Histogram, Obs, TraceArg};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -99,6 +101,56 @@ fn classify_caller(
     }
 }
 
+/// One runtime refutation of a declared state effect: a method declared
+/// `Pure`/`ReadsState` whose instance fingerprint changed across the call.
+/// The static stage-4 verdicts rest on these annotations, so every
+/// violation is surfaced as diagnostic COIGN045.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EffectViolation {
+    /// Component class whose instance mutated.
+    pub class: String,
+    /// Interface declaring the lying method.
+    pub interface: String,
+    /// The lying method.
+    pub method: String,
+    /// What the annotation claimed.
+    pub declared: StateEffect,
+}
+
+/// Dynamic cross-check sink for state-effect annotations (COIGN045).
+///
+/// The profiling informer fingerprints the callee instance before and after
+/// every call whose method is declared read-only
+/// ([`StateEffect::is_read_only`]); a changed fingerprint records a
+/// deduplicated [`EffectViolation`] here. Components without a
+/// [`coign_com::ComObject::state_fingerprint`] opt out silently.
+#[derive(Debug, Default)]
+pub struct EffectCrossCheck {
+    violations: Mutex<BTreeSet<EffectViolation>>,
+}
+
+impl EffectCrossCheck {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        EffectCrossCheck::default()
+    }
+
+    /// Records one observed violation (idempotent per class/method pair).
+    pub fn record(&self, violation: EffectViolation) {
+        self.violations.lock().insert(violation);
+    }
+
+    /// All violations observed so far, in deterministic order.
+    pub fn violations(&self) -> Vec<EffectViolation> {
+        self.violations.lock().iter().cloned().collect()
+    }
+
+    /// Number of distinct violations observed.
+    pub fn count(&self) -> usize {
+        self.violations.lock().len()
+    }
+}
+
 /// The profiling informer: measures every call's deep-copy size and logs it.
 pub struct ProfilingInvoker {
     inner: InterfacePtr,
@@ -113,6 +165,9 @@ pub struct ProfilingInvoker {
     /// Optional observability: marshal-cache miss instants. Per-call trace
     /// detail stays out of this hot path — the `EventLogger` carries it.
     obs: Option<Obs>,
+    /// Optional COIGN045 sink: read-only-declared calls fingerprint the
+    /// callee before and after, and a changed fingerprint lands here.
+    crosscheck: Option<Arc<EffectCrossCheck>>,
 }
 
 impl ProfilingInvoker {
@@ -137,6 +192,21 @@ impl ProfilingInvoker {
         cache: Arc<SizeCache>,
         obs: Option<Obs>,
     ) -> InterfacePtr {
+        Self::wrap_crosschecked(ptr, classifier, logger, overhead, cache, obs, None)
+    }
+
+    /// Wraps a pointer with the full profiling informer: observability plus
+    /// the COIGN045 state-effect cross-check sink.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wrap_crosschecked(
+        ptr: InterfacePtr,
+        classifier: Arc<InstanceClassifier>,
+        logger: Arc<dyn InfoLogger>,
+        overhead: Arc<OverheadMeter>,
+        cache: Arc<SizeCache>,
+        obs: Option<Obs>,
+        crosscheck: Option<Arc<EffectCrossCheck>>,
+    ) -> InterfacePtr {
         let invoker = ProfilingInvoker {
             inner: ptr.clone(),
             classifier,
@@ -144,6 +214,7 @@ impl ProfilingInvoker {
             overhead,
             cache,
             obs,
+            crosscheck,
         };
         ptr.wrap(Arc::new(invoker))
     }
@@ -166,7 +237,36 @@ impl Invoker for ProfilingInvoker {
             .cache
             .request_size(call.desc.iid, call.method, method_desc, msg);
 
+        // COIGN045 cross-check: a read-only-declared method must not change
+        // the callee's observable state. Fingerprint before and after; a
+        // component without a fingerprint opts out (`None` is never
+        // evidence).
+        let fingerprint_before = match &self.crosscheck {
+            Some(_) if method_desc.effect.is_read_only() => rt
+                .instance(call.owner)
+                .and_then(|inst| inst.object.state_fingerprint()),
+            _ => None,
+        };
+
         let result = self.inner.call(rt, call.method, msg);
+
+        if let (Some(check), Some(before)) = (&self.crosscheck, fingerprint_before) {
+            if let Some(inst) = rt.instance(call.owner) {
+                if inst.object.state_fingerprint() != Some(before) {
+                    let class = rt
+                        .registry()
+                        .get(inst.clsid)
+                        .map(|desc| desc.name.clone())
+                        .unwrap_or_else(|_| inst.clsid.to_string());
+                    check.record(EffectViolation {
+                        class,
+                        interface: call.desc.name.clone(),
+                        method: method_desc.name.clone(),
+                        declared: method_desc.effect,
+                    });
+                }
+            }
+        }
 
         let (reply, reply_hit) =
             self.cache
@@ -784,6 +884,140 @@ mod tests {
         // ...but the drift distribution saw exactly one logical call
         // (two messages): retries are re-sends, not new messages.
         assert_eq!(monitor.observed_messages(), 2);
+    }
+
+    /// A counter whose `Peek` method is *declared* read-only but secretly
+    /// increments — the lying annotation COIGN045 exists to catch. Method 1
+    /// (`Bump`) mutates honestly.
+    struct LyingCounter {
+        count: Mutex<u64>,
+    }
+    impl ComObject for LyingCounter {
+        fn invoke(
+            &self,
+            _ctx: &CallCtx<'_>,
+            _iid: Iid,
+            method: u32,
+            msg: &mut Message,
+        ) -> ComResult<()> {
+            let mut count = self.count.lock();
+            if method == 0 {
+                // Declared ReadsState, but mutates anyway: the lie.
+                *count += 1;
+            } else {
+                *count += 10;
+            }
+            msg.set(0, Value::I8(*count as i64));
+            Ok(())
+        }
+        fn state_fingerprint(&self) -> Option<u64> {
+            Some(*self.count.lock())
+        }
+    }
+
+    fn lying_counter_setup(rt: &ComRuntime) -> (Clsid, Iid) {
+        let iface = InterfaceBuilder::new("ICounter")
+            .method("Peek", |m| m.output("n", PType::I8).reads_state())
+            .method("Bump", |m| m.output("n", PType::I8).mutates_state())
+            .build();
+        let iid = iface.iid;
+        let clsid = rt
+            .registry()
+            .register("Counter", vec![iface], ApiImports::NONE, |_, _| {
+                Arc::new(LyingCounter {
+                    count: Mutex::new(0),
+                })
+            });
+        (clsid, iid)
+    }
+
+    #[test]
+    fn crosscheck_catches_a_lying_read_only_annotation() {
+        let rt = ComRuntime::single_machine();
+        let (clsid, iid) = lying_counter_setup(&rt);
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let check = Arc::new(EffectCrossCheck::new());
+        let raw = rt.create_instance(clsid, iid).unwrap();
+        classifier.classify_instance(&rt, raw.owner(), clsid);
+        let ptr = ProfilingInvoker::wrap_crosschecked(
+            raw,
+            classifier,
+            Arc::new(ProfilingLogger::new()),
+            Arc::new(OverheadMeter::new()),
+            Arc::new(SizeCache::new()),
+            None,
+            Some(check.clone()),
+        );
+
+        // The honest mutator is declared MutatesState: never fingerprinted.
+        let mut msg = Message::outputs(1);
+        ptr.call(&rt, 1, &mut msg).unwrap();
+        assert_eq!(check.count(), 0);
+
+        // The liar: declared ReadsState, fingerprint changes.
+        let mut msg = Message::outputs(1);
+        ptr.call(&rt, 0, &mut msg).unwrap();
+        assert_eq!(check.count(), 1);
+        let violation = &check.violations()[0];
+        assert_eq!(violation.class, "Counter");
+        assert_eq!(violation.interface, "ICounter");
+        assert_eq!(violation.method, "Peek");
+        assert_eq!(violation.declared, StateEffect::ReadsState);
+
+        // Repeats dedupe: still one distinct violation.
+        let mut msg = Message::outputs(1);
+        ptr.call(&rt, 0, &mut msg).unwrap();
+        assert_eq!(check.count(), 1);
+    }
+
+    #[test]
+    fn crosscheck_is_silent_for_honest_annotations() {
+        struct HonestStore {
+            data: Mutex<u64>,
+        }
+        impl ComObject for HonestStore {
+            fn invoke(
+                &self,
+                _ctx: &CallCtx<'_>,
+                _iid: Iid,
+                _method: u32,
+                msg: &mut Message,
+            ) -> ComResult<()> {
+                msg.set(0, Value::I8(*self.data.lock() as i64));
+                Ok(())
+            }
+            fn state_fingerprint(&self) -> Option<u64> {
+                Some(*self.data.lock())
+            }
+        }
+        let rt = ComRuntime::single_machine();
+        let iface = InterfaceBuilder::new("IStoreRo")
+            .method("Get", |m| m.output("v", PType::I8).reads_state())
+            .build();
+        let iid = iface.iid;
+        let clsid = rt
+            .registry()
+            .register("StoreRo", vec![iface], ApiImports::NONE, |_, _| {
+                Arc::new(HonestStore {
+                    data: Mutex::new(7),
+                })
+            });
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let check = Arc::new(EffectCrossCheck::new());
+        let raw = rt.create_instance(clsid, iid).unwrap();
+        classifier.classify_instance(&rt, raw.owner(), clsid);
+        let ptr = ProfilingInvoker::wrap_crosschecked(
+            raw,
+            classifier,
+            Arc::new(ProfilingLogger::new()),
+            Arc::new(OverheadMeter::new()),
+            Arc::new(SizeCache::new()),
+            None,
+            Some(check.clone()),
+        );
+        let mut msg = Message::outputs(1);
+        ptr.call(&rt, 0, &mut msg).unwrap();
+        assert_eq!(check.count(), 0);
     }
 
     #[test]

@@ -14,21 +14,33 @@
 //!    prove that no group is pinned to both machines (COIGN020–COIGN021).
 //! 3. [`image_lints`] — verify the rewriter's invariants on the binary
 //!    image and its configuration record (COIGN030–COIGN035).
+//! 4. [`effects`] — fold per-method [`coign_com::StateEffect`] annotations
+//!    into per-class mutability verdicts (COIGN040–COIGN042).
+//! 5. [`sharing`] — a union-find flow over interface-pointer parameters
+//!    computing which classes are reachable from multiple holders;
+//!    `shared ∧ mutable` is non-replicable (COIGN043), immutable classes
+//!    are proven replicable (COIGN044).
 //!
 //! The same stages guard the pipeline: [`crate::runtime::check_constraints`]
 //! runs stage 2 before `analyze` ever builds a flow network, so an
 //! unsatisfiable constraint set fails fast with the **same rendered
 //! diagnostics** `coign check` prints — min-cut is never invoked on a
-//! contradiction.
+//! contradiction. Stages 4 and 5 feed `coign place --replicate`: only
+//! classes they prove replicable may be duplicated onto extra machines
+//! ([`crate::multiway::ReplicationPlan`]).
 
 #![deny(missing_docs)]
 
 pub mod diag;
+pub mod effects;
 pub mod image_lints;
 pub mod remotability;
 pub mod satisfiability;
+pub mod sharing;
 
 pub use diag::{Diagnostic, DiagnosticSink, Severity};
+pub use effects::EffectAnalysis;
+pub use sharing::ReplicationReport;
 
 use crate::application::Application;
 use crate::classifier::ClassificationId;
@@ -77,7 +89,19 @@ pub fn check_constraint_stage(
     satisfiability::check_constraints(constraints, &non_remotable, &label, sink)
 }
 
-/// Runs all three stages over an application image — the engine behind
+/// Stages 4 and 5 as one call: state-effect folding followed by the
+/// instance-sharing flow. Emits COIGN040–COIGN044 into the sink and
+/// returns the replication-legality verdicts `coign place --replicate`
+/// consumes.
+pub fn analyze_replication(
+    registry: &ClassRegistry,
+    sink: &mut DiagnosticSink,
+) -> sharing::ReplicationReport {
+    let effect_analysis = effects::check_effects(registry, sink);
+    sharing::check_sharing(registry, &effect_analysis, sink)
+}
+
+/// Runs all five stages over an application image — the engine behind
 /// `coign check`. Needs no profiling data: when the image's configuration
 /// record holds an accumulated profile it is used to name classifications
 /// and recover recorded non-remotable pairs; otherwise stage 2 runs over
@@ -88,6 +112,7 @@ pub fn check_app_image(image: &AppImage, app: &dyn Application) -> DiagnosticSin
     let mut sink = DiagnosticSink::new();
 
     remotability::check_registry(rt.registry(), &mut sink);
+    analyze_replication(rt.registry(), &mut sink);
 
     let profile = image
         .config_record()

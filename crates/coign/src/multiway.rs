@@ -12,11 +12,12 @@
 use crate::analysis::Distribution;
 use crate::classifier::ClassificationId;
 use crate::icc::IccGraph;
+use crate::lint::ReplicationReport;
 use crate::profile::IccProfile;
 use coign_com::{ClassRegistry, ComError, ComResult, MachineId};
 use coign_dcom::NetworkProfile;
-use coign_flow::{multiway_cut, FlowNetwork, MaxFlowAlgorithm, INFINITE};
-use std::collections::HashMap;
+use coign_flow::{multiway_cut, refine_assignment, FlowNetwork, MaxFlowAlgorithm, INFINITE};
+use std::collections::{HashMap, HashSet};
 
 /// A placement constraint for multiway partitioning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,11 +54,157 @@ pub fn derive_tier_constraints(
     constraints
 }
 
+/// Completes a constraint set so every one of `machine_count` machines has
+/// an anchor. Tier derivation only pins the client (root + GUI) and the
+/// data server (storage/database); middle machines of a ≥3-way topology
+/// start empty. For each unanchored machine, in machine order, this pins
+/// the still-unpinned classification carrying the most profiled traffic
+/// (ties broken by classification id), modeling the operator assigning the
+/// busiest free component to each additional server. Deterministic for a
+/// given profile.
+pub fn anchor_unpinned_machines(
+    profile: &IccProfile,
+    network: &NetworkProfile,
+    constraints: &[MultiwayConstraint],
+    machine_count: usize,
+) -> ComResult<Vec<MultiwayConstraint>> {
+    let graph = IccGraph::build(profile, network);
+    let mut anchored = vec![false; machine_count];
+    let mut pinned: HashSet<ClassificationId> = HashSet::new();
+    for constraint in constraints {
+        if let MultiwayConstraint::Pin(class, machine) = constraint {
+            pinned.insert(*class);
+            let m = machine.0 as usize;
+            if m < machine_count && graph.index.contains_key(class) {
+                anchored[m] = true;
+            }
+        }
+    }
+
+    // Total adjacent traffic per classification, heaviest first.
+    let mut traffic: HashMap<usize, f64> = HashMap::new();
+    for ((a, b), weight) in &graph.weights_us {
+        *traffic.entry(*a).or_default() += weight;
+        *traffic.entry(*b).or_default() += weight;
+    }
+    let mut candidates: Vec<(ClassificationId, f64)> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, class)| **class != ClassificationId::ROOT && !pinned.contains(class))
+        .map(|(node, class)| (*class, traffic.get(&node).copied().unwrap_or(0.0)))
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut extra = Vec::new();
+    let mut next = candidates.into_iter();
+    for (m, anchored) in anchored.iter().enumerate() {
+        if *anchored {
+            continue;
+        }
+        let Some((class, _)) = next.next() else {
+            return Err(ComError::App(format!(
+                "cannot anchor machine {}: no free classification left to pin",
+                MachineId(m as u16)
+            )));
+        };
+        extra.push(MultiwayConstraint::Pin(class, MachineId(m as u16)));
+    }
+    Ok(extra)
+}
+
+/// Classifications that may legally be duplicated onto extra machines —
+/// the placement-side form of the lint stages' replication-legality
+/// verdicts ([`crate::lint::analyze_replication`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicationPlan {
+    /// Replicable classifications, sorted and deduplicated.
+    pub replicable: Vec<ClassificationId>,
+}
+
+impl ReplicationPlan {
+    /// A plan permitting no replication (the sound default).
+    pub fn empty() -> Self {
+        ReplicationPlan::default()
+    }
+
+    /// Maps the lint verdicts (class *names*) onto the profile's
+    /// classifications. A classification is replicable only when the
+    /// profile knows its class and the report proved that class immutable.
+    pub fn from_report(
+        report: &ReplicationReport,
+        profile: &IccProfile,
+        registry: &ClassRegistry,
+    ) -> Self {
+        let mut replicable: Vec<ClassificationId> = profile
+            .class_of
+            .iter()
+            .filter(|(_, clsid)| {
+                registry
+                    .get(**clsid)
+                    .is_ok_and(|desc| report.is_replicable(&desc.name))
+            })
+            .map(|(class, _)| *class)
+            .collect();
+        replicable.sort();
+        replicable.dedup();
+        ReplicationPlan { replicable }
+    }
+
+    /// True when the plan allows replicating the classification.
+    pub fn allows(&self, class: ClassificationId) -> bool {
+        self.replicable.binary_search(&class).is_ok()
+    }
+}
+
+/// One replica chosen by the greedy marginal-gain pass: a read-only copy of
+/// `class` placed on `machine` in addition to the class's home machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replica {
+    /// The replicated classification.
+    pub class: ClassificationId,
+    /// The extra machine receiving a copy.
+    pub machine: MachineId,
+    /// Cross-machine communication time the copy absorbs, microseconds.
+    pub gain_us: f64,
+}
+
+/// A multiway placement: the refined home assignment plus any replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiwayPlacement {
+    /// Home-machine assignment (identical with and without replication —
+    /// replicas are *additional* copies, the authoritative home never
+    /// moves).
+    pub distribution: Distribution,
+    /// Cut cost of the raw isolation-heuristic assignment, microseconds,
+    /// before greedy refinement.
+    pub heuristic_cut_us: f64,
+    /// Replicas chosen by the greedy pass (empty when the plan permits
+    /// none). Sorted by classification, then machine.
+    pub replicas: Vec<Replica>,
+    /// Predicted cross-machine communication after replicas serve their
+    /// machine-local traffic, microseconds.
+    pub replicated_comm_us: f64,
+}
+
+impl MultiwayPlacement {
+    /// Total modeled communication time absorbed by replicas, microseconds.
+    pub fn replication_gain_us(&self) -> f64 {
+        self.replicas.iter().map(|r| r.gain_us).sum()
+    }
+}
+
 /// Partitions a profile across `machine_count` machines.
 ///
 /// Builds the concrete ICC graph, adds one terminal node per machine wired
-/// to its pinned classifications with infinite edges, and runs the
-/// isolation heuristic (within `2 − 2/k` of the optimal multiway cut).
+/// to its pinned classifications with infinite edges, runs the isolation
+/// heuristic (within `2 − 2/k` of the optimal multiway cut), and refines
+/// the result with deterministic single-node moves
+/// ([`coign_flow::refine_assignment`]).
 ///
 /// Every machine must pin at least one classification (a terminal with no
 /// pull would trivially attract nothing); the client terminal always has
@@ -68,6 +215,28 @@ pub fn analyze_multiway(
     constraints: &[MultiwayConstraint],
     machine_count: usize,
 ) -> ComResult<Distribution> {
+    analyze_multiway_with_replication(
+        profile,
+        network,
+        constraints,
+        machine_count,
+        &ReplicationPlan::empty(),
+    )
+    .map(|placement| placement.distribution)
+}
+
+/// [`analyze_multiway`] plus component replication: classifications the
+/// `plan` proves legal are duplicated onto additional machines whenever the
+/// copy *strictly* reduces modeled cut traffic (greedy marginal gain over
+/// the refined cut). With an empty plan the result carries no replicas and
+/// the distribution is identical to [`analyze_multiway`]'s.
+pub fn analyze_multiway_with_replication(
+    profile: &IccProfile,
+    network: &NetworkProfile,
+    constraints: &[MultiwayConstraint],
+    machine_count: usize,
+    plan: &ReplicationPlan,
+) -> ComResult<MultiwayPlacement> {
     if machine_count < 2 {
         return Err(ComError::App(
             "multiway analysis needs at least two machines".to_string(),
@@ -79,8 +248,13 @@ pub fn analyze_multiway(
     for ((a, b), weight) in &graph.weights_us {
         flow.add_undirected(*a, *b, IccGraph::capacity_of(*weight));
     }
+    // Nodes touched by an infinite-capacity edge (constraints or
+    // non-remotable pairs) must never move or replicate.
+    let mut constrained: HashSet<usize> = HashSet::new();
     for (a, b) in &graph.non_remotable {
         flow.add_undirected(*a, *b, INFINITE);
+        constrained.insert(*a);
+        constrained.insert(*b);
     }
 
     // Terminal node for machine m is n + m.
@@ -98,12 +272,15 @@ pub fn analyze_multiway(
                 if let Some(&node) = graph.index.get(class) {
                     flow.add_undirected(node, n + m, INFINITE);
                     pinned_machines[m] = true;
+                    constrained.insert(node);
                 }
             }
             MultiwayConstraint::Colocate(a, b) => {
                 if let (Some(&na), Some(&nb)) = (graph.index.get(a), graph.index.get(b)) {
                     if na != nb {
                         flow.add_undirected(na, nb, INFINITE);
+                        constrained.insert(na);
+                        constrained.insert(nb);
                     }
                 }
             }
@@ -128,23 +305,96 @@ pub fn analyze_multiway(
         ));
     }
 
+    // Heuristic cut cost (in modeled microseconds) before refinement.
+    let mut assignment = cut.assignment;
+    let heuristic_cut_us = predicted_comm_us(&graph, &assignment);
+
+    // Exact local refinement: free nodes (no infinite incident edge) may
+    // hop to the machine holding most of their traffic.
+    let movable: Vec<bool> = (0..flow.node_count())
+        .map(|node| node < n && !constrained.contains(&node))
+        .collect();
+    refine_assignment(&flow, &mut assignment, &movable, machine_count);
+    let predicted = predicted_comm_us(&graph, &assignment);
+
+    let replicas = plan_replicas(&graph, &assignment, machine_count, plan, &constrained);
+    let gain: f64 = replicas.iter().map(|r| r.gain_us).sum();
+
     let mut placement = HashMap::with_capacity(n);
     for (node, class) in graph.nodes.iter().enumerate() {
-        placement.insert(*class, MachineId(cut.assignment[node] as u16));
+        placement.insert(*class, MachineId(assignment[node] as u16));
     }
-    // Predicted cross-machine communication under this assignment.
-    let predicted: f64 = graph
+    Ok(MultiwayPlacement {
+        distribution: Distribution {
+            placement,
+            predicted_comm_us: predicted,
+            network_name: graph.network_name.clone(),
+        },
+        heuristic_cut_us,
+        replicas,
+        replicated_comm_us: predicted - gain,
+    })
+}
+
+/// Predicted cross-machine communication of an assignment, microseconds.
+/// Deterministic: iterates the ordered weight map.
+fn predicted_comm_us(graph: &IccGraph, assignment: &[usize]) -> f64 {
+    graph
         .weights_us
         .iter()
-        .filter(|((a, b), _)| cut.assignment[*a] != cut.assignment[*b])
+        .filter(|((a, b), _)| assignment[*a] != assignment[*b])
         .map(|(_, w)| w)
-        .sum();
+        .sum()
+}
 
-    Ok(Distribution {
-        placement,
-        predicted_comm_us: predicted,
-        network_name: graph.network_name,
-    })
+/// Greedy marginal-gain replica selection. A replicable, unconstrained
+/// classification gets a copy on every machine whose local traffic with it
+/// is strictly positive — the copy serves that traffic locally, so each
+/// chosen replica strictly reduces modeled cut cost. Replica gains are
+/// independent (copies never talk to each other), so the greedy pass is
+/// exhaustive rather than iterative.
+fn plan_replicas(
+    graph: &IccGraph,
+    assignment: &[usize],
+    machine_count: usize,
+    plan: &ReplicationPlan,
+    constrained: &HashSet<usize>,
+) -> Vec<Replica> {
+    let mut replicas = Vec::new();
+    for class in &plan.replicable {
+        if *class == ClassificationId::ROOT {
+            continue;
+        }
+        let Some(&node) = graph.index.get(class) else {
+            continue;
+        };
+        if constrained.contains(&node) {
+            continue;
+        }
+        let home = assignment[node];
+        // Traffic the class exchanges with each machine.
+        let mut pull = vec![0.0f64; machine_count];
+        for ((a, b), weight) in &graph.weights_us {
+            let other = if *a == node {
+                *b
+            } else if *b == node {
+                *a
+            } else {
+                continue;
+            };
+            pull[assignment[other]] += weight;
+        }
+        for (machine, gain) in pull.iter().enumerate() {
+            if machine != home && *gain > 0.0 {
+                replicas.push(Replica {
+                    class: *class,
+                    machine: MachineId(machine as u16),
+                    gain_us: *gain,
+                });
+            }
+        }
+    }
+    replicas
 }
 
 #[cfg(test)]
@@ -298,5 +548,184 @@ mod tests {
         assert!(constraints.contains(&MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT)));
         assert!(constraints.contains(&MultiwayConstraint::Pin(c(1), CLIENT)));
         assert!(constraints.contains(&MultiwayConstraint::Pin(c(3), DB)));
+    }
+
+    /// root ↔ form(1) heavy on the client; dict(2) serves both the form and
+    /// the store(3) on the database machine — the classic replication win.
+    fn shared_dictionary_profile() -> IccProfile {
+        let iid = Iid::from_name("IX");
+        let mut p = IccProfile::new();
+        for (id, name) in [(1, "Form"), (2, "Dict"), (3, "Store")] {
+            p.record_instance(c(id), Clsid::from_name(name));
+        }
+        for _ in 0..100 {
+            p.record_message(ClassificationId::ROOT, c(1), iid, 0, 200);
+        }
+        for _ in 0..40 {
+            p.record_message(c(1), c(2), iid, 0, 1_000);
+        }
+        for _ in 0..60 {
+            p.record_message(c(3), c(2), iid, 0, 1_000);
+        }
+        p
+    }
+
+    fn two_machine_anchors() -> Vec<MultiwayConstraint> {
+        vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(3), MachineId(1)),
+        ]
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_multiway_exactly() {
+        let profile = shared_dictionary_profile();
+        let constraints = two_machine_anchors();
+        let plain = analyze_multiway(&profile, &network(), &constraints, 2).unwrap();
+        let placed = analyze_multiway_with_replication(
+            &profile,
+            &network(),
+            &constraints,
+            2,
+            &ReplicationPlan::empty(),
+        )
+        .unwrap();
+        assert_eq!(placed.distribution, plain);
+        assert!(placed.replicas.is_empty());
+        assert!((placed.replicated_comm_us - plain.predicted_comm_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replicating_a_shared_dictionary_strictly_reduces_traffic() {
+        let profile = shared_dictionary_profile();
+        let constraints = two_machine_anchors();
+        let plan = ReplicationPlan {
+            replicable: vec![c(2)],
+        };
+        let placed =
+            analyze_multiway_with_replication(&profile, &network(), &constraints, 2, &plan)
+                .unwrap();
+        // The dictionary homes with its heavier peer; the replica serves the
+        // lighter side's traffic locally.
+        assert_eq!(placed.replicas.len(), 1);
+        let replica = placed.replicas[0];
+        assert_eq!(replica.class, c(2));
+        assert_ne!(replica.machine, placed.distribution.machine_of(c(2)));
+        assert!(replica.gain_us > 0.0);
+        assert!(placed.replicated_comm_us < placed.distribution.predicted_comm_us);
+        assert!(
+            (placed.replicated_comm_us + placed.replication_gain_us()
+                - placed.distribution.predicted_comm_us)
+                .abs()
+                < 1e-9
+        );
+        // Replication never moves the home assignment.
+        let plain = analyze_multiway(&profile, &network(), &constraints, 2).unwrap();
+        assert_eq!(placed.distribution, plain);
+    }
+
+    #[test]
+    fn pinned_and_root_classifications_never_replicate() {
+        let profile = shared_dictionary_profile();
+        let constraints = two_machine_anchors();
+        // The store is pinned and the root is the user: both are named
+        // replicable but neither may be copied.
+        let plan = ReplicationPlan {
+            replicable: vec![ClassificationId::ROOT, c(3)],
+        };
+        let placed =
+            analyze_multiway_with_replication(&profile, &network(), &constraints, 2, &plan)
+                .unwrap();
+        assert!(placed.replicas.is_empty());
+    }
+
+    #[test]
+    fn refinement_never_raises_the_heuristic_cut() {
+        let profile = tiered_profile();
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(2), MIDDLE),
+            MultiwayConstraint::Pin(c(3), DB),
+        ];
+        let placed = analyze_multiway_with_replication(
+            &profile,
+            &network(),
+            &constraints,
+            3,
+            &ReplicationPlan::empty(),
+        )
+        .unwrap();
+        assert!(placed.distribution.predicted_comm_us <= placed.heuristic_cut_us + 1e-9);
+    }
+
+    #[test]
+    fn anchoring_pins_the_heaviest_free_classification_to_middle_machines() {
+        let profile = tiered_profile();
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(3), DB),
+        ];
+        let extra = anchor_unpinned_machines(&profile, &network(), &constraints, 3).unwrap();
+        // Only machine 1 lacks an anchor. The store (3) is pinned; of the
+        // free classifications the logic (2) carries the heavy store edge.
+        assert_eq!(extra, vec![MultiwayConstraint::Pin(c(2), MIDDLE)]);
+        let mut all = constraints;
+        all.extend(extra);
+        assert!(analyze_multiway(&profile, &network(), &all, 3).is_ok());
+    }
+
+    #[test]
+    fn anchoring_is_a_no_op_when_every_machine_is_pinned() {
+        let profile = tiered_profile();
+        let constraints = vec![
+            MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT),
+            MultiwayConstraint::Pin(c(2), MIDDLE),
+            MultiwayConstraint::Pin(c(3), DB),
+        ];
+        let extra = anchor_unpinned_machines(&profile, &network(), &constraints, 3).unwrap();
+        assert!(extra.is_empty());
+    }
+
+    #[test]
+    fn anchoring_fails_when_machines_outnumber_free_classifications() {
+        let profile = tiered_profile();
+        let constraints = vec![MultiwayConstraint::Pin(ClassificationId::ROOT, CLIENT)];
+        // Four nodes total (root + 3), three already spoken for by the
+        // five remaining machines: not enough anchors to go around.
+        let err = anchor_unpinned_machines(&profile, &network(), &constraints, 6).unwrap_err();
+        assert!(err.to_string().contains("no free classification"));
+    }
+
+    #[test]
+    fn plan_from_report_maps_names_to_classifications() {
+        use coign_com::{ApiImports, ComRuntime};
+        use std::sync::Arc;
+        struct Nop;
+        impl coign_com::ComObject for Nop {
+            fn invoke(
+                &self,
+                _ctx: &coign_com::CallCtx<'_>,
+                _iid: Iid,
+                _method: u32,
+                _msg: &mut coign_com::Message,
+            ) -> ComResult<()> {
+                Ok(())
+            }
+        }
+        let rt = ComRuntime::single_machine();
+        for name in ["Form", "Dict", "Store"] {
+            rt.registry()
+                .register(name, vec![], ApiImports::NONE, |_, _| Arc::new(Nop));
+        }
+        let profile = shared_dictionary_profile();
+        let report = crate::lint::ReplicationReport {
+            replicable: vec!["Dict".to_string()],
+            mutable_shared: vec![],
+            holders: Default::default(),
+        };
+        let plan = ReplicationPlan::from_report(&report, &profile, rt.registry());
+        assert_eq!(plan.replicable, vec![c(2)]);
+        assert!(plan.allows(c(2)));
+        assert!(!plan.allows(c(1)));
     }
 }

@@ -15,8 +15,9 @@
 
 use crate::analysis::Distribution;
 use crate::constraints::Constraint;
+use crate::lint::sharing::ReplicationReport;
 use crate::profile::IccProfile;
-use coign_com::{ComRuntime, Iid};
+use coign_com::{ComRuntime, Iid, StateEffect};
 use coign_dcom::NetworkProfile;
 use std::collections::HashMap;
 
@@ -193,6 +194,56 @@ pub fn to_dot(
     constraints: &[Constraint],
     class_names: &HashMap<coign_com::Clsid, String>,
 ) -> String {
+    to_dot_annotated(
+        profile,
+        network,
+        distribution,
+        constraints,
+        class_names,
+        &DotFacts::default(),
+    )
+}
+
+/// Replication-legality facts layered onto the DOT rendering by
+/// [`to_dot_annotated`]. The default (empty) facts reproduce [`to_dot`]
+/// byte for byte, so unannotated applications keep their exact output.
+#[derive(Debug, Clone, Default)]
+pub struct DotFacts {
+    /// Stage-4/5 verdicts: replicable classes render double-circled
+    /// (`peripheries=2`), mutable-shared classes render shaded.
+    pub replication: Option<ReplicationReport>,
+    /// Declared per-method state effects, keyed by `(iid, method index)`.
+    /// Edges whose entire traffic is declared read-only carry the effect
+    /// label; edges with any mutating (or unannotated) method stay plain.
+    pub effects: HashMap<(Iid, u32), StateEffect>,
+}
+
+/// Builds the per-method effect map [`DotFacts::effects`] from the classes
+/// registered in `rt` (method index = declaration order).
+pub fn method_effects(rt: &ComRuntime) -> HashMap<(Iid, u32), StateEffect> {
+    let mut effects = HashMap::new();
+    for class in rt.registry().all() {
+        for iface in &class.interfaces {
+            for (index, method) in iface.methods.iter().enumerate() {
+                effects.insert((iface.iid, index as u32), method.effect);
+            }
+        }
+    }
+    effects
+}
+
+/// [`to_dot`] plus the stage-4/5 replication-legality overlay: replicable
+/// classes draw double-circled, mutable-shared classes draw shaded, and
+/// edges carrying only declared-read-only traffic are labelled with the
+/// strongest effect they carry (`pure` or `reads`).
+pub fn to_dot_annotated(
+    profile: &IccProfile,
+    network: &NetworkProfile,
+    distribution: Option<&Distribution>,
+    constraints: &[Constraint],
+    class_names: &HashMap<coign_com::Clsid, String>,
+    facts: &DotFacts,
+) -> String {
     use crate::classifier::ClassificationId;
     use std::collections::BTreeSet;
     use std::fmt::Write as _;
@@ -208,6 +259,7 @@ pub fn to_dot(
     }
     sorted.sort();
     for class in &sorted {
+        let mut class_name = None;
         let label = if *class == ClassificationId::ROOT {
             "user".to_string()
         } else {
@@ -218,17 +270,53 @@ pub fn to_dot(
                 .cloned()
                 .unwrap_or_else(|| class.to_string());
             let count = profile.instances.get(class).copied().unwrap_or(0);
-            format!("{name} x{count}")
+            let label = format!("{name} x{count}");
+            class_name = Some(name);
+            label
         };
         let server = distribution
             .map(|d| d.machine_of(*class) == coign_com::MachineId::SERVER)
             .unwrap_or(false);
-        let style = if server {
-            ", shape=box, style=filled, fillcolor=gray75"
+        let mut style = if server {
+            ", shape=box, style=filled, fillcolor=gray75".to_string()
         } else {
-            ""
+            String::new()
         };
+        if let (Some(name), Some(rep)) = (&class_name, &facts.replication) {
+            if rep.is_replicable(name) {
+                // Legally duplicable onto several machines: double circle.
+                style.push_str(", peripheries=2");
+            } else if rep.mutable_shared.iter().any(|c| c == name) && !server {
+                // Shared and mutable — pinned to one copy: shaded.
+                style.push_str(", style=filled, fillcolor=mistyrose");
+            }
+        }
         let _ = writeln!(out, "  n{} [label=\"{label}\"{style}];", class.0);
+    }
+    // The strongest declared effect carried on each unordered pair, when
+    // every method on the pair is annotated read-only. Any mutating or
+    // unannotated method drops the pair back to a plain label.
+    let mut pair_effects: HashMap<(ClassificationId, ClassificationId), Option<StateEffect>> =
+        HashMap::new();
+    if !facts.effects.is_empty() {
+        for key in profile.edges.keys() {
+            let pair = if key.from <= key.to {
+                (key.from, key.to)
+            } else {
+                (key.to, key.from)
+            };
+            let declared = facts
+                .effects
+                .get(&(key.iid, key.method))
+                .copied()
+                .filter(|e| e.is_read_only());
+            let entry = pair_effects.entry(pair).or_insert(Some(StateEffect::Pure));
+            *entry = match (*entry, declared) {
+                (Some(StateEffect::Pure), Some(e)) => Some(e),
+                (Some(prev), Some(_)) => Some(prev),
+                _ => None,
+            };
+        }
     }
     let mut pairs: Vec<_> = profile.pair_traffic().into_iter().collect();
     pairs.sort_by_key(|(pair, _)| *pair);
@@ -246,11 +334,12 @@ pub fn to_dot(
                 (cost_ms.log10().max(0.0) + 0.5).min(4.0)
             )
         };
-        let _ = writeln!(
-            out,
-            "  n{} -- n{} [label=\"{:.1}ms\"{attrs}];",
-            a.0, b.0, cost_ms
-        );
+        let effect = pair_effects.get(&(a, b)).copied().flatten();
+        let label = match effect {
+            Some(e) => format!("{cost_ms:.1}ms ({})", e.label()),
+            None => format!("{cost_ms:.1}ms"),
+        };
+        let _ = writeln!(out, "  n{} -- n{} [label=\"{label}\"{attrs}];", a.0, b.0);
     }
     // Pure constraint edges with no measured traffic.
     for (a, b) in &profile.non_remotable {
@@ -463,6 +552,66 @@ mod tests {
         );
         assert!(!dot.contains("n1 -- n3 [style=dashed"));
         assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn empty_dot_facts_reproduce_plain_output_byte_for_byte() {
+        let dist = split_dist();
+        let mut p = profile();
+        p.record_non_remotable(c(1), c(3));
+        let plain = to_dot(&p, &net(), Some(&dist), &[], &HashMap::new());
+        let annotated = to_dot_annotated(
+            &p,
+            &net(),
+            Some(&dist),
+            &[],
+            &HashMap::new(),
+            &DotFacts::default(),
+        );
+        assert_eq!(plain, annotated);
+    }
+
+    #[test]
+    fn dot_overlay_renders_replication_and_effect_facts() {
+        let p = profile();
+        let mut names = HashMap::new();
+        names.insert(Clsid::from_name("A"), "A".to_string());
+        names.insert(Clsid::from_name("B"), "B".to_string());
+        let replication = ReplicationReport {
+            replicable: vec!["B".to_string()],
+            mutable_shared: vec!["A".to_string()],
+            holders: Default::default(),
+        };
+        // Everything the profile carries between 1 and 2 is declared
+        // read-only; the 1↔3 traffic is unannotated and stays plain.
+        let chatty = Iid::from_name("IChatty");
+        let bulky = Iid::from_name("IBulky");
+        let effects = [
+            ((chatty, 0u32), StateEffect::ReadsState),
+            ((bulky, 0u32), StateEffect::Pure),
+        ]
+        .into_iter()
+        .collect();
+        let facts = DotFacts {
+            replication: Some(replication),
+            effects,
+        };
+        let dot = to_dot_annotated(&p, &net(), None, &[], &names, &facts);
+        // Replicable B (node 2) draws double-circled.
+        assert!(dot.contains("n2 [label=\"B x1\", peripheries=2];"));
+        // Mutable-shared A (node 1) draws shaded.
+        assert!(dot.contains("n1 [label=\"A x1\", style=filled, fillcolor=mistyrose];"));
+        // The fully read-only 1↔2 edge carries its strongest effect.
+        assert!(dot.contains("n1 -- n2 [label=\"") && dot.contains("ms (reads)\""));
+        // The unannotated 1↔3 edge keeps the plain cost label.
+        let edge_13 = dot
+            .lines()
+            .find(|l| l.contains("n1 -- n3"))
+            .expect("1-3 edge rendered");
+        assert!(
+            !edge_13.contains("("),
+            "unannotated edge stays plain: {edge_13}"
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@
 use crate::classifier::InstanceClassifier;
 use crate::drift::DriftMonitor;
 use crate::factory::ComponentFactory;
-use crate::informer::{DistributionInvoker, OverheadMeter, ProfilingInvoker};
+use crate::informer::{
+    DistributionInvoker, EffectCrossCheck, EffectViolation, OverheadMeter, ProfilingInvoker,
+};
 use crate::logger::InfoLogger;
 use coign_com::{
     Clsid, ComResult, ComRuntime, CreateRequest, InstanceId, InterfacePtr, RuntimeHook,
@@ -71,6 +73,9 @@ pub struct CoignRte {
     images: Mutex<Vec<String>>,
     /// Instantiations re-routed because the target machine was down.
     fallbacks: Mutex<Vec<FallbackEvent>>,
+    /// COIGN045 sink: declared-read-only calls whose instance fingerprint
+    /// changed during profiling (idle in distributed mode).
+    effect_check: Arc<EffectCrossCheck>,
     /// Observability bundle (tracer + registry + flight recorder) threaded
     /// into every informer this RTE installs.
     obs: Option<Obs>,
@@ -91,6 +96,7 @@ impl CoignRte {
             marshal_cache: Arc::new(SizeCache::new()),
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
+            effect_check: Arc::new(EffectCrossCheck::new()),
             obs: None,
             recovery: Mutex::new(None),
         }
@@ -127,6 +133,7 @@ impl CoignRte {
             marshal_cache: Arc::new(SizeCache::new()),
             images: Mutex::new(Vec::new()),
             fallbacks: Mutex::new(Vec::new()),
+            effect_check: Arc::new(EffectCrossCheck::new()),
             obs: None,
             recovery: Mutex::new(None),
         }
@@ -216,6 +223,12 @@ impl CoignRte {
     pub fn fallback_count(&self) -> u64 {
         self.fallbacks.lock().len() as u64
     }
+
+    /// COIGN045 violations observed so far: declared-read-only methods whose
+    /// instance fingerprint changed under profiling, in deterministic order.
+    pub fn effect_violations(&self) -> Vec<EffectViolation> {
+        self.effect_check.violations()
+    }
 }
 
 impl RuntimeHook for CoignRte {
@@ -285,13 +298,14 @@ impl RuntimeHook for CoignRte {
             self.logger.log_interface_created(ptr.owner(), ptr.iid());
         }
         match &self.mode {
-            RteMode::Profiling => ProfilingInvoker::wrap_observed(
+            RteMode::Profiling => ProfilingInvoker::wrap_crosschecked(
                 ptr,
                 self.classifier.clone(),
                 self.logger.clone(),
                 self.overhead.clone(),
                 self.marshal_cache.clone(),
                 self.obs.clone(),
+                Some(self.effect_check.clone()),
             ),
             RteMode::Distributed {
                 transport, drift, ..

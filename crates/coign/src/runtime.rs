@@ -22,7 +22,7 @@ use crate::constraints::{derive_static_constraints, resolve_named_constraints, C
 use crate::drift::DriftMonitor;
 use crate::factory::ComponentFactory;
 use crate::icc::IccGraph;
-use crate::informer::{DistributionInvoker, OverheadMeter};
+use crate::informer::{DistributionInvoker, EffectViolation, OverheadMeter};
 use crate::logger::{PairTraffic, ProfilingLogger};
 use crate::profile::IccProfile;
 use crate::recovery::{RecoveryConfig, RecoveryCoordinator};
@@ -280,6 +280,9 @@ pub struct ProfileRun {
     pub instance_classes: HashMap<InstanceId, ClassificationId>,
     /// Execution measurements.
     pub report: RunReport,
+    /// COIGN045: declared-read-only methods whose instance state changed
+    /// during this run (deterministically ordered, deduplicated).
+    pub effect_violations: Vec<EffectViolation>,
 }
 
 /// Runs one scenario under the profiling runtime.
@@ -344,6 +347,7 @@ pub fn profile_scenario_observed(
             marshal_cache_hits: rte.marshal_cache().hits(),
             marshal_cache_misses: rte.marshal_cache().misses(),
         },
+        effect_violations: rte.effect_violations(),
     })
 }
 
@@ -364,12 +368,25 @@ pub fn profile_scenarios_observed(
     classifier: &Arc<InstanceClassifier>,
     obs: Option<&Obs>,
 ) -> ComResult<IccProfile> {
+    profile_scenarios_sequential(app, scenarios, classifier, obs).map(|(profile, _)| profile)
+}
+
+/// Sequential suite run returning the merged profile plus the deduplicated
+/// COIGN045 violations observed across every scenario.
+fn profile_scenarios_sequential(
+    app: &dyn Application,
+    scenarios: &[&str],
+    classifier: &Arc<InstanceClassifier>,
+    obs: Option<&Obs>,
+) -> ComResult<(IccProfile, Vec<EffectViolation>)> {
     let mut merged = IccProfile::new();
+    let mut violations = std::collections::BTreeSet::new();
     for scenario in scenarios {
         let run = profile_scenario_observed(app, scenario, classifier, obs)?;
         merged.merge(&run.profile);
+        violations.extend(run.effect_violations);
     }
-    Ok(merged)
+    Ok((merged, violations.into_iter().collect()))
 }
 
 /// Profiles a suite of scenarios on up to `jobs` worker threads and merges
@@ -407,8 +424,24 @@ pub fn profile_scenarios_parallel_observed(
     jobs: usize,
     obs: Option<&Obs>,
 ) -> ComResult<IccProfile> {
+    profile_scenarios_crosschecked(app, scenarios, classifier, jobs, obs)
+        .map(|(profile, _)| profile)
+}
+
+/// [`profile_scenarios_parallel_observed`] that also returns the COIGN045
+/// state-effect violations the profiling informer's dynamic cross-check
+/// observed: declared `Pure`/`ReadsState` methods whose instance
+/// fingerprint changed across a call. Violations are deduplicated and
+/// deterministically ordered regardless of worker interleaving.
+pub fn profile_scenarios_crosschecked(
+    app: &dyn Application,
+    scenarios: &[&str],
+    classifier: &Arc<InstanceClassifier>,
+    jobs: usize,
+    obs: Option<&Obs>,
+) -> ComResult<(IccProfile, Vec<EffectViolation>)> {
     if jobs <= 1 || scenarios.len() <= 1 {
-        return profile_scenarios_observed(app, scenarios, classifier, obs);
+        return profile_scenarios_sequential(app, scenarios, classifier, obs);
     }
     let forks: Vec<Arc<InstanceClassifier>> = scenarios
         .iter()
@@ -451,6 +484,7 @@ pub fn profile_scenarios_parallel_observed(
         }
     });
     let mut merged = IccProfile::new();
+    let mut violations = std::collections::BTreeSet::new();
     for (i, slot) in results.into_iter().enumerate() {
         let run = slot
             .into_inner()
@@ -469,8 +503,9 @@ pub fn profile_scenarios_parallel_observed(
             );
         }
         merged.merge(&run.profile.remap_classifications(&map));
+        violations.extend(run.effect_violations);
     }
-    Ok(merged)
+    Ok((merged, violations.into_iter().collect()))
 }
 
 /// Derives the full constraint set for an application: static API analysis,

@@ -71,6 +71,41 @@ impl ParamDesc {
     }
 }
 
+/// Declared effect of a method on its component's instance state.
+///
+/// Effect annotations are the input to the replication-legality analysis
+/// (`coign check` stages 4 and 5): a class whose every method is `Pure` or
+/// `ReadsState` is *immutable after construction* and may legally be
+/// replicated onto several machines. The default for unannotated methods is
+/// the conservative [`StateEffect::MutatesState`], so an application that
+/// declares nothing is never misclassified as replicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StateEffect {
+    /// The method neither reads nor writes instance state (a pure function
+    /// of its arguments).
+    Pure,
+    /// The method reads instance state but never modifies it.
+    ReadsState,
+    /// The method may modify instance state (the conservative default).
+    MutatesState,
+}
+
+impl StateEffect {
+    /// Returns true if the method promises not to modify instance state.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, StateEffect::Pure | StateEffect::ReadsState)
+    }
+
+    /// Short lowercase label used in diagnostics and dot output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateEffect::Pure => "pure",
+            StateEffect::ReadsState => "reads",
+            StateEffect::MutatesState => "mutates",
+        }
+    }
+}
+
 /// Metadata for one method of an interface.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MethodDesc {
@@ -78,14 +113,27 @@ pub struct MethodDesc {
     pub name: String,
     /// Ordered parameter list.
     pub params: Vec<ParamDesc>,
+    /// Declared effect on instance state (conservatively
+    /// [`StateEffect::MutatesState`] unless annotated).
+    pub effect: StateEffect,
 }
 
 impl MethodDesc {
-    /// Creates a method description.
+    /// Creates a method description with the conservative
+    /// [`StateEffect::MutatesState`] effect.
     pub fn new(name: &str, params: Vec<ParamDesc>) -> Self {
         MethodDesc {
             name: name.to_string(),
             params,
+            effect: StateEffect::MutatesState,
+        }
+    }
+
+    /// Creates a method description with an explicit state effect.
+    pub fn with_effect(name: &str, params: Vec<ParamDesc>, effect: StateEffect) -> Self {
+        MethodDesc {
+            effect,
+            ..Self::new(name, params)
         }
     }
 
@@ -192,6 +240,7 @@ pub struct InterfaceBuilder {
 #[derive(Default)]
 pub struct MethodBuilder {
     params: Vec<ParamDesc>,
+    effect: Option<StateEffect>,
 }
 
 impl MethodBuilder {
@@ -212,6 +261,25 @@ impl MethodBuilder {
         self.params.push(ParamDesc::inout(name, ty));
         self
     }
+
+    /// Declares the method a pure function of its arguments.
+    pub fn pure(mut self) -> Self {
+        self.effect = Some(StateEffect::Pure);
+        self
+    }
+
+    /// Declares that the method reads but never modifies instance state.
+    pub fn reads_state(mut self) -> Self {
+        self.effect = Some(StateEffect::ReadsState);
+        self
+    }
+
+    /// Declares that the method may modify instance state (this is also the
+    /// default for unannotated methods).
+    pub fn mutates_state(mut self) -> Self {
+        self.effect = Some(StateEffect::MutatesState);
+        self
+    }
 }
 
 impl InterfaceBuilder {
@@ -230,7 +298,9 @@ impl InterfaceBuilder {
         define: impl FnOnce(MethodBuilder) -> MethodBuilder,
     ) -> Self {
         let mb = define(MethodBuilder::default());
-        self.methods.push(MethodDesc::new(name, mb.params));
+        let effect = mb.effect.unwrap_or(StateEffect::MutatesState);
+        self.methods
+            .push(MethodDesc::with_effect(name, mb.params, effect));
         self
     }
 
@@ -300,5 +370,40 @@ mod tests {
         let m = desc.method(1).unwrap();
         let err = m.check_args(&[Value::I4(1), Value::I4(2)]).unwrap_err();
         assert!(err.contains("does not conform"));
+    }
+
+    #[test]
+    fn unannotated_methods_default_to_mutates_state() {
+        let desc = sample();
+        assert_eq!(desc.method(0).unwrap().effect, StateEffect::MutatesState);
+        assert_eq!(desc.method(1).unwrap().effect, StateEffect::MutatesState);
+        assert_eq!(
+            MethodDesc::new("M", vec![]).effect,
+            StateEffect::MutatesState
+        );
+    }
+
+    #[test]
+    fn builder_effect_shorthands_stick() {
+        let desc = InterfaceBuilder::new("IEffects")
+            .method("Hash", |m| m.input("data", PType::Blob).pure())
+            .method("Peek", |m| m.output("value", PType::I4).reads_state())
+            .method("Poke", |m| m.input("value", PType::I4).mutates_state())
+            .method("Quiet", |m| m.input("value", PType::I4))
+            .build();
+        assert_eq!(desc.method(0).unwrap().effect, StateEffect::Pure);
+        assert_eq!(desc.method(1).unwrap().effect, StateEffect::ReadsState);
+        assert_eq!(desc.method(2).unwrap().effect, StateEffect::MutatesState);
+        assert_eq!(desc.method(3).unwrap().effect, StateEffect::MutatesState);
+    }
+
+    #[test]
+    fn effect_read_only_predicate() {
+        assert!(StateEffect::Pure.is_read_only());
+        assert!(StateEffect::ReadsState.is_read_only());
+        assert!(!StateEffect::MutatesState.is_read_only());
+        assert_eq!(StateEffect::Pure.label(), "pure");
+        assert_eq!(StateEffect::ReadsState.label(), "reads");
+        assert_eq!(StateEffect::MutatesState.label(), "mutates");
     }
 }

@@ -37,7 +37,7 @@ pub mod value;
 pub use clock::SimClock;
 pub use error::{ComError, ComResult};
 pub use guid::{Clsid, Guid, Iid};
-pub use idl::{InterfaceDesc, MethodDesc, ParamDesc, ParamDir};
+pub use idl::{InterfaceDesc, MethodDesc, ParamDesc, ParamDir, StateEffect};
 pub use image::{AppImage, ConfigSection, DllImport};
 pub use interface::{InterfacePtr, Invoker, Message};
 pub use object::{CallCtx, ComObject, InstanceId, MachineId};

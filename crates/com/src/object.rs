@@ -97,6 +97,19 @@ impl<'a> CallCtx<'a> {
 pub trait ComObject: Send + Sync {
     /// Dispatches a method call on one of the component's interfaces.
     fn invoke(&self, ctx: &CallCtx<'_>, iid: Iid, method: u32, msg: &mut Message) -> ComResult<()>;
+
+    /// A hash of the component's observable instance state, if the
+    /// component exposes one.
+    ///
+    /// The profiling runtime fingerprints instances before and after each
+    /// call to cross-check declared [`crate::idl::StateEffect`] annotations:
+    /// a method declared `Pure`/`ReadsState` whose fingerprint changed is a
+    /// lying annotation (diagnostic COIGN045). The default `None` opts the
+    /// component out of the check — absence of a fingerprint is never
+    /// treated as evidence either way.
+    fn state_fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Runtime record for a live component instance.

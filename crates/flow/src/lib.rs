@@ -26,4 +26,4 @@ pub mod push_relabel;
 
 pub use graph::{FlowNetwork, NodeId, INFINITE};
 pub use mincut::{min_cut, min_cut_invocations, min_cut_warm, CutResult, MaxFlowAlgorithm};
-pub use multiway::{multiway_cut, MultiwayCut};
+pub use multiway::{crossing_value, multiway_cut, refine_assignment, MultiwayCut};

@@ -100,6 +100,61 @@ pub fn multiway_cut(
     }
 }
 
+/// Greedy local refinement of a multiway assignment by single-node moves.
+///
+/// Repeatedly moves one `movable` node to the machine holding most of its
+/// adjacent capacity; every move strictly reduces the crossing value, so
+/// the pass terminates. Nodes are visited in index order and a node only
+/// moves on a *strict* improvement (ties keep the current machine), making
+/// the result deterministic. The caller is responsible for marking nodes
+/// that must not move (terminals, pinned or constraint-bound nodes) as not
+/// movable. Returns the crossing value of the refined assignment.
+///
+/// # Panics
+///
+/// Panics if `assignment` or `movable` is shorter than the node count, or
+/// if an assignment refers to a machine `>= machine_count`.
+pub fn refine_assignment(
+    g: &FlowNetwork,
+    assignment: &mut [usize],
+    movable: &[bool],
+    machine_count: usize,
+) -> u64 {
+    let n = g.node_count();
+    assert!(assignment.len() >= n && movable.len() >= n);
+    assert!(assignment[..n].iter().all(|&m| m < machine_count));
+    loop {
+        let mut improved = false;
+        for u in 0..n {
+            if !movable[u] {
+                continue;
+            }
+            // Adjacent undirected capacity per machine.
+            let mut pull = vec![0u64; machine_count];
+            for &e in g.edges_of(u) {
+                let v = g.head(e);
+                if v < n && v != u {
+                    pull[assignment[v]] =
+                        pull[assignment[v]].saturating_add(g.original(e).max(g.original(e ^ 1)));
+                }
+            }
+            let here = assignment[u];
+            let (best, best_pull) = pull
+                .iter()
+                .enumerate()
+                .max_by_key(|&(m, p)| (*p, std::cmp::Reverse(m)))
+                .expect("at least one machine");
+            if best != here && *best_pull > pull[here] {
+                assignment[u] = best;
+                improved = true;
+            }
+        }
+        if !improved {
+            return crossing_value(g, assignment);
+        }
+    }
+}
+
 /// Total original capacity of edges whose endpoints are assigned to
 /// different machines.
 pub fn crossing_value(g: &FlowNetwork, assignment: &[usize]) -> u64 {
@@ -203,6 +258,43 @@ mod tests {
         let (g, terminals) = three_cluster_graph();
         let cut = multiway_cut(&g, &terminals, MaxFlowAlgorithm::EdmondsKarp);
         assert!(cut.assignment.iter().all(|&a| a < terminals.len()));
+    }
+
+    #[test]
+    fn refinement_repairs_a_bad_assignment() {
+        let (g, _) = three_cluster_graph();
+        // Node 1 misassigned away from its heavy cluster.
+        let mut assignment = vec![0, 1, 0, 1, 1, 1, 2, 2, 2];
+        let movable = vec![false, true, true, false, true, true, false, true, true];
+        let before = crossing_value(&g, &assignment);
+        let after = refine_assignment(&g, &mut assignment, &movable, 3);
+        assert!(after < before);
+        assert_eq!(assignment[1], 0);
+        assert_eq!(after, crossing_value(&g, &assignment));
+    }
+
+    #[test]
+    fn refinement_never_moves_pinned_nodes() {
+        let (g, _) = three_cluster_graph();
+        let mut assignment = vec![0, 2, 0, 1, 1, 1, 2, 2, 2];
+        let movable = vec![false; 9];
+        let before = crossing_value(&g, &assignment);
+        let after = refine_assignment(&g, &mut assignment, &movable, 3);
+        assert_eq!(after, before);
+        assert_eq!(assignment, vec![0, 2, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn refinement_of_an_optimal_assignment_is_identity() {
+        let (g, terminals) = three_cluster_graph();
+        let cut = multiway_cut(&g, &terminals, MaxFlowAlgorithm::Dinic);
+        let mut refined = cut.assignment.clone();
+        let movable: Vec<bool> = (0..g.node_count())
+            .map(|u| !terminals.contains(&u))
+            .collect();
+        let value = refine_assignment(&g, &mut refined, &movable, terminals.len());
+        assert!(value <= cut.cut_value);
+        assert_eq!(value, crossing_value(&g, &refined));
     }
 }
 

@@ -107,6 +107,37 @@ grep -q '"name":"fault_drop"' "$TMP/trace_a.json" \
 grep -q '"coign_cross_machine_calls_total":' "$TMP/metrics_a.json" \
   || { echo "metrics snapshot is missing the run counters"; exit 1; }
 
+echo "==> replication placement smoke (coign place, 3 machines vs committed expectations)"
+# The multiway solver must be deterministic, and replication must be
+# opt-in and legality-gated: without `--replicate` the output carries no
+# replicas and matches the committed plain placement byte for byte; with
+# it, the base placement is unchanged and only the replica section grows.
+# Regenerate after an intentional change with:
+#   scripts/ci.sh --regen-fault-expectations
+PIMG="$TMP/octarine_place.cimg"
+"$BIN" instrument octarine "$PIMG" >/dev/null
+"$BIN" profile "$PIMG" o_oldwp7 >/dev/null
+"$BIN" place "$PIMG" o_oldwp7 ethernet --machines 3 > "$TMP/place_plain.txt"
+"$BIN" place "$PIMG" o_oldwp7 ethernet --machines 3 --replicate > "$TMP/place_replicate.txt"
+for name in place_plain place_replicate; do
+  if [[ "${1:-}" == "--regen-fault-expectations" ]]; then
+    cp "$TMP/${name}.txt" "scripts/expected/${name}.txt"
+    echo "regenerated scripts/expected/${name}.txt"
+  else
+    diff -u "scripts/expected/${name}.txt" "$TMP/${name}.txt" \
+      || { echo "placement output drifted for ${name}"; exit 1; }
+  fi
+done
+"$BIN" place "$PIMG" o_oldwp7 ethernet --machines 3 > "$TMP/place_plain_2.txt"
+cmp "$TMP/place_plain.txt" "$TMP/place_plain_2.txt" \
+  || { echo "plain placement differs between two identical runs"; exit 1; }
+grep -q "replicas: none" "$TMP/place_plain.txt" \
+  || { echo "plain placement placed replicas without --replicate"; exit 1; }
+diff <(grep '^  machine' "$TMP/place_plain.txt") <(grep '^  machine' "$TMP/place_replicate.txt") \
+  || { echo "--replicate moved the base placement"; exit 1; }
+grep -q "replicas: [1-9]" "$TMP/place_replicate.txt" \
+  || { echo "--replicate found no legal replica on the annotated app"; exit 1; }
+
 echo "==> perf smoke (BENCH_coign.json)"
 # Records the perf trajectory: profile replay (sequential vs parallel
 # workers), marshal-size cache hit rate, and the network sweep cold vs
