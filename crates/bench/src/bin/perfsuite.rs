@@ -260,6 +260,39 @@ fn main() {
         "annotated octarine must yield at least one strictly-profitable replica"
     );
 
+    // 7. Schedule-space exploration throughput over a generated app: the
+    // default grid (128·2 fault instants × 4 breaker thresholds = 1024
+    // interleavings) must complete with zero invariant violations, and the
+    // calibration fit of the generated traffic must sit inside the
+    // documented envelope. Timed once — the schedule itself is the load.
+    let explore_opts = coign_gen::explore::ExploreOptions {
+        jobs: JOBS,
+        ..Default::default()
+    };
+    let explore_start = Instant::now();
+    let explored = coign_gen::explore::explore(
+        coign_gen::GenSpec::new(7, coign_gen::GenSize::Small),
+        "g_main",
+        &explore_opts,
+    )
+    .expect("schedule-space exploration over gen:7");
+    let explore_s = explore_start.elapsed().as_secs_f64();
+    assert!(
+        explored.interleavings >= 1000,
+        "default schedule must cover at least 1000 interleavings"
+    );
+    assert_eq!(
+        explored.violations, 0,
+        "generated app violated a recovery invariant"
+    );
+    assert!(
+        explored.calibration_fit <= coign_gen::calibration::KS_TOLERANCE,
+        "generated traffic drifted out of the calibration envelope"
+    );
+    let interleavings = explored.interleavings;
+    let interleavings_per_sec = interleavings as f64 / explore_s.max(1e-9);
+    let calibration_fit = explored.calibration_fit;
+
     let json = format!(
         "{{\"profile\":{{\"scenarios\":{},\"sequential_ms\":{sequential_ms:.3},\
          \"parallel_jobs\":{JOBS},\"parallel_ms\":{parallel_ms:.3},\
@@ -276,10 +309,15 @@ fn main() {
          \"refined_cut_ms\":{refined_cut_ms:.3},\"replicas\":{replica_count},\
          \"replication_gain_ms\":{replication_gain_ms:.3},\
          \"plain_place_ms\":{plain_place_ms:.3},\
-         \"replicated_place_ms\":{replicated_place_ms:.3}}}}}",
+         \"replicated_place_ms\":{replicated_place_ms:.3}}},\
+         \"explore\":{{\"interleavings\":{interleavings},\"violations\":0,\
+         \"interleavings_per_sec\":{interleavings_per_sec:.1},\
+         \"calibration_fit\":{calibration_fit:.4},\
+         \"calibration_tolerance\":{:.3}}}}}",
         SCENARIOS.len(),
         cold.points.len(),
         cold_ms / warm_ms,
+        coign_gen::calibration::KS_TOLERANCE,
     );
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
     println!("wrote {out}");
@@ -290,7 +328,9 @@ fn main() {
          recovery {recoveries} recovery(ies), {warm_solves} warm / {cold_solves} cold solve(s), \
          {migrations} migration(s) in {recovering_ms:.1} ms; \
          multiway cut {heuristic_cut_ms:.1} ms heuristic / {refined_cut_ms:.1} ms refined, \
-         {replica_count} replica(s) saving {replication_gain_ms:.1} ms",
+         {replica_count} replica(s) saving {replication_gain_ms:.1} ms; \
+         explore {interleavings} interleaving(s) at {interleavings_per_sec:.0}/s, \
+         0 violation(s), calibration K-S {calibration_fit:.3}",
         hit_rate * 100.0,
         trace_overhead * 100.0
     );

@@ -43,10 +43,12 @@ use coign_com::{AppImage, ComError, ComResult, ComRuntime, MachineId};
 use coign_dcom::{
     CallPolicy, Fault, FaultPlan, LinkSelector, NetworkModel, NetworkProfile, TimeWindow,
 };
+use coign_gen::explore::ExploreOptions;
+use coign_gen::{GenSize, GenSpec, GeneratedApp};
 use coign_obs::Obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Samples per size when measuring a network profile.
@@ -55,14 +57,53 @@ const PROFILE_SAMPLES: usize = 40;
 const SEED: u64 = 0x000C_0161;
 
 /// Resolves the application that owns an image (by the image's name).
+/// Generated images resolve through their name alone — `gen-<seed>-<size>`
+/// *is* the application, re-derivable from the seed on any machine.
 pub fn app_for_image(image: &AppImage) -> ComResult<Arc<dyn Application>> {
     let name = image.name.trim_end_matches(".exe");
-    app_by_name(name).ok_or_else(|| {
+    app_by_name(name)
+        .or_else(|| coign_gen::app_for_name(name))
+        .ok_or_else(|| {
+            ComError::App(format!(
+                "no application registered for image `{}` \
+                 (known: octarine, photodraw, benefits, gen-<seed>-<size>)",
+                image.name
+            ))
+        })
+}
+
+/// Resolves an image argument: a plain path passes through, while the
+/// `gen:<seed>[:<size>]` form addresses a generated application — its
+/// instrumented image is materialized on first use under the system temp
+/// directory (atomically: temp file + rename), so
+/// `coign check/profile/... gen:7` works with no explicit `coign gen
+/// --emit` step.
+pub fn resolve_image_spec(spec: &str) -> ComResult<PathBuf> {
+    let Some(rest) = spec.strip_prefix("gen:") else {
+        return Ok(PathBuf::from(spec));
+    };
+    let gspec = coign_gen::parse_gen_spec(rest).ok_or_else(|| {
         ComError::App(format!(
-            "no application registered for image `{}` (known: octarine, photodraw, benefits)",
-            image.name
+            "bad generated-image address `{spec}` (use gen:<seed> or gen:<seed>:<size> \
+             with size small|medium|large)"
         ))
-    })
+    })?;
+    let dir = std::env::temp_dir().join("coign-gen");
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ComError::App(format!("cannot create {}: {e}", dir.display())))?;
+    let path = dir.join(format!("{}.cimg", gspec.stem()));
+    if !path.exists() {
+        let app = GeneratedApp::new(gspec);
+        let mut image = app.image();
+        let classifier = InstanceClassifier::new(ClassifierKind::Ifcb);
+        rewriter::instrument(&mut image, &classifier);
+        let tmp = dir.join(format!("{}.cimg.tmp-{}", gspec.stem(), std::process::id()));
+        std::fs::write(&tmp, image.encode())
+            .map_err(|e| ComError::App(format!("cannot write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| ComError::App(format!("cannot move {} into place: {e}", tmp.display())))?;
+    }
+    Ok(path)
 }
 
 /// Parses a network name.
@@ -94,6 +135,7 @@ fn store(path: &Path, image: &AppImage) -> ComResult<()> {
 /// `coign instrument <app> <image>` — writes a freshly instrumented image.
 pub fn cmd_instrument(app_name: &str, path: &Path) -> ComResult<String> {
     let app = app_by_name(app_name)
+        .or_else(|| coign_gen::app_for_name(app_name))
         .ok_or_else(|| ComError::App(format!("unknown application `{app_name}`")))?;
     let mut image = app.image();
     let classifier = InstanceClassifier::new(ClassifierKind::Ifcb);
@@ -965,6 +1007,104 @@ pub fn cmd_chaos_observed(
         }
         Err(ComError::App(out))
     }
+}
+
+/// `coign gen --seed S [--size small|medium|large] [--emit <dir>] [--json]`
+/// — prints the topology summary of the generated application, and with
+/// `--emit` writes its instrumented image into the directory (the same
+/// artifact `gen:<seed>` addressing materializes on demand).
+pub fn cmd_gen(seed: u64, size: GenSize, emit: Option<&Path>, json: bool) -> ComResult<String> {
+    let spec = GenSpec::new(seed, size);
+    let app = GeneratedApp::new(spec);
+    let mut out = app.summary(json);
+    if let Some(dir) = emit {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ComError::App(format!("cannot create {}: {e}", dir.display())))?;
+        let mut image = app.image();
+        let classifier = InstanceClassifier::new(ClassifierKind::Ifcb);
+        rewriter::instrument(&mut image, &classifier);
+        let path = dir.join(format!("{}.cimg", spec.stem()));
+        store(&path, &image)?;
+        if !json {
+            out.push_str(&format!(
+                "emitted {} ({} bytes, instrumented)\n",
+                path.display(),
+                image.encode().len()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// CLI options for `coign explore` (a thin shell over
+/// [`coign_gen::explore::ExploreOptions`]: the network arrives by name).
+pub struct ExploreCliOptions {
+    /// Explicit fault instants (µs); `None` enumerates a grid.
+    pub faults_at: Option<Vec<u64>>,
+    /// Grid depth: 128·depth instants across the fault-free horizon.
+    pub depth: u32,
+    /// Breaker failure thresholds to permute.
+    pub thresholds: Vec<u32>,
+    /// Add a drift-armed variant of every interleaving.
+    pub with_drift: bool,
+    /// Worker threads (the summary does not depend on it).
+    pub jobs: usize,
+    /// Master seed for per-interleaving fault seeds.
+    pub seed: u64,
+}
+
+impl Default for ExploreCliOptions {
+    fn default() -> Self {
+        let base = ExploreOptions::default();
+        ExploreCliOptions {
+            faults_at: None,
+            depth: base.depth,
+            thresholds: base.thresholds,
+            with_drift: false,
+            jobs: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// `coign explore gen:<seed>[:<size>] <scenario> [network] [--faults-at
+/// T,T,…|--enumerate-depth D] [--thresholds F,F,…] [--drift] [--jobs N]
+/// [--seed N]` — systematic schedule-space exploration around recovery
+/// epochs: every (fault instant × breaker threshold × drift mode)
+/// interleaving runs under the self-healing runtime and is checked against
+/// the exactly-once ledger, `validate_placement`, and replication-legality
+/// invariants. Violations are minimized and reported as replayable command
+/// lines; the summary is byte-identical per seed across `--jobs`.
+pub fn cmd_explore(
+    image_spec: &str,
+    scenario: &str,
+    network_name: &str,
+    opts: &ExploreCliOptions,
+) -> ComResult<String> {
+    let rest = image_spec.strip_prefix("gen:").ok_or_else(|| {
+        ComError::App(format!(
+            "explore runs over generated applications — address one as \
+             gen:<seed>[:<size>], got `{image_spec}`"
+        ))
+    })?;
+    let spec = coign_gen::parse_gen_spec(rest).ok_or_else(|| {
+        ComError::App(format!(
+            "bad generated-image address `{image_spec}` (use gen:<seed> or \
+             gen:<seed>:<size> with size small|medium|large)"
+        ))
+    })?;
+    let network = network_by_name(network_name)?;
+    let gen_opts = ExploreOptions {
+        network,
+        network_name: network_name.to_string(),
+        faults_at: opts.faults_at.clone(),
+        depth: opts.depth,
+        thresholds: opts.thresholds.clone(),
+        with_drift: opts.with_drift,
+        jobs: opts.jobs,
+        seed: opts.seed,
+    };
+    coign_gen::explore::explore(spec, scenario, &gen_opts).map(|report| report.summary)
 }
 
 /// `coign show <image>` — prints the configuration record.

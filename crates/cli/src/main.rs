@@ -1,10 +1,12 @@
 //! `coign` — the tool-chain CLI. See the crate docs for the workflow.
 
 use coign_cli::{
-    cmd_analyze_observed, cmd_chaos_observed, cmd_check, cmd_dot, cmd_hotspots, cmd_instrument,
-    cmd_place_observed, cmd_profile_observed, cmd_run_observed, cmd_script, cmd_show, cmd_strip,
-    cmd_sweep_observed, ChaosOptions, PlaceOptions, RunFaults,
+    cmd_analyze_observed, cmd_chaos_observed, cmd_check, cmd_dot, cmd_explore, cmd_gen,
+    cmd_hotspots, cmd_instrument, cmd_place_observed, cmd_profile_observed, cmd_run_observed,
+    cmd_script, cmd_show, cmd_strip, cmd_sweep_observed, resolve_image_spec, ChaosOptions,
+    ExploreCliOptions, PlaceOptions, RunFaults,
 };
+use coign_gen::GenSize;
 use coign_obs::Obs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,6 +34,18 @@ USAGE:
         [--seed N]                      plans over N trials with the self-healing
         [--trials N]                    runtime, invariants checked per trial; the
         [--jobs N]                      summary is byte-identical per seed and jobs
+  coign gen        --seed N              generate a seeded synthetic application
+        [--size small|medium|large]     topology size class (default small)
+        [--emit <dir>]                  write the instrumented image into <dir>
+        [--json]                        emit the machine-readable topology summary
+                                        (every <image> above also accepts the address
+                                         gen:<seed>[:<size>] — generated on demand)
+  coign explore    gen:<seed>[:<size>] <scenario> [network]   schedule-space
+        [--faults-at T,T,...]           exploration: run every (fault instant x
+        [--enumerate-depth D]           breaker threshold x drift mode) interleaving
+        [--thresholds F,F,...]          around recovery epochs, checking exactly-once,
+        [--drift]                       placement-validity, and replication-legality
+        [--seed N] [--jobs N]           invariants; violations minimize to a replay line
   coign show       <image>              inspect the configuration record
   coign hotspots   <image> [top]        communication hot spots & caching candidates
   coign script     <image> <script>     profile a scripted scenario (octarine)
@@ -177,6 +191,115 @@ fn parse_chaos_args(rest: &[String]) -> Result<(String, ChaosOptions), String> {
     Ok((network.unwrap_or_else(|| "ethernet".to_string()), opts))
 }
 
+/// Parses `coign gen`'s arguments: `--seed N` (required) plus
+/// `--size/--emit/--json` in any order.
+fn parse_gen_args(rest: &[String]) -> Result<(u64, GenSize, Option<PathBuf>, bool), String> {
+    let mut seed = None;
+    let mut size = GenSize::Small;
+    let mut emit = None;
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a number argument")?;
+                seed = Some(value.parse().map_err(|_| format!("bad seed `{value}`"))?);
+            }
+            "--size" => {
+                let value = it.next().ok_or("--size needs small|medium|large")?;
+                size = GenSize::parse(value).ok_or_else(|| {
+                    format!("bad size `{value}` (expected small, medium, or large)")
+                })?;
+            }
+            "--emit" => {
+                let value = it.next().ok_or("--emit needs a directory argument")?;
+                emit = Some(PathBuf::from(value));
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown argument `{other}` for `coign gen`")),
+        }
+    }
+    let seed = seed.ok_or("`coign gen` needs --seed N")?;
+    Ok((seed, size, emit, json))
+}
+
+/// Parses a comma-separated list of numbers for `--faults-at`/`--thresholds`.
+fn parse_number_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("bad {flag} entry `{part}`"))
+        })
+        .collect()
+}
+
+/// Parses `coign explore`'s trailing arguments: an optional positional
+/// network name plus the schedule flags in any order.
+fn parse_explore_args(rest: &[String]) -> Result<(String, ExploreCliOptions), String> {
+    let mut network = None;
+    let mut opts = ExploreCliOptions::default();
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--faults-at" => {
+                let value = it
+                    .next()
+                    .ok_or("--faults-at needs a comma-separated list")?;
+                let instants: Vec<u64> = parse_number_list("--faults-at", value)?;
+                if instants.is_empty() {
+                    return Err("--faults-at needs at least one instant".to_string());
+                }
+                opts.faults_at = Some(instants);
+            }
+            "--enumerate-depth" => {
+                let value = it
+                    .next()
+                    .ok_or("--enumerate-depth needs a number argument")?;
+                opts.depth = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad depth `{value}`"))?;
+            }
+            "--thresholds" => {
+                let value = it
+                    .next()
+                    .ok_or("--thresholds needs a comma-separated list")?;
+                let thresholds: Vec<u32> = parse_number_list("--thresholds", value)?;
+                if thresholds.is_empty() || thresholds.contains(&0) {
+                    return Err("--thresholds needs one or more values ≥ 1".to_string());
+                }
+                opts.thresholds = thresholds;
+            }
+            "--drift" => opts.with_drift = true,
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a number argument")?;
+                opts.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a number argument")?;
+                opts.jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad job count `{value}`"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `coign explore`"));
+            }
+            positional => {
+                if network.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected argument `{positional}`"));
+                }
+            }
+        }
+    }
+    Ok((network.unwrap_or_else(|| "ethernet".to_string()), opts))
+}
+
 /// The global `--trace` / `--metrics` flags plus the remaining arguments.
 struct GlobalFlags {
     rest: Vec<String>,
@@ -217,39 +340,52 @@ fn dispatch(args: &[String], obs: Option<&Obs>) -> Result<String, String> {
             .map(String::as_str)
             .ok_or_else(|| USAGE.to_string())
     };
+    // Image-positional arguments accept `gen:<seed>[:<size>]` addresses;
+    // those materialize an instrumented image on demand.
+    let image = |i: usize| -> Result<PathBuf, String> {
+        resolve_image_spec(arg(i)?).map_err(|e| format!("error: {e}"))
+    };
     let result = match arg(0)? {
         "instrument" => cmd_instrument(arg(1)?, Path::new(arg(2)?)),
         "profile" => {
             let (scenarios, jobs) = parse_profile_args(&args[2.min(args.len())..])?;
             let refs: Vec<&str> = scenarios.iter().map(String::as_str).collect();
-            cmd_profile_observed(Path::new(arg(1)?), &refs, jobs, obs)
+            cmd_profile_observed(&image(1)?, &refs, jobs, obs)
         }
-        "analyze" => cmd_analyze_observed(Path::new(arg(1)?), arg(2).unwrap_or("ethernet"), obs),
+        "analyze" => cmd_analyze_observed(&image(1)?, arg(2).unwrap_or("ethernet"), obs),
         "sweep" => cmd_sweep_observed(
-            Path::new(arg(1)?),
+            &image(1)?,
             args.get(2).map(String::as_str) == Some("--json"),
             obs,
         ),
         "run" => {
             let (network, faults) = parse_run_args(&args[3.min(args.len())..])?;
-            cmd_run_observed(Path::new(arg(1)?), arg(2)?, &network, &faults, obs)
+            cmd_run_observed(&image(1)?, arg(2)?, &network, &faults, obs)
         }
         "place" => {
             let (network, opts) = parse_place_args(&args[3.min(args.len())..])?;
-            cmd_place_observed(Path::new(arg(1)?), arg(2)?, &network, &opts, obs)
+            cmd_place_observed(&image(1)?, arg(2)?, &network, &opts, obs)
         }
         "chaos" => {
             let (network, opts) = parse_chaos_args(&args[3.min(args.len())..])?;
-            cmd_chaos_observed(Path::new(arg(1)?), arg(2)?, &network, &opts, obs)
+            cmd_chaos_observed(&image(1)?, arg(2)?, &network, &opts, obs)
         }
-        "show" => cmd_show(Path::new(arg(1)?)),
+        "gen" => {
+            let (seed, size, emit, json) = parse_gen_args(&args[1.min(args.len())..])?;
+            cmd_gen(seed, size, emit.as_deref(), json)
+        }
+        "explore" => {
+            let (network, opts) = parse_explore_args(&args[3.min(args.len())..])?;
+            cmd_explore(arg(1)?, arg(2)?, &network, &opts)
+        }
+        "show" => cmd_show(&image(1)?),
         "hotspots" => {
             let top = arg(2).ok().and_then(|s| s.parse().ok()).unwrap_or(10);
-            cmd_hotspots(Path::new(arg(1)?), top)
+            cmd_hotspots(&image(1)?, top)
         }
-        "script" => cmd_script(Path::new(arg(1)?), Path::new(arg(2)?)),
-        "dot" => cmd_dot(Path::new(arg(1)?), Path::new(arg(2)?)),
-        "strip" => cmd_strip(Path::new(arg(1)?)),
+        "script" => cmd_script(&image(1)?, Path::new(arg(2)?)),
+        "dot" => cmd_dot(&image(1)?, Path::new(arg(2)?)),
+        "strip" => cmd_strip(&image(1)?),
         _ => return Err(USAGE.to_string()),
     };
     result.map_err(|e| format!("error: {e}"))
@@ -271,7 +407,14 @@ fn run(args: &[String], obs: Option<&Obs>) -> ExitCode {
             return ExitCode::FAILURE;
         };
         let json = args.get(2).map(String::as_str) == Some("--json");
-        return match cmd_check(Path::new(path), json) {
+        let path = match resolve_image_spec(path) {
+            Ok(resolved) => resolved,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match cmd_check(&path, json) {
             Ok(report) => {
                 println!("{}", report.trim_end());
                 ExitCode::SUCCESS

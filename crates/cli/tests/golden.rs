@@ -30,7 +30,23 @@
 //! dynamic-only — it renders in `coign profile` output, never in `check`,
 //! and stays absent from honest runs (asserted in the CLI unit tests).
 
-use coign_cli::{cmd_analyze, cmd_check, cmd_dot, cmd_instrument, cmd_profile, cmd_sweep};
+//! The generator goldens pin the `coign gen --seed 42 --json` topology
+//! summary and a violation-free `coign explore` report over the same
+//! seed (explicit `--faults-at` schedule, so the run stays fast):
+//!
+//! ```text
+//! cargo run -p coign-cli --bin coign -- gen --seed 42 --json \
+//!     > crates/cli/tests/golden/gen_seed42.json
+//! cargo run -p coign-cli --bin coign -- explore gen:42 g_main \
+//!     --faults-at 4000,9000,14000,21000 --thresholds 1,3 \
+//!     > crates/cli/tests/golden/explore_small.txt
+//! ```
+
+use coign_cli::{
+    cmd_analyze, cmd_check, cmd_dot, cmd_explore, cmd_gen, cmd_instrument, cmd_profile, cmd_sweep,
+    ExploreCliOptions,
+};
+use coign_gen::GenSize;
 use std::path::{Path, PathBuf};
 
 fn example_image() -> PathBuf {
@@ -175,6 +191,60 @@ fn sweep_json_golden_is_wellformed() {
     assert!(trimmed.starts_with("{\"grid\":"));
     assert!(trimmed.ends_with("]}"));
     assert_eq!(trimmed.matches("\"cut_value\":").count(), 16);
+}
+
+#[test]
+fn gen_topology_summary_matches_golden_file() {
+    let report = cmd_gen(42, GenSize::Small, None, true).expect("gen succeeds");
+    let golden = include_str!("golden/gen_seed42.json");
+    assert_eq!(
+        report.trim_end(),
+        golden.trim_end(),
+        "`coign gen --seed 42 --json` drifted from the committed golden \
+         output; if the change is intentional, regenerate it (see module docs)"
+    );
+}
+
+#[test]
+fn gen_golden_is_wellformed() {
+    // Guard the golden file: one JSON object whose identity keys come
+    // first, so downstream jq pipelines keep working.
+    let golden = include_str!("golden/gen_seed42.json");
+    let trimmed = golden.trim_end();
+    assert!(trimmed.starts_with("{\n  \"app\": \"gen-42-small\""));
+    assert!(trimmed.ends_with("}"));
+    for key in [
+        "\"seed\": 42",
+        "\"size\": \"small\"",
+        "\"classes\":",
+        "\"non_remotable_interfaces\":",
+        "\"explicit_constraints\":",
+        "\"scenarios\": [\"g_main\",\"g_doc\",\"g_idle\"]",
+    ] {
+        assert!(trimmed.contains(key), "golden summary lost `{key}`");
+    }
+}
+
+#[test]
+fn explore_report_matches_golden_file() {
+    // A violation-free schedule-space sweep over the golden seed: the
+    // explicit fault schedule keeps the run to 8 interleavings, and the
+    // summary is byte-stable (it never includes host time or job count).
+    let opts = ExploreCliOptions {
+        faults_at: Some(vec![4000, 9000, 14000, 21000]),
+        thresholds: vec![1, 3],
+        ..ExploreCliOptions::default()
+    };
+    let report = cmd_explore("gen:42", "g_main", "ethernet", &opts).expect("explore succeeds");
+    let golden = include_str!("golden/explore_small.txt");
+    assert_eq!(
+        report.trim_end(),
+        golden.trim_end(),
+        "`coign explore` drifted from the committed golden output; if the \
+         change is intentional, regenerate it (see module docs)"
+    );
+    assert!(golden.contains("invariants: ok (0 violation(s)"));
+    assert!(golden.contains("calibration: ks="));
 }
 
 #[test]

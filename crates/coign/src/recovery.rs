@@ -513,18 +513,28 @@ impl RecoveryCoordinator {
         )
     }
 
-    /// Reacts to a failed remote call. Returns `true` when the caller
-    /// should retry: either a recovery just completed (the callee may have
-    /// migrated next to the caller), or the failure is a machine-down
-    /// error still feeding the breaker toward a trip.
-    pub fn on_call_failure(&self, rt: &ComRuntime, error: &ComError) -> bool {
+    /// Drains machine-death declarations queued on the health monitor and
+    /// runs one recovery per newly-dead machine. Both entry points —
+    /// [`RecoveryCoordinator::on_call_failure`] and
+    /// [`RecoveryCoordinator::poll_drift`] — funnel through here so that
+    /// breaker declarations recover through exactly one code path no
+    /// matter which event observes them first.
+    fn drain_machine_deaths(&self, rt: &ComRuntime) -> bool {
         let mut recovered = false;
         for machine in self.health.drain_opened_machines() {
             if self.dead.lock().insert(machine) {
                 recovered |= self.recover(rt, RecoveryTrigger::MachineDeath, Some(machine));
             }
         }
-        if recovered {
+        recovered
+    }
+
+    /// Reacts to a failed remote call. Returns `true` when the caller
+    /// should retry: either a recovery just completed (the callee may have
+    /// migrated next to the caller), or the failure is a machine-down
+    /// error still feeding the breaker toward a trip.
+    pub fn on_call_failure(&self, rt: &ComRuntime, error: &ComError) -> bool {
+        if self.drain_machine_deaths(rt) {
             return true;
         }
         matches!(error, ComError::MachineDown(_)) && self.dead.lock().is_empty()
@@ -533,6 +543,13 @@ impl RecoveryCoordinator {
     /// Polls the drift monitor after a successful call; a latched fire
     /// triggers a warm re-solve and resets the observation window for the
     /// new placement. Returns `true` when a recovery ran.
+    ///
+    /// Pinned ordering: when a drift fire and a pending breaker
+    /// declaration land on the same tick, the machine death recovers
+    /// *first*, so the drift re-solve sees the dead machine and never
+    /// re-places work onto it. (Without the drain, `recover` would run
+    /// with `dead: None` while the health monitor already knew the
+    /// machine was gone.)
     pub fn poll_drift(&self, rt: &ComRuntime) -> bool {
         let Some((monitor, threshold)) = &self.drift else {
             return false;
@@ -540,7 +557,8 @@ impl RecoveryCoordinator {
         if !monitor.poll_reprofile(*threshold) {
             return false;
         }
-        let recovered = self.recover(rt, RecoveryTrigger::Drift, None);
+        let mut recovered = self.drain_machine_deaths(rt);
+        recovered |= self.recover(rt, RecoveryTrigger::Drift, None);
         monitor.reset();
         recovered
     }
@@ -759,5 +777,72 @@ mod tests {
     fn migration_state_tree_is_remotable_and_sized() {
         let bytes = value_size(&migration_state_tree()).unwrap();
         assert!(bytes > MIGRATION_STATE_BLOB_BYTES);
+    }
+
+    /// Regression: a drift fire and a breaker machine-death declaration
+    /// landing on the same tick. The coordinator must drain the death
+    /// *before* the drift re-solve, or the drift solve runs with
+    /// `dead: None` and re-places work onto a machine the transport
+    /// already knows is gone.
+    #[test]
+    fn same_tick_drift_fire_and_breaker_declaration_recover_the_death_first() {
+        use crate::classifier::ClassifierKind;
+
+        let (graph, constraints) = document_graph();
+        let rt = ComRuntime::client_server();
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let mut base = HashMap::new();
+        base.insert(ClassificationId::ROOT, MachineId::CLIENT);
+        base.insert(c(1), MachineId::CLIENT);
+        base.insert(c(2), MachineId::SERVER);
+        base.insert(c(3), MachineId::SERVER);
+        let factory = Arc::new(ComponentFactory::new(base, MachineId::CLIENT, 2));
+        let health = Arc::new(HealthMonitor::new(BreakerPolicy {
+            failure_threshold: 1,
+            ..BreakerPolicy::default()
+        }));
+        // Empty baseline: any observed traffic reads as full drift, so the
+        // latch is primed to fire on the next poll.
+        let monitor = Arc::new(DriftMonitor::from_profile(&IccProfile::new()));
+        monitor.record_call(c(1), c(2));
+        let coordinator = RecoveryCoordinator::new(
+            &graph,
+            &constraints,
+            factory.clone(),
+            classifier,
+            health.clone(),
+            Some((monitor.clone(), 0.5)),
+            None,
+        )
+        .unwrap();
+        // The transport declares the server dead on the same tick the
+        // drift latch fires — queued on the health monitor, undrained.
+        let _ = health.on_failure(
+            MachineId::CLIENT,
+            MachineId::SERVER,
+            &ComError::MachineDown(MachineId::SERVER),
+            0,
+        );
+        assert!(coordinator.poll_drift(&rt));
+        // Pinned order: machine death first, then the drift re-solve —
+        // which must already see the declared death.
+        let events = coordinator.events();
+        assert_eq!(events.len(), 2, "events: {events:?}");
+        assert_eq!(events[0].trigger, RecoveryTrigger::MachineDeath);
+        assert_eq!(events[0].dead_machine, Some(MachineId::SERVER));
+        assert_eq!(events[1].trigger, RecoveryTrigger::Drift);
+        assert_eq!(
+            events[1].dead_machine,
+            Some(MachineId::SERVER),
+            "the drift re-solve ran blind to the machine death"
+        );
+        // Nothing may remain placed on the dead machine, and the live
+        // placement must validate against the dead-machine set.
+        for (class, machine) in factory.placement_snapshot() {
+            assert_ne!(machine, MachineId::SERVER, "{class} left on dead server");
+        }
+        coordinator.validate().unwrap();
+        assert_eq!(coordinator.dead_machines(), vec![MachineId::SERVER]);
+        assert_eq!(coordinator.cold_solves(), 1);
     }
 }

@@ -72,6 +72,15 @@ impl AppImage {
         }
     }
 
+    /// Starts a fluent builder for programmatic image construction (used
+    /// by synthetic application generators, where classes and imports
+    /// accumulate incrementally rather than arriving as one vector).
+    pub fn builder(name: &str) -> ImageBuilder {
+        ImageBuilder {
+            image: AppImage::new(name, Vec::new()),
+        }
+    }
+
     /// Returns true if the image imports the given module.
     pub fn has_import(&self, name: &str) -> bool {
         self.imports.iter().any(|imp| imp.name == name)
@@ -188,6 +197,61 @@ impl AppImage {
     }
 }
 
+/// Fluent constructor for [`AppImage`]: starts from the standard system
+/// import table and accumulates classes, extra imports, and sections.
+///
+/// # Examples
+///
+/// ```
+/// use coign_com::{AppImage, Clsid};
+///
+/// let image = AppImage::builder("gen-7-small.exe")
+///     .class(Clsid::from_name("GenDoc"))
+///     .classes([Clsid::from_name("GenStore")])
+///     .import("odbc32.dll")
+///     .build();
+/// assert_eq!(image.classes.len(), 2);
+/// assert!(image.has_import("odbc32.dll"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImageBuilder {
+    image: AppImage,
+}
+
+impl ImageBuilder {
+    /// Adds one component class.
+    pub fn class(mut self, clsid: Clsid) -> Self {
+        self.image.classes.push(clsid);
+        self
+    }
+
+    /// Adds a batch of component classes, preserving order.
+    pub fn classes<I: IntoIterator<Item = Clsid>>(mut self, clsids: I) -> Self {
+        self.image.classes.extend(clsids);
+        self
+    }
+
+    /// Appends an import-table entry (deduplicated; order of first
+    /// appearance is kept, matching how a linker emits the table).
+    pub fn import(mut self, name: &str) -> Self {
+        if !self.image.has_import(name) {
+            self.image.imports.push(DllImport::new(name));
+        }
+        self
+    }
+
+    /// Writes (or replaces) a named data section.
+    pub fn section(mut self, name: &str, data: Vec<u8>) -> Self {
+        self.image.set_section(name, data);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> AppImage {
+        self.image
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +316,36 @@ mod tests {
         let mut e = crate::codec::Encoder::new();
         e.put_str("WRONGMAG");
         assert!(AppImage::decode(&e.finish()).is_err());
+    }
+
+    #[test]
+    fn builder_accumulates_and_dedups_imports() {
+        let img = AppImage::builder("gen-1-small.exe")
+            .class(Clsid::from_name("A"))
+            .classes([Clsid::from_name("B"), Clsid::from_name("C")])
+            .import("odbc32.dll")
+            .import("odbc32.dll")
+            .import("user32.dll") // already in the system table
+            .section(".gen", vec![1, 2])
+            .build();
+        assert_eq!(img.classes.len(), 3);
+        assert_eq!(
+            img.imports
+                .iter()
+                .filter(|i| i.name == "odbc32.dll")
+                .count(),
+            1
+        );
+        assert_eq!(
+            img.imports
+                .iter()
+                .filter(|i| i.name == "user32.dll")
+                .count(),
+            1
+        );
+        assert_eq!(img.section(".gen").unwrap().data, vec![1, 2]);
+        // The builder path and the direct path agree on the system table.
+        assert_eq!(img.imports[0].name, "kernel32.dll");
     }
 
     #[test]

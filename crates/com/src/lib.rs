@@ -38,7 +38,7 @@ pub use clock::SimClock;
 pub use error::{ComError, ComResult};
 pub use guid::{Clsid, Guid, Iid};
 pub use idl::{InterfaceDesc, MethodDesc, ParamDesc, ParamDir, StateEffect};
-pub use image::{AppImage, ConfigSection, DllImport};
+pub use image::{AppImage, ConfigSection, DllImport, ImageBuilder};
 pub use interface::{InterfacePtr, Invoker, Message};
 pub use object::{CallCtx, ComObject, InstanceId, MachineId};
 pub use registry::{ApiImports, ClassDesc, ClassRegistry};

@@ -85,6 +85,41 @@ grep -q "invariants: ok" "$TMP/chaos_seed_7.txt" \
 grep -q "invariants: ok" "$TMP/chaos_seed_11.txt" \
   || { echo "chaos invariants violated at seed 11"; exit 1; }
 
+echo "==> chaos & explore over generated applications (two gen seeds vs committed expectations)"
+# The generator is deterministic per seed, so the whole downstream pipeline
+# must be too: emit two generated images, profile + analyze them, run the
+# chaos harness over each, and diff against committed expectations. The
+# schedule-space explorer must likewise be byte-identical across --jobs
+# and report zero invariant violations on a healthy generated app.
+# Regenerate after an intentional change with the same flag as above.
+for gseed in 3 16; do
+  "$BIN" gen --seed "$gseed" --emit "$TMP" >/dev/null
+  GIMG="$TMP/gen-${gseed}-small.cimg"
+  "$BIN" profile "$GIMG" g_main g_doc g_idle >/dev/null
+  "$BIN" analyze "$GIMG" ethernet >/dev/null
+  "$BIN" chaos "$GIMG" g_main ethernet --seed 7 --trials 5 > "$TMP/chaos_gen_${gseed}.txt"
+  if [[ "${1:-}" == "--regen-fault-expectations" ]]; then
+    cp "$TMP/chaos_gen_${gseed}.txt" "scripts/expected/chaos_gen_${gseed}.txt"
+    echo "regenerated scripts/expected/chaos_gen_${gseed}.txt"
+  else
+    diff -u "scripts/expected/chaos_gen_${gseed}.txt" "$TMP/chaos_gen_${gseed}.txt" \
+      || { echo "generated chaos summary drifted for gen seed ${gseed}"; exit 1; }
+  fi
+  grep -q "invariants: ok" "$TMP/chaos_gen_${gseed}.txt" \
+    || { echo "chaos invariants violated on generated seed ${gseed}"; exit 1; }
+done
+"$BIN" chaos "$TMP/gen-3-small.cimg" g_main ethernet --seed 7 --trials 5 --jobs 4 \
+  > "$TMP/chaos_gen_3_jobs4.txt"
+cmp "$TMP/chaos_gen_3.txt" "$TMP/chaos_gen_3_jobs4.txt" \
+  || { echo "generated chaos summary differs between --jobs 1 and --jobs 4"; exit 1; }
+"$BIN" explore gen:3 g_main --faults-at 4000,9000,14000 --thresholds 1,3 > "$TMP/explore_a.txt"
+"$BIN" explore gen:3 g_main --faults-at 4000,9000,14000 --thresholds 1,3 --jobs 4 \
+  > "$TMP/explore_b.txt"
+cmp "$TMP/explore_a.txt" "$TMP/explore_b.txt" \
+  || { echo "explore summary differs between --jobs 1 and --jobs 4"; exit 1; }
+grep -q "invariants: ok" "$TMP/explore_a.txt" \
+  || { echo "explore found invariant violations on gen seed 3"; exit 1; }
+
 echo "==> observability smoke (--trace/--metrics, byte-identical across runs)"
 # Same image, plan, and seed must export byte-identical trace and metrics
 # files — the whole point of keeping host time out of the default export.
