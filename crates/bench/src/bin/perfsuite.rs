@@ -1,10 +1,12 @@
 //! The performance smoke suite: emits `BENCH_coign.json`.
 //!
-//! Measures the three costs the performance layer attacks — scenario
+//! Measures the costs the performance layer attacks — scenario
 //! profiling (sequential vs `--jobs`-style parallel workers), marshal-size
-//! memoization (cache hit rate across the profiling runs), and the network
-//! sweep (cold per-point min-cut solves vs warm-started chains) — and
-//! writes them as one JSON object so CI records the perf trajectory.
+//! memoization (cache hit rate across the profiling runs), the network
+//! sweep (cold per-point min-cut solves vs warm-started chains), and the
+//! serving harness (wall-clock session throughput with per-link batching
+//! on vs off) — and writes them as one JSON object so CI records the perf
+//! trajectory.
 //!
 //! Correctness is asserted, not just measured: the parallel profile must
 //! be byte-identical to the sequential one, and the warm sweep must
@@ -293,9 +295,82 @@ fn main() {
     let interleavings_per_sec = interleavings as f64 / explore_s.max(1e-9);
     let calibration_fit = explored.calibration_fit;
 
+    // 8. The serving harness: 100k sessions multiplexed over a generated
+    // app's chosen distribution (gen:42, the documented `coign serve`
+    // example — its profile carries a production-shaped mix of crossing
+    // and co-located traffic), batching on vs off over identical
+    // workloads. Batching must buy at least 1.5× wall-clock call
+    // throughput — the PDES payoff of one network-arrival event per batch
+    // instead of one per message.
+    let gen_app =
+        coign_gen::GeneratedApp::new(coign_gen::GenSpec::new(42, coign_gen::GenSize::Small));
+    let gen_classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let gen_profile = profile_scenarios(&gen_app, &["g_main"], &gen_classifier)
+        .expect("gen:42 profile for the serving harness");
+    let gen_dist =
+        choose_distribution(&gen_app, &gen_profile, &net_profile).expect("gen:42 analysis");
+    let serve_opts = coign::ServeOptions {
+        sessions: 100_000,
+        jobs: JOBS,
+        ..coign::ServeOptions::default()
+    };
+    let (served, serve_ms) = timed_min_ms(|| {
+        coign::serve::serve(
+            &gen_profile,
+            &gen_dist,
+            &NetworkModel::ethernet_10baset(),
+            &serve_opts,
+        )
+        .expect("serving harness run")
+    });
+    let unbatched_opts = coign::ServeOptions {
+        batching: false,
+        ..serve_opts.clone()
+    };
+    let (unbatched, unbatched_ms) = timed_min_ms(|| {
+        coign::serve::serve(
+            &gen_profile,
+            &gen_dist,
+            &NetworkModel::ethernet_10baset(),
+            &unbatched_opts,
+        )
+        .expect("unbatched serving run")
+    });
+    assert_eq!(
+        served.sessions, serve_opts.sessions,
+        "serve must drain every session"
+    );
+    assert_eq!(
+        unbatched.calls, served.calls,
+        "batching changed the scripted call count"
+    );
+    let serve_sessions_per_sec = served.sessions as f64 / (serve_ms / 1e3);
+    let serve_calls_per_sec = served.calls as f64 / (serve_ms / 1e3);
+    let unbatched_calls_per_sec = unbatched.calls as f64 / (unbatched_ms / 1e3);
+    let batching_speedup = unbatched_ms / serve_ms;
+    assert!(
+        batching_speedup >= 1.5,
+        "per-link batching must buy at least 1.5x wall-clock call throughput \
+         (batched {serve_ms:.1} ms vs unbatched {unbatched_ms:.1} ms)"
+    );
+    let mean_batch = served.mean_batch_size();
+    let (serve_p50, serve_p95, serve_p99) = (
+        served.latency_quantile_us(0.50),
+        served.latency_quantile_us(0.95),
+        served.latency_quantile_us(0.99),
+    );
+    let (serve_sessions, serve_calls) = (served.sessions, served.calls);
+    let (serve_pool_hits, serve_pool_misses) = (served.pool_hits, served.pool_misses);
+
+    // `profile.speedup` can sit below 1.0 on a single-core host — the
+    // parallel path then only adds thread setup over the sequential replay
+    // — so the field records the trajectory instead of asserting a floor.
+    let profile_speedup = sequential_ms / parallel_ms;
+
     let json = format!(
         "{{\"profile\":{{\"scenarios\":{},\"sequential_ms\":{sequential_ms:.3},\
          \"parallel_jobs\":{JOBS},\"parallel_ms\":{parallel_ms:.3},\
+         \"speedup\":{profile_speedup:.3},\
          \"byte_identical\":true}},\
          \"marshal_cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":{hit_rate:.4}}},\
          \"sweep\":{{\"grid_points\":{},\"cold_ms\":{cold_ms:.3},\"warm_ms\":{warm_ms:.3},\
@@ -313,11 +388,22 @@ fn main() {
          \"explore\":{{\"interleavings\":{interleavings},\"violations\":0,\
          \"interleavings_per_sec\":{interleavings_per_sec:.1},\
          \"calibration_fit\":{calibration_fit:.4},\
-         \"calibration_tolerance\":{:.3}}}}}",
+         \"calibration_tolerance\":{:.3}}},\
+         \"serve\":{{\"sessions\":{serve_sessions},\"shards\":{},\
+         \"calls\":{serve_calls},\"mean_batch_size\":{mean_batch:.2},\
+         \"pool_hits\":{serve_pool_hits},\"pool_misses\":{serve_pool_misses},\
+         \"serve_ms\":{serve_ms:.3},\"sessions_per_sec\":{serve_sessions_per_sec:.1},\
+         \"calls_per_sec\":{serve_calls_per_sec:.1},\
+         \"unbatched_ms\":{unbatched_ms:.3},\
+         \"unbatched_calls_per_sec\":{unbatched_calls_per_sec:.1},\
+         \"batching_speedup\":{batching_speedup:.3},\
+         \"latency_us\":{{\"p50\":{serve_p50:.1},\"p95\":{serve_p95:.1},\
+         \"p99\":{serve_p99:.1}}}}}}}",
         SCENARIOS.len(),
         cold.points.len(),
         cold_ms / warm_ms,
         coign_gen::calibration::KS_TOLERANCE,
+        serve_opts.shards,
     );
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
     println!("wrote {out}");
@@ -330,7 +416,10 @@ fn main() {
          multiway cut {heuristic_cut_ms:.1} ms heuristic / {refined_cut_ms:.1} ms refined, \
          {replica_count} replica(s) saving {replication_gain_ms:.1} ms; \
          explore {interleavings} interleaving(s) at {interleavings_per_sec:.0}/s, \
-         0 violation(s), calibration K-S {calibration_fit:.3}",
+         0 violation(s), calibration K-S {calibration_fit:.3}; \
+         serve {serve_sessions} session(s) in {serve_ms:.1} ms \
+         ({serve_calls_per_sec:.0} calls/s wall, mean batch {mean_batch:.1}, \
+         batching speedup {batching_speedup:.2}x)",
         hit_rate * 100.0,
         trace_overhead * 100.0
     );

@@ -72,12 +72,26 @@ pub fn app_for_image(image: &AppImage) -> ComResult<Arc<dyn Application>> {
         })
 }
 
+/// In-process memo of materialized generated images, keyed by (seed, size).
+/// A process that resolves the same `gen:` address repeatedly (tests, the
+/// perfsuite, multi-command drivers) pays generation + instrumentation at
+/// most once and skips even the `stat` afterwards.
+static GEN_IMAGE_CACHE: std::sync::OnceLock<
+    std::sync::Mutex<std::collections::HashMap<GenSpec, PathBuf>>,
+> = std::sync::OnceLock::new();
+
 /// Resolves an image argument: a plain path passes through, while the
 /// `gen:<seed>[:<size>]` form addresses a generated application — its
 /// instrumented image is materialized on first use under the system temp
 /// directory (atomically: temp file + rename), so
 /// `coign check/profile/... gen:7` works with no explicit `coign gen
 /// --emit` step.
+///
+/// Materialization is cached at two levels, both keyed by (seed, size):
+/// an in-process memo short-circuits repeated resolutions, and the
+/// on-disk artifact survives across processes (the tmp+rename write makes
+/// concurrent materialization of the same spec safe — last rename wins
+/// with identical bytes).
 pub fn resolve_image_spec(spec: &str) -> ComResult<PathBuf> {
     let Some(rest) = spec.strip_prefix("gen:") else {
         return Ok(PathBuf::from(spec));
@@ -88,6 +102,13 @@ pub fn resolve_image_spec(spec: &str) -> ComResult<PathBuf> {
              with size small|medium|large)"
         ))
     })?;
+    let cache =
+        GEN_IMAGE_CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+    if let Some(path) = cache.lock().expect("gen image cache").get(&gspec) {
+        if path.exists() {
+            return Ok(path.clone());
+        }
+    }
     let dir = std::env::temp_dir().join("coign-gen");
     std::fs::create_dir_all(&dir)
         .map_err(|e| ComError::App(format!("cannot create {}: {e}", dir.display())))?;
@@ -103,6 +124,10 @@ pub fn resolve_image_spec(spec: &str) -> ComResult<PathBuf> {
         std::fs::rename(&tmp, &path)
             .map_err(|e| ComError::App(format!("cannot move {} into place: {e}", tmp.display())))?;
     }
+    cache
+        .lock()
+        .expect("gen image cache")
+        .insert(gspec, path.clone());
     Ok(path)
 }
 
@@ -1006,6 +1031,156 @@ pub fn cmd_chaos_observed(
             out.push_str(&format!("  {violation}\n"));
         }
         Err(ComError::App(out))
+    }
+}
+
+/// Options for `coign serve`.
+#[derive(Debug, Clone)]
+pub struct ServeCliOptions {
+    /// Total simulated sessions.
+    pub sessions: u64,
+    /// Independently-clocked shards (the summary depends on it).
+    pub shards: usize,
+    /// Worker threads (the summary does not depend on it).
+    pub jobs: usize,
+    /// Master seed for arrival jitter, network jitter, and think times.
+    pub seed: u64,
+    /// Per-link batching (`--no-batch` clears it).
+    pub batching: bool,
+    /// Batch coalescing window, simulated µs.
+    pub window_us: u64,
+    /// Emit the machine-readable JSON record instead of the human report.
+    pub json: bool,
+}
+
+impl Default for ServeCliOptions {
+    fn default() -> Self {
+        let base = coign::ServeOptions::default();
+        ServeCliOptions {
+            sessions: base.sessions,
+            shards: base.shards,
+            jobs: 1,
+            seed: 0,
+            batching: true,
+            window_us: base.window_us,
+            json: false,
+        }
+    }
+}
+
+/// `coign serve <image> <scenario> [network] [--sessions N] [--shards K]
+/// [--jobs N] [--seed N] [--window US] [--no-batch] [--json]` — the
+/// fleet-scale serving harness: multiplexes N simulated user sessions over
+/// the distribution chosen for the image's accumulated profile, as a
+/// sharded discrete-event simulation with per-link ICC batching and
+/// session-state pooling ([`coign::serve`]). The summary is byte-identical
+/// for a given seed across repeated runs and across `--jobs`.
+pub fn cmd_serve(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    opts: &ServeCliOptions,
+) -> ComResult<String> {
+    cmd_serve_observed(path, scenario, network_name, opts, None)
+}
+
+/// [`cmd_serve`] with an optional observability bundle: the registry gains
+/// the serve counters (sessions, calls, batches, pool hits/misses), the
+/// merged session-latency histogram, and simulated-throughput gauges — all
+/// deterministic, so `--metrics` output stays byte-identical per seed.
+pub fn cmd_serve_observed(
+    path: &Path,
+    scenario: &str,
+    network_name: &str,
+    opts: &ServeCliOptions,
+    obs: Option<&Obs>,
+) -> ComResult<String> {
+    let _span = obs.map(|o| o.tracer.phase_span("serve"));
+    let image = load(path)?;
+    let record = rewriter::read_config(&image)?;
+    if record.profile.total_messages() == 0 {
+        return Err(ComError::App(
+            "no profile accumulated yet — run `coign profile` first".to_string(),
+        ));
+    }
+    if !record.profile.scenarios.iter().any(|s| s == scenario) {
+        return Err(ComError::App(format!(
+            "scenario `{scenario}` was never profiled into this image (profiled: {})",
+            record.profile.scenarios.join(", ")
+        )));
+    }
+    let app = app_for_image(&image)?;
+    let network = network_by_name(network_name)?;
+    // The placement under load: chosen fresh from the accumulated profile
+    // for the named network, exactly like `coign analyze` would.
+    let net_profile = NetworkProfile::measure(&network, PROFILE_SAMPLES, SEED);
+    let distribution = choose_distribution(app.as_ref(), &record.profile, &net_profile)?;
+    let serve_opts = coign::ServeOptions {
+        sessions: opts.sessions,
+        shards: opts.shards,
+        jobs: opts.jobs,
+        seed: opts.seed,
+        batching: opts.batching,
+        window_us: opts.window_us,
+        ..coign::ServeOptions::default()
+    };
+    let report = coign::serve::serve(&record.profile, &distribution, &network, &serve_opts)?;
+    if let Some(o) = obs {
+        o.registry
+            .counter("coign_serve_sessions_total")
+            .add(report.sessions);
+        o.registry
+            .counter("coign_serve_calls_total")
+            .add(report.calls);
+        o.registry
+            .counter("coign_serve_remote_messages_total")
+            .add(report.remote_messages);
+        o.registry
+            .counter("coign_serve_batches_total")
+            .add(report.batches);
+        o.registry
+            .counter("coign_serve_pool_hits_total")
+            .add(report.pool_hits);
+        o.registry
+            .counter("coign_serve_pool_misses_total")
+            .add(report.pool_misses);
+        o.registry
+            .gauge("coign_serve_sim_sessions_per_sec")
+            .set(report.sessions_per_sim_sec());
+        o.registry
+            .gauge("coign_serve_sim_calls_per_sec")
+            .set(report.calls_per_sim_sec());
+        o.registry
+            .gauge("coign_serve_latency_p50_us")
+            .set(report.latency_quantile_us(0.50));
+        o.registry
+            .gauge("coign_serve_latency_p95_us")
+            .set(report.latency_quantile_us(0.95));
+        o.registry
+            .gauge("coign_serve_latency_p99_us")
+            .set(report.latency_quantile_us(0.99));
+        o.registry
+            .histogram("coign_serve_session_latency_us", report.latency.bounds())
+            .merge_from(&report.latency);
+    }
+    if opts.json {
+        Ok(format!(
+            "{{\"scenario\":\"{scenario}\",\"network\":\"{network_name}\",\"seed\":{},\
+             \"window_us\":{},\"report\":{}}}\n",
+            opts.seed,
+            opts.window_us,
+            report.summary(true).trim_end(),
+        ))
+    } else {
+        Ok(format!(
+            "serve scenario={scenario} network={network_name} seed={} sessions={} \
+             shards={} window={}us\n{}",
+            opts.seed,
+            opts.sessions,
+            opts.shards,
+            opts.window_us,
+            report.summary(false),
+        ))
     }
 }
 

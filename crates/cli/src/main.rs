@@ -3,8 +3,8 @@
 use coign_cli::{
     cmd_analyze_observed, cmd_chaos_observed, cmd_check, cmd_dot, cmd_explore, cmd_gen,
     cmd_hotspots, cmd_instrument, cmd_place_observed, cmd_profile_observed, cmd_run_observed,
-    cmd_script, cmd_show, cmd_strip, cmd_sweep_observed, resolve_image_spec, ChaosOptions,
-    ExploreCliOptions, PlaceOptions, RunFaults,
+    cmd_script, cmd_serve_observed, cmd_show, cmd_strip, cmd_sweep_observed, resolve_image_spec,
+    ChaosOptions, ExploreCliOptions, PlaceOptions, RunFaults, ServeCliOptions,
 };
 use coign_gen::GenSize;
 use coign_obs::Obs;
@@ -34,6 +34,14 @@ USAGE:
         [--seed N]                      plans over N trials with the self-healing
         [--trials N]                    runtime, invariants checked per trial; the
         [--jobs N]                      summary is byte-identical per seed and jobs
+  coign serve      <image> <scenario> [network]   fleet-scale serving harness:
+        [--sessions N]                  simulated sessions (default 10000) multiplexed
+        [--shards K]                    over K independently-clocked event shards
+        [--jobs N]                      executed by N worker threads (summary is
+        [--seed N]                      byte-identical per seed across --jobs)
+        [--window US]                   per-link batch coalescing window (simulated us)
+        [--no-batch]                    send every cut-crossing message alone
+        [--json]                        emit the machine-readable serving record
   coign gen        --seed N              generate a seeded synthetic application
         [--size small|medium|large]     topology size class (default small)
         [--emit <dir>]                  write the instrumented image into <dir>
@@ -180,6 +188,61 @@ fn parse_chaos_args(rest: &[String]) -> Result<(String, ChaosOptions), String> {
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `coign chaos`"));
+            }
+            positional => {
+                if network.replace(positional.to_string()).is_some() {
+                    return Err(format!("unexpected argument `{positional}`"));
+                }
+            }
+        }
+    }
+    Ok((network.unwrap_or_else(|| "ethernet".to_string()), opts))
+}
+
+/// Parses `coign serve`'s trailing arguments: an optional positional
+/// network name plus the serving flags in any order.
+fn parse_serve_args(rest: &[String]) -> Result<(String, ServeCliOptions), String> {
+    let mut network = None;
+    let mut opts = ServeCliOptions::default();
+    let mut it = rest.iter();
+    while let Some(token) = it.next() {
+        match token.as_str() {
+            "--sessions" => {
+                let value = it.next().ok_or("--sessions needs a number argument")?;
+                opts.sessions = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad session count `{value}`"))?;
+            }
+            "--shards" => {
+                let value = it.next().ok_or("--shards needs a number argument")?;
+                opts.shards = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad shard count `{value}`"))?;
+            }
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a number argument")?;
+                opts.jobs = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad job count `{value}`"))?;
+            }
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a number argument")?;
+                opts.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--window" => {
+                let value = it.next().ok_or("--window needs a number argument (us)")?;
+                opts.window_us = value.parse().map_err(|_| format!("bad window `{value}`"))?;
+            }
+            "--no-batch" => opts.batching = false,
+            "--json" => opts.json = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `coign serve`"));
             }
             positional => {
                 if network.replace(positional.to_string()).is_some() {
@@ -369,6 +432,10 @@ fn dispatch(args: &[String], obs: Option<&Obs>) -> Result<String, String> {
         "chaos" => {
             let (network, opts) = parse_chaos_args(&args[3.min(args.len())..])?;
             cmd_chaos_observed(&image(1)?, arg(2)?, &network, &opts, obs)
+        }
+        "serve" => {
+            let (network, opts) = parse_serve_args(&args[3.min(args.len())..])?;
+            cmd_serve_observed(&image(1)?, arg(2)?, &network, &opts, obs)
         }
         "gen" => {
             let (seed, size, emit, json) = parse_gen_args(&args[1.min(args.len())..])?;

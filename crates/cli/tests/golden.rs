@@ -43,8 +43,8 @@
 //! ```
 
 use coign_cli::{
-    cmd_analyze, cmd_check, cmd_dot, cmd_explore, cmd_gen, cmd_instrument, cmd_profile, cmd_sweep,
-    ExploreCliOptions,
+    cmd_analyze, cmd_check, cmd_dot, cmd_explore, cmd_gen, cmd_instrument, cmd_profile, cmd_serve,
+    cmd_sweep, resolve_image_spec, ExploreCliOptions, ServeCliOptions,
 };
 use coign_gen::GenSize;
 use std::path::{Path, PathBuf};
@@ -253,4 +253,72 @@ fn check_human_output_is_stable_in_shape() {
     assert!(report.contains("COIGN010"));
     assert!(report.contains("COIGN012"));
     assert!(report.contains("0 error(s)"));
+}
+
+#[test]
+fn serve_json_output_matches_golden_file() {
+    // The serving-harness summary is fully simulated (no wall-clock
+    // numbers), so its exact JSON shape is pinned. Regenerate with
+    //
+    //   cargo run -p coign-cli --bin coign -- serve gen:42 g_main \
+    //       --sessions 2000 --json > crates/cli/tests/golden/serve_gen42.json
+    let img = resolve_image_spec("gen:42").expect("gen:42 materializes");
+    let opts = ServeCliOptions {
+        sessions: 2_000,
+        json: true,
+        ..ServeCliOptions::default()
+    };
+    let report = cmd_serve(&img, "g_main", "ethernet", &opts).expect("serve succeeds");
+    let golden = include_str!("golden/serve_gen42.json");
+    assert_eq!(
+        report.trim_end(),
+        golden.trim_end(),
+        "`coign serve --json` drifted from the committed golden output; if \
+         the change is intentional, regenerate it (see the test body)"
+    );
+    assert!(golden.contains("\"batching\":true"));
+    assert!(golden.contains("\"latency_us\""));
+}
+
+#[test]
+fn serve_summary_is_byte_identical_across_jobs() {
+    // `--jobs` picks the worker-thread count, never the schedule: the
+    // rendered summary must not change with it (mirrors chaos/explore).
+    let img = resolve_image_spec("gen:42").expect("gen:42 materializes");
+    let opts = |jobs| ServeCliOptions {
+        sessions: 2_000,
+        jobs,
+        json: true,
+        ..ServeCliOptions::default()
+    };
+    let base = cmd_serve(&img, "g_main", "ethernet", &opts(1)).expect("serve with one worker");
+    for jobs in [2, 4, 8] {
+        let out = cmd_serve(&img, "g_main", "ethernet", &opts(jobs))
+            .expect("serve with parallel workers");
+        assert_eq!(
+            base, out,
+            "serve summary changed between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn gen_image_materialization_is_cached() {
+    // A seed no other test uses, so nothing regenerates it concurrently:
+    // the second resolve must memo-hit and leave the artifact untouched.
+    let first = resolve_image_spec("gen:97").expect("gen:97 materializes");
+    let stamp = std::fs::metadata(&first)
+        .expect("materialized image exists")
+        .modified()
+        .expect("filesystem records mtime");
+    let second = resolve_image_spec("gen:97").expect("cached resolve succeeds");
+    assert_eq!(first, second, "cache returned a different artifact path");
+    let stamp_again = std::fs::metadata(&second)
+        .expect("materialized image still exists")
+        .modified()
+        .expect("filesystem records mtime");
+    assert_eq!(
+        stamp, stamp_again,
+        "second resolve regenerated the image instead of hitting the cache"
+    );
 }

@@ -56,6 +56,7 @@ pub mod report;
 pub mod rewriter;
 pub mod rte;
 pub mod runtime;
+pub mod serve;
 pub mod sweep;
 
 pub use analysis::{analyze, Distribution};
@@ -68,3 +69,4 @@ pub use runtime::{
     run_default, run_distributed, run_distributed_faulty, run_distributed_recovering,
     run_distributed_recovering_observed, run_raw, FaultReport, RecoveryRun, RunReport,
 };
+pub use serve::{serve, ServeOptions, ServeReport};

@@ -1,0 +1,847 @@
+//! The fleet-scale serving harness.
+//!
+//! One RTE runs one scenario on one stepped clock; production Coign would
+//! face millions of concurrent users whose sessions all exercise the same
+//! chosen distribution. This module multiplexes that load as a parallel
+//! discrete-event simulation in the style of D'Angelo's adaptive
+//! self-clustering work (arXiv:1610.01295): the simulated cluster is
+//! partitioned into **shards** — independently-clocked slices of the fleet,
+//! each with its own server replicas, event agenda
+//! ([`coign_com::EventQueue`]) and RNG stream — and events only couple at
+//! cut-crossing boundaries, where per-link batching
+//! ([`coign_dcom::LinkBatcher`]) coalesces messages into pipelined batches.
+//!
+//! Three mechanisms carry the throughput:
+//!
+//! 1. **Discrete-event scheduling** — sessions overlap arbitrarily, so the
+//!    clock jumps between scheduled happenings instead of stepping through
+//!    every call serially. Shards share nothing and merge in index order,
+//!    so the summary is byte-identical for a seed across `--jobs`.
+//! 2. **Per-link batching** — cut-crossing calls issued on the same link
+//!    within a scheduling window travel as one batch: one latency (and one
+//!    jitter draw) for the whole batch plus pipelined serialization, and —
+//!    the PDES point — *one* network-arrival event per batch instead of
+//!    one per message. `batching: false` models every message as an
+//!    independent datagram so the win stays measurable.
+//! 3. **Session pooling** — a LIFO slab of session slots: a departing
+//!    session's instantiated component state is reattached to the next
+//!    arrival for a small attach cost instead of paying full
+//!    instantiation, and the slot's buffers are reused allocation-free.
+//!
+//! The workload is derived from the image's own measured [`IccProfile`]:
+//! each session replays the profile's heaviest edges (in deterministic
+//! order) against the chosen [`Distribution`], so the load is exactly the
+//! traffic shape profiling observed, multiplied by the session count.
+
+use crate::analysis::Distribution;
+use crate::profile::IccProfile;
+use coign_com::{ComError, ComResult, EventQueue, MachineId};
+use coign_dcom::batch::{LinkBatcher, LinkKey};
+use coign_dcom::NetworkModel;
+use coign_obs::metrics::{exponential_bounds, Histogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Base of the latency-histogram buckets (µs).
+const LATENCY_BUCKET_BASE: u64 = 16;
+/// Number of finite latency buckets (16 µs · 2^29 ≈ 143 minutes).
+const LATENCY_BUCKET_COUNT: u32 = 30;
+/// Simulated cost of instantiating a session's component working set.
+const INSTANTIATE_US: u64 = 200;
+/// Simulated cost of reattaching pooled component state to a new session.
+const ATTACH_US: u64 = 5;
+/// Simulated cost of a co-located (non-crossing) call.
+const LOCAL_CALL_US: u64 = 2;
+/// Modeled size of a reply/ack message, bytes.
+const REPLY_BYTES: u64 = 64;
+
+/// Options for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Total simulated sessions across all shards.
+    pub sessions: u64,
+    /// Number of independently-clocked shards. The summary depends on it
+    /// (each shard is its own slice of the fleet), unlike `jobs`.
+    pub shards: usize,
+    /// Worker threads executing shards (the summary does not depend on it).
+    pub jobs: usize,
+    /// Master seed; shard `i` derives its RNG stream from `seed` and `i`.
+    pub seed: u64,
+    /// Batch cut-crossing messages per link (`false` = `--no-batch`).
+    pub batching: bool,
+    /// Coalescing window for an open batch, simulated µs.
+    pub window_us: u64,
+    /// Mean spacing between session arrivals within a shard, µs.
+    pub arrival_spacing_us: u64,
+    /// Cap on the per-session call script (heaviest profile edges win).
+    pub script_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            sessions: 10_000,
+            shards: 4,
+            jobs: 1,
+            seed: 0,
+            batching: true,
+            window_us: 150,
+            arrival_spacing_us: 100,
+            script_cap: 48,
+        }
+    }
+}
+
+/// One call in the per-session script.
+#[derive(Debug, Clone, Copy)]
+struct CallSpec {
+    /// `Some(link)` when the call crosses the cut; `None` when co-located.
+    link: Option<LinkKey>,
+    /// Marshaled request size, bytes.
+    request_bytes: u64,
+    /// Simulated server compute charged per call, µs.
+    compute_us: u64,
+}
+
+/// Builds the session script: the profile's heaviest `script_cap` edges in
+/// deterministic (traffic-desc, key-asc) order, each realized against the
+/// distribution as a crossing or co-located call.
+fn build_script(
+    profile: &IccProfile,
+    distribution: &Distribution,
+    script_cap: usize,
+) -> Vec<CallSpec> {
+    let mut edges: Vec<_> = profile.edges.iter().collect();
+    edges.sort_by(|(ka, sa), (kb, sb)| sb.messages.cmp(&sa.messages).then(ka.cmp(kb)));
+    edges.truncate(script_cap.max(1));
+    // Replay in key order so the script walks the app's call structure, not
+    // the traffic ranking.
+    edges.sort_by_key(|(ka, _)| *ka);
+    edges
+        .into_iter()
+        .map(|(key, stats)| {
+            let from = distribution.machine_of(key.from);
+            let to = distribution.machine_of(key.to);
+            let avg_bytes = stats.bytes / stats.messages.max(1);
+            CallSpec {
+                link: (from != to).then_some((from, to)),
+                request_bytes: avg_bytes,
+                compute_us: 5 + avg_bytes / 2048,
+            }
+        })
+        .collect()
+}
+
+/// Per-session live state, pooled in the shard's slab.
+#[derive(Debug, Clone, Copy, Default)]
+struct SessionState {
+    /// Arrival instant (for the end-to-end latency observation).
+    arrival_us: u64,
+    /// Next index into the shared call script.
+    next_call: u32,
+    /// Slot in the shard's session pool.
+    slot: u32,
+}
+
+/// Shard event payloads. `u32` session ids are shard-local.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A session arrives and acquires a pool slot.
+    Arrive(u32),
+    /// A session issues its next scripted call.
+    Issue(u32),
+    /// An open batch on a link flushes (batching mode only).
+    Flush(LinkKey),
+    /// An unbatched request datagram reaches the server (unbatched mode).
+    Deliver {
+        session: u32,
+        compute_us: u64,
+        server: MachineId,
+    },
+}
+
+/// Deterministic aggregate of one shard's simulation.
+struct ShardReport {
+    sessions: u64,
+    calls: u64,
+    local_calls: u64,
+    remote_messages: u64,
+    batches: u64,
+    batched_bytes: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+    horizon_us: u64,
+    latency: Histogram,
+}
+
+/// The merged, deterministic result of a serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Sessions completed (all of them — the harness runs to drain).
+    pub sessions: u64,
+    /// Shards simulated.
+    pub shards: usize,
+    /// Scripted calls executed across all sessions.
+    pub calls: u64,
+    /// Calls that stayed co-located under the distribution.
+    pub local_calls: u64,
+    /// Cut-crossing request messages sent.
+    pub remote_messages: u64,
+    /// Batches flushed (equals `remote_messages` when batching is off).
+    pub batches: u64,
+    /// Total marshaled bytes across batched requests.
+    pub batched_bytes: u64,
+    /// Sessions that reused pooled component state.
+    pub pool_hits: u64,
+    /// Sessions that paid full instantiation (= peak pool size summed
+    /// over shards).
+    pub pool_misses: u64,
+    /// Simulated horizon: the latest shard-local instant, µs.
+    pub horizon_us: u64,
+    /// End-to-end session latency distribution (simulated µs), merged
+    /// across shards.
+    pub latency: Histogram,
+    /// Whether batching was enabled.
+    pub batching: bool,
+    /// Session count the caller asked for (sanity echo).
+    pub requested_sessions: u64,
+}
+
+impl ServeReport {
+    /// Mean messages per flushed batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.remote_messages as f64 / self.batches as f64
+        }
+    }
+
+    /// Simulated session throughput: sessions per simulated second.
+    pub fn sessions_per_sim_sec(&self) -> f64 {
+        self.sessions as f64 / (self.horizon_us.max(1) as f64 / 1e6)
+    }
+
+    /// Simulated call throughput: calls per simulated second.
+    pub fn calls_per_sim_sec(&self) -> f64 {
+        self.calls as f64 / (self.horizon_us.max(1) as f64 / 1e6)
+    }
+
+    /// Latency quantile in simulated µs (interpolated; see
+    /// [`Histogram::quantile`]).
+    pub fn latency_quantile_us(&self, q: f64) -> f64 {
+        self.latency.quantile(q)
+    }
+
+    /// Renders the deterministic summary (the bytes golden tests and the
+    /// ci smoke diff pin). Wall-clock numbers never appear here — they
+    /// belong to perfsuite.
+    pub fn summary(&self, json: bool) -> String {
+        let (p50, p95, p99) = (
+            self.latency_quantile_us(0.50),
+            self.latency_quantile_us(0.95),
+            self.latency_quantile_us(0.99),
+        );
+        if json {
+            format!(
+                "{{\"sessions\":{},\"shards\":{},\"calls\":{},\"local_calls\":{},\
+                 \"remote_messages\":{},\"batches\":{},\"batched_bytes\":{},\
+                 \"mean_batch_size\":{:.2},\"pool_hits\":{},\"pool_misses\":{},\
+                 \"horizon_ms\":{:.3},\"sim_sessions_per_sec\":{:.1},\
+                 \"sim_calls_per_sec\":{:.1},\"latency_us\":{{\"p50\":{:.1},\
+                 \"p95\":{:.1},\"p99\":{:.1}}},\"batching\":{}}}\n",
+                self.sessions,
+                self.shards,
+                self.calls,
+                self.local_calls,
+                self.remote_messages,
+                self.batches,
+                self.batched_bytes,
+                self.mean_batch_size(),
+                self.pool_hits,
+                self.pool_misses,
+                self.horizon_us as f64 / 1000.0,
+                self.sessions_per_sim_sec(),
+                self.calls_per_sim_sec(),
+                p50,
+                p95,
+                p99,
+                self.batching,
+            )
+        } else {
+            format!(
+                "served {} session(s) over {} shard(s): {} calls ({} local, {} crossing)\n\
+                 batching={} batches={} mean_batch={:.2} batched_bytes={}\n\
+                 pool: {} hit(s), {} miss(es)\n\
+                 horizon {:.3} ms simulated; {:.1} sessions/s, {:.1} calls/s (simulated)\n\
+                 latency p50={:.1}us p95={:.1}us p99={:.1}us\n",
+                self.sessions,
+                self.shards,
+                self.calls,
+                self.local_calls,
+                self.remote_messages,
+                if self.batching { "on" } else { "off" },
+                self.batches,
+                self.mean_batch_size(),
+                self.batched_bytes,
+                self.pool_hits,
+                self.pool_misses,
+                self.horizon_us as f64 / 1000.0,
+                self.sessions_per_sim_sec(),
+                self.calls_per_sim_sec(),
+                p50,
+                p95,
+                p99,
+            )
+        }
+    }
+}
+
+/// Serialization-only component of a one-way send (keeps MTU overhead).
+fn ser_us(net: &NetworkModel, bytes: u64) -> f64 {
+    (net.mean_time_us(bytes) - net.latency_us).max(0.0)
+}
+
+/// Payload-only serialization time: what a message adds to a batch it
+/// joins, beyond the per-datagram overhead the batch already paid.
+fn payload_us(net: &NetworkModel, bytes: u64) -> f64 {
+    (ser_us(net, bytes) - ser_us(net, 0)).max(0.0)
+}
+
+/// Index of a link's transmit-clock slot, growing the table on first sight.
+fn link_slot(link_free: &mut Vec<(LinkKey, u64)>, link: LinkKey) -> usize {
+    match link_free.iter().position(|(k, _)| *k == link) {
+        Some(i) => i,
+        None => {
+            link_free.push((link, 0));
+            link_free.len() - 1
+        }
+    }
+}
+
+/// Runs one shard to completion. Everything here is single-threaded and
+/// seeded, so a shard's report depends only on (profile, distribution,
+/// network, options, shard index).
+#[allow(clippy::too_many_lines)]
+fn run_shard(
+    script: &[CallSpec],
+    net: &NetworkModel,
+    opts: &ServeOptions,
+    shard: usize,
+    shard_sessions: u64,
+) -> ShardReport {
+    let shard_seed = opts.seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(shard_seed);
+    // Think times are drawn tens of millions of times per run — they get a
+    // dedicated splitmix64 stream instead of the (much slower) shard
+    // StdRng, which stays reserved for network-jitter draws.
+    let mut think_state = shard_seed ^ 0xA076_1D64_78BD_642F;
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(shard_sessions as usize + 64);
+    let mut batcher: LinkBatcher<u32> = LinkBatcher::new(opts.window_us);
+    let latency = Histogram::with_bounds(exponential_bounds(
+        LATENCY_BUCKET_BASE,
+        LATENCY_BUCKET_COUNT,
+    ));
+
+    let mut sessions: Vec<SessionState> = vec![SessionState::default(); shard_sessions as usize];
+    // The session pool: a LIFO free list of instantiated slots. `slots`
+    // only ever grows on a miss, so its final length is the peak number of
+    // concurrently-live sessions — exactly the state a serving process
+    // would keep resident.
+    let mut free_slots: Vec<u32> = Vec::new();
+    let mut slots_created: u32 = 0;
+    // Per-machine server clocks: requests queue FIFO at their target
+    // machine, so a loaded replica pushes its backlog's completion out —
+    // the source of the tail in p95/p99.
+    let mut machine_now: Vec<u64> = Vec::new();
+    // Per-link transmit clocks: a link is a serial resource, and both the
+    // batched and the unbatched path queue their serialization time on it.
+    // A handful of links at most, so a scanned vec beats a hash map.
+    let mut link_free: Vec<(LinkKey, u64)> = Vec::new();
+    // Latest simulated instant seen, including inline local-call runs that
+    // never re-enter the event heap.
+    let mut horizon: u64 = 0;
+
+    let mut calls = 0u64;
+    let mut local_calls = 0u64;
+    let mut remote_messages = 0u64;
+    let mut unbatched_batches = 0u64;
+    let mut unbatched_bytes = 0u64;
+    let mut pool_hits = 0u64;
+    let mut completed = 0u64;
+
+    let spacing = opts.arrival_spacing_us.max(1);
+    let mut arrival = 0u64;
+    for s in 0..shard_sessions {
+        queue.schedule(arrival, Event::Arrive(s as u32));
+        arrival += rng.gen_range(1..=spacing * 2);
+    }
+
+    // One closure-free event loop: each arm mutates only shard state.
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Arrive(s) => {
+                let (slot, cost) = match free_slots.pop() {
+                    Some(slot) => {
+                        pool_hits += 1;
+                        (slot, ATTACH_US)
+                    }
+                    None => {
+                        let slot = slots_created;
+                        slots_created += 1;
+                        (slot, INSTANTIATE_US)
+                    }
+                };
+                sessions[s as usize] = SessionState {
+                    arrival_us: now,
+                    next_call: 0,
+                    slot,
+                };
+                queue.schedule(now + cost, Event::Issue(s));
+            }
+            Event::Issue(s) => {
+                // Lookahead: a run of co-located calls never touches the
+                // network or another session's state, so it is executed
+                // inline on a local time cursor instead of round-tripping
+                // every call through the event heap. The heap only sees the
+                // next cut-crossing call (or the session's completion).
+                let mut t = now;
+                loop {
+                    let idx = sessions[s as usize].next_call as usize;
+                    if idx >= script.len() {
+                        // Session done: observe end-to-end latency, recycle
+                        // the slot.
+                        latency.observe(t - sessions[s as usize].arrival_us);
+                        free_slots.push(sessions[s as usize].slot);
+                        completed += 1;
+                        horizon = horizon.max(t);
+                        break;
+                    }
+                    let call = script[idx];
+                    calls += 1;
+                    match call.link {
+                        None => {
+                            local_calls += 1;
+                            sessions[s as usize].next_call += 1;
+                            t += LOCAL_CALL_US + think_us(&mut think_state);
+                        }
+                        Some(link) => {
+                            remote_messages += 1;
+                            if opts.batching {
+                                if let Some(flush_at) =
+                                    batcher.enqueue(link, call.request_bytes, s, t)
+                                {
+                                    // Nagle-style coalescing: while the link
+                                    // is still transmitting, keep the batch
+                                    // open — it flushes when the window
+                                    // closes or the link frees up, whichever
+                                    // is later. Under load batches grow to
+                                    // match the link's drain rate.
+                                    let li = link_slot(&mut link_free, link);
+                                    queue.schedule(
+                                        flush_at.max(link_free[li].1),
+                                        Event::Flush(link),
+                                    );
+                                }
+                            } else {
+                                // Independent datagram: it occupies the link
+                                // for its payload plus a full per-datagram
+                                // overhead, and pays its own latency draw.
+                                unbatched_batches += 1;
+                                unbatched_bytes += call.request_bytes;
+                                let li = link_slot(&mut link_free, link);
+                                let depart = t.max(link_free[li].1);
+                                let xfer = ser_us(net, call.request_bytes);
+                                link_free[li].1 = depart + xfer as u64;
+                                let lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                                queue.schedule(
+                                    depart + (xfer + lat) as u64,
+                                    Event::Deliver {
+                                        session: s,
+                                        compute_us: call.compute_us,
+                                        server: link.1,
+                                    },
+                                );
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            Event::Flush(link) => {
+                let batch = batcher.drain(link);
+                debug_assert!(!batch.is_empty(), "flush fired on an idle link");
+                // A batch is one datagram: the link is occupied for a single
+                // per-datagram overhead plus every member's payload, and the
+                // batch pays one latency draw each way. Amortizing the
+                // overhead and the draws across members is exactly what
+                // batching buys over `--no-batch`.
+                let lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                let reply_lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                let server = machine_slot(&mut machine_now, link.1);
+                let li = link_slot(&mut link_free, link);
+                let depart = now.max(link_free[li].1);
+                let mut cursor = depart as f64 + ser_us(net, 0);
+                for msg in &batch {
+                    // Members arrive pipelined: each becomes visible to the
+                    // server as soon as its own payload bytes land.
+                    cursor += payload_us(net, msg.bytes);
+                    let arrival = (cursor + lat) as u64;
+                    let start = machine_now[server].max(arrival);
+                    let spec = script[sessions[msg.payload as usize].next_call as usize];
+                    machine_now[server] = start + spec.compute_us;
+                    // Each reply departs as soon as its own call completes;
+                    // replies share the batch's return-path latency draw.
+                    let reply_at =
+                        machine_now[server] as f64 + reply_lat + ser_us(net, REPLY_BYTES);
+                    let s = msg.payload;
+                    finish_call(
+                        &mut sessions[s as usize],
+                        &mut queue,
+                        s,
+                        reply_at as u64,
+                        &mut think_state,
+                    );
+                }
+                link_free[li].1 = cursor as u64;
+            }
+            Event::Deliver {
+                session,
+                compute_us,
+                server,
+            } => {
+                // The datagram queues FIFO at its target replica, then the
+                // reply travels back as its own send (own latency draw).
+                let slot = machine_slot(&mut machine_now, server);
+                let start = machine_now[slot].max(now);
+                machine_now[slot] = start + compute_us;
+                let back = net.sample_time_us(REPLY_BYTES, &mut rng);
+                finish_call(
+                    &mut sessions[session as usize],
+                    &mut queue,
+                    session,
+                    machine_now[slot] + back as u64,
+                    &mut think_state,
+                );
+            }
+        }
+    }
+
+    debug_assert_eq!(completed, shard_sessions);
+    let stats = batcher.stats();
+    ShardReport {
+        sessions: shard_sessions,
+        calls,
+        local_calls,
+        remote_messages,
+        batches: stats.batches + unbatched_batches,
+        batched_bytes: stats.bytes + unbatched_bytes,
+        pool_hits,
+        pool_misses: u64::from(slots_created),
+        horizon_us: horizon.max(queue.now_us()),
+        latency,
+    }
+}
+
+/// Advances a finished call: bump the script cursor and schedule the next
+/// issue after a seeded think pause.
+fn finish_call(
+    state: &mut SessionState,
+    queue: &mut EventQueue<Event>,
+    session: u32,
+    done_us: u64,
+    think_state: &mut u64,
+) {
+    state.next_call += 1;
+    queue.schedule(done_us + think_us(think_state), Event::Issue(session));
+}
+
+/// A think pause in 50..=400 µs from the shard's splitmix64 stream.
+fn think_us(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    50 + z % 351
+}
+
+/// Index of a machine's clock slot, growing the table on first sight.
+fn machine_slot(machine_now: &mut Vec<u64>, machine: MachineId) -> usize {
+    let idx = machine.0 as usize;
+    if machine_now.len() <= idx {
+        machine_now.resize(idx + 1, 0);
+    }
+    idx
+}
+
+/// Runs the serving harness: `opts.sessions` simulated sessions over the
+/// distribution, sharded into `opts.shards` independently-clocked event
+/// queues executed by `opts.jobs` worker threads. The report is
+/// byte-identical for a given seed across `jobs`.
+pub fn serve(
+    profile: &IccProfile,
+    distribution: &Distribution,
+    network: &NetworkModel,
+    opts: &ServeOptions,
+) -> ComResult<ServeReport> {
+    if profile.edges.is_empty() {
+        return Err(ComError::App(
+            "profile carries no traffic — run `coign profile` first".to_string(),
+        ));
+    }
+    if opts.sessions == 0 {
+        return Err(ComError::App("nothing to serve: --sessions 0".to_string()));
+    }
+    let shards = opts.shards.max(1);
+    let script = build_script(profile, distribution, opts.script_cap);
+
+    // Sessions split round-robin across shards; shard i simulates its slice
+    // in isolation and the reports merge in shard order.
+    let per_shard: Vec<u64> = (0..shards)
+        .map(|i| {
+            opts.sessions / shards as u64 + u64::from((i as u64) < opts.sessions % shards as u64)
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<ShardReport>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let jobs = opts.jobs.max(1).min(shards);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= shards {
+                    break;
+                }
+                let report = run_shard(&script, network, opts, i, per_shard[i]);
+                *slots[i].lock().expect("serve shard slot") = Some(report);
+            });
+        }
+    });
+
+    let latency = Histogram::with_bounds(exponential_bounds(
+        LATENCY_BUCKET_BASE,
+        LATENCY_BUCKET_COUNT,
+    ));
+    let mut merged = ServeReport {
+        sessions: 0,
+        shards,
+        calls: 0,
+        local_calls: 0,
+        remote_messages: 0,
+        batches: 0,
+        batched_bytes: 0,
+        pool_hits: 0,
+        pool_misses: 0,
+        horizon_us: 0,
+        latency,
+        batching: opts.batching,
+        requested_sessions: opts.sessions,
+    };
+    for slot in slots {
+        let shard = slot
+            .into_inner()
+            .expect("serve shard lock")
+            .expect("serve worker exited without reporting");
+        merged.sessions += shard.sessions;
+        merged.calls += shard.calls;
+        merged.local_calls += shard.local_calls;
+        merged.remote_messages += shard.remote_messages;
+        merged.batches += shard.batches;
+        merged.batched_bytes += shard.batched_bytes;
+        merged.pool_hits += shard.pool_hits;
+        merged.pool_misses += shard.pool_misses;
+        merged.horizon_us = merged.horizon_us.max(shard.horizon_us);
+        merged.latency.merge_from(&shard.latency);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassificationId;
+    use crate::profile::size_bucket;
+    use coign_com::Iid;
+    use std::collections::HashMap;
+
+    /// A small synthetic profile: a client-side viewer chatting with a
+    /// server-side store over two methods, plus a purely local edge.
+    fn fixture() -> (IccProfile, Distribution) {
+        let mut profile = IccProfile::new();
+        let (viewer, store, cache) = (
+            ClassificationId(1),
+            ClassificationId(2),
+            ClassificationId(3),
+        );
+        let iid = Iid::from_name("IServeTest");
+        for (from, to, method, messages, bytes) in [
+            (viewer, store, 0u32, 900u64, 180_000u64),
+            (viewer, store, 1, 300, 30_000),
+            (viewer, cache, 2, 500, 10_000),
+        ] {
+            let key = crate::profile::EdgeKey {
+                from,
+                to,
+                iid,
+                method,
+                bucket: size_bucket(bytes / messages),
+            };
+            profile
+                .edges
+                .insert(key, crate::profile::EdgeStats { messages, bytes });
+        }
+        let mut placement = HashMap::new();
+        placement.insert(viewer, MachineId::CLIENT);
+        placement.insert(store, MachineId::SERVER);
+        placement.insert(cache, MachineId::CLIENT);
+        let distribution = Distribution {
+            placement,
+            predicted_comm_us: 0.0,
+            network_name: "test".to_string(),
+        };
+        (profile, distribution)
+    }
+
+    fn opts(sessions: u64, jobs: usize, batching: bool) -> ServeOptions {
+        ServeOptions {
+            sessions,
+            shards: 4,
+            jobs,
+            seed: 7,
+            batching,
+            ..ServeOptions::default()
+        }
+    }
+
+    #[test]
+    fn serve_completes_every_session_and_call() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let report = serve(&profile, &dist, &net, &opts(500, 1, true)).unwrap();
+        assert_eq!(report.sessions, 500);
+        // 3 script entries per session: 2 crossing + 1 local.
+        assert_eq!(report.calls, 1500);
+        assert_eq!(report.local_calls, 500);
+        assert_eq!(report.remote_messages, 1000);
+        assert_eq!(report.latency.count(), 500);
+        assert!(report.horizon_us > 0);
+        assert!(report.batches <= report.remote_messages);
+        assert!(report.mean_batch_size() >= 1.0);
+    }
+
+    #[test]
+    fn summary_is_byte_identical_across_jobs() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let summaries: Vec<String> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&jobs| {
+                let report = serve(&profile, &dist, &net, &opts(2_000, jobs, true)).unwrap();
+                report.summary(false) + &report.summary(true)
+            })
+            .collect();
+        for s in &summaries[1..] {
+            assert_eq!(&summaries[0], s, "summary must not depend on --jobs");
+        }
+    }
+
+    #[test]
+    fn shard_count_changes_the_schedule_but_not_the_totals() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let two = serve(
+            &profile,
+            &dist,
+            &net,
+            &ServeOptions {
+                shards: 2,
+                ..opts(1_000, 1, true)
+            },
+        )
+        .unwrap();
+        let eight = serve(
+            &profile,
+            &dist,
+            &net,
+            &ServeOptions {
+                shards: 8,
+                ..opts(1_000, 1, true)
+            },
+        )
+        .unwrap();
+        assert_eq!(two.calls, eight.calls);
+        assert_eq!(two.sessions, eight.sessions);
+    }
+
+    #[test]
+    fn batching_coalesces_and_unbatched_does_not() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let batched = serve(&profile, &dist, &net, &opts(2_000, 2, true)).unwrap();
+        let unbatched = serve(&profile, &dist, &net, &opts(2_000, 2, false)).unwrap();
+        assert_eq!(
+            unbatched.batches, unbatched.remote_messages,
+            "unbatched mode sends each message alone"
+        );
+        assert!(
+            batched.batches < batched.remote_messages / 2,
+            "concurrent sessions must share batches (batches={} messages={})",
+            batched.batches,
+            batched.remote_messages
+        );
+        assert!(batched.mean_batch_size() > 2.0);
+        // Same workload either way.
+        assert_eq!(batched.calls, unbatched.calls);
+        assert_eq!(batched.batched_bytes, unbatched.batched_bytes);
+    }
+
+    #[test]
+    fn session_pool_reuses_slots() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        // Arrivals slow enough for the fleet to keep up: the pool only
+        // demonstrates reuse when sessions actually drain between arrivals.
+        let report = serve(
+            &profile,
+            &dist,
+            &net,
+            &ServeOptions {
+                arrival_spacing_us: 20_000,
+                ..opts(5_000, 2, true)
+            },
+        )
+        .unwrap();
+        assert_eq!(report.pool_hits + report.pool_misses, report.sessions);
+        assert!(
+            report.pool_hits > report.pool_misses,
+            "most sessions must reuse pooled state (hits={} misses={})",
+            report.pool_hits,
+            report.pool_misses
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_positive() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let report = serve(&profile, &dist, &net, &opts(2_000, 2, true)).unwrap();
+        let (p50, p95, p99) = (
+            report.latency_quantile_us(0.50),
+            report.latency_quantile_us(0.95),
+            report.latency_quantile_us(0.99),
+        );
+        assert!(p50 > 0.0);
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+    }
+
+    #[test]
+    fn empty_profile_and_zero_sessions_are_rejected() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        assert!(serve(&IccProfile::new(), &dist, &net, &opts(10, 1, true)).is_err());
+        assert!(serve(&profile, &dist, &net, &opts(0, 1, true)).is_err());
+    }
+}

@@ -2,10 +2,25 @@
 //!
 //! All execution-time and communication-time numbers in the reproduction are
 //! *simulated*: components charge compute time explicitly and the transport
-//! layer charges message latencies. A single monotone clock is correct for
-//! the client/server model because DCOM calls are synchronous — compute on
-//! either machine and time on the wire strictly serialize.
+//! layer charges message latencies. Two clock disciplines coexist:
+//!
+//! * [`SimClock`] — a single monotone stepped clock. Correct for the
+//!   client/server model because DCOM calls are synchronous — compute on
+//!   either machine and time on the wire strictly serialize, so one counter
+//!   that only ever moves forward captures the whole schedule. It is the
+//!   degenerate (one pending event) case of the scheduler below.
+//! * [`EventQueue`] — a discrete-event scheduler: a binary-heap agenda of
+//!   future events keyed by simulated microseconds. The serving harness
+//!   multiplexes thousands of concurrent sessions whose calls interleave
+//!   arbitrarily, so "advance by the cost of the current call" no longer
+//!   works; instead every future happening is scheduled and the clock jumps
+//!   to the earliest pending event. Ties are broken by insertion order,
+//!   which keeps pop order — and therefore every simulation built on the
+//!   queue — fully deterministic.
 
+use std::cmp::Ordering as CmpOrdering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -54,6 +69,140 @@ impl SimClock {
     }
 }
 
+/// One scheduled event: a due time, an insertion sequence number for
+/// deterministic tie-breaking, and an opaque payload.
+///
+/// Ordering ignores the payload entirely — two entries compare equal iff
+/// their `(at_us, seq)` keys are equal, and `seq` is unique per queue, so
+/// the heap order is a total order independent of `T`.
+#[derive(Debug)]
+struct Entry<T> {
+    at_us: u64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// A discrete-event scheduler over simulated microseconds.
+///
+/// The queue owns its notion of "now": popping an event advances the clock
+/// to that event's due time. Events scheduled in the past (a zero-delay
+/// follow-up, say) are clamped to the current time rather than rewinding —
+/// simulated time is monotone, exactly like [`SimClock`].
+///
+/// # Examples
+///
+/// ```
+/// use coign_com::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(20, "reply");
+/// q.schedule(10, "request");
+/// q.schedule(10, "tiebreak-after-request");
+/// assert_eq!(q.pop(), Some((10, "request")));
+/// assert_eq!(q.pop(), Some((10, "tiebreak-after-request")));
+/// assert_eq!(q.now_us(), 10);
+/// assert_eq!(q.pop(), Some((20, "reply")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+    now_us: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now_us: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now_us: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at_us` (clamped to now if earlier)
+    /// and returns the actual due time.
+    pub fn schedule(&mut self, at_us: u64, payload: T) -> u64 {
+        let at_us = at_us.max(self.now_us);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            at_us,
+            seq,
+            payload,
+        }));
+        at_us
+    }
+
+    /// Schedules `payload` to fire `delay_us` after the current time.
+    pub fn schedule_in(&mut self, delay_us: u64, payload: T) -> u64 {
+        self.schedule(self.now_us.saturating_add(delay_us), payload)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its due
+    /// time. Returns `None` when the agenda is empty (simulation done).
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now_us = entry.at_us;
+        Some((entry.at_us, entry.payload))
+    }
+
+    /// Due time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.at_us)
+    }
+
+    /// Current simulated time: the due time of the last popped event.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the agenda is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +235,75 @@ mod tests {
         let c = SimClock::new();
         c.advance_us(2_500_000);
         assert!((c.now_secs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_queue_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.now_us(), 30);
+    }
+
+    #[test]
+    fn event_queue_breaks_ties_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(42, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn event_queue_clamps_past_events_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(50, "late");
+        assert_eq!(q.pop(), Some((50, "late")));
+        // A zero-delay follow-up lands *at* now, never before it.
+        assert_eq!(q.schedule(10, "clamped"), 50);
+        assert_eq!(q.pop(), Some((50, "clamped")));
+        assert_eq!(q.now_us(), 50);
+    }
+
+    #[test]
+    fn event_queue_schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        assert_eq!(q.schedule_in(25, ()), 125);
+        assert_eq!(q.pop(), Some((125, ())));
+    }
+
+    #[test]
+    fn event_queue_interleaved_schedule_and_pop_is_deterministic() {
+        // The serving harness schedules follow-ups while draining; replay
+        // the same trace twice and demand identical pop order.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut order = Vec::new();
+            q.schedule(5, 0u64);
+            q.schedule(5, 1);
+            q.schedule(9, 2);
+            let mut next = 3u64;
+            while let Some((t, id)) = q.pop() {
+                order.push((t, id));
+                if next < 12 {
+                    q.schedule(t + (id % 3), next);
+                    next += 1;
+                }
+            }
+            order
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -34,7 +34,7 @@ pub mod registry;
 pub mod runtime;
 pub mod value;
 
-pub use clock::SimClock;
+pub use clock::{EventQueue, SimClock};
 pub use error::{ComError, ComResult};
 pub use guid::{Clsid, Guid, Iid};
 pub use idl::{InterfaceDesc, MethodDesc, ParamDesc, ParamDir, StateEffect};

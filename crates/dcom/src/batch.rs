@@ -1,0 +1,268 @@
+//! Per-link ICC message batching.
+//!
+//! A distributed Coign application at serving scale sends many small
+//! cut-crossing messages to the same destination machine within a few
+//! microseconds of each other — thousands of concurrent sessions all talk
+//! to the same server replica. Charging every message the full per-message
+//! network latency models each call as a lonely datagram; real RPC stacks
+//! coalesce. This module implements the batching discipline the serving
+//! harness uses:
+//!
+//! * **Window semantics** — the first message enqueued on an idle link
+//!   opens a batch that *flushes* `window_us` later; messages arriving
+//!   before the flush join the open batch. A closed (flushed) link is idle
+//!   again, so the next message opens a fresh window. Latency cost: a
+//!   message waits at most `window_us` for the flush, then the whole batch
+//!   pays **one** per-message latency instead of one per member.
+//! * **Pipelining** — batch members serialize back-to-back at link
+//!   bandwidth, so member *i* arrives at
+//!   `flush + latency + Σ_{j≤i} ser(bytes_j)`: the wire is kept busy and
+//!   later members queue behind earlier ones, exactly like a pipelined RPC
+//!   channel.
+//!
+//! The batcher is deliberately passive: it never owns a clock or an event
+//! queue. The caller (the discrete-event shard loop in `coign::serve`)
+//! schedules the flush event at the time [`LinkBatcher::enqueue`] returns
+//! and calls [`LinkBatcher::drain`] when that event fires. This keeps the
+//! module synchronous, single-threaded, and trivially deterministic.
+
+use crate::network::NetworkModel;
+use coign_com::MachineId;
+use std::collections::HashMap;
+
+/// A directed machine-to-machine link.
+pub type LinkKey = (MachineId, MachineId);
+
+/// One message waiting in an open batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingMessage<T> {
+    /// Marshaled size of the message in bytes.
+    pub bytes: u64,
+    /// Caller-defined routing payload (e.g. a session id).
+    pub payload: T,
+}
+
+/// Running totals over a batcher's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches opened (= flush events the caller scheduled).
+    pub batches: u64,
+    /// Messages enqueued across all batches.
+    pub messages: u64,
+    /// Total marshaled bytes enqueued.
+    pub bytes: u64,
+}
+
+impl BatchStats {
+    /// Mean messages per batch (0 when no batch was ever opened).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Per-link batch accumulator with a fixed coalescing window.
+///
+/// # Examples
+///
+/// ```
+/// use coign_com::MachineId;
+/// use coign_dcom::batch::LinkBatcher;
+///
+/// let link = (MachineId::CLIENT, MachineId(1));
+/// let mut batcher: LinkBatcher<u32> = LinkBatcher::new(100);
+/// // First message opens the window: flush due at now + 100.
+/// assert_eq!(batcher.enqueue(link, 256, 7, 1_000), Some(1_100));
+/// // A second message within the window joins silently.
+/// assert_eq!(batcher.enqueue(link, 64, 8, 1_050), None);
+/// let batch = batcher.drain(link);
+/// assert_eq!(batch.len(), 2);
+/// // The link is idle again: the next message opens a new window.
+/// assert_eq!(batcher.enqueue(link, 32, 9, 1_200), Some(1_300));
+/// ```
+#[derive(Debug)]
+pub struct LinkBatcher<T> {
+    window_us: u64,
+    open: HashMap<LinkKey, Vec<PendingMessage<T>>>,
+    stats: BatchStats,
+}
+
+impl<T> LinkBatcher<T> {
+    /// Creates a batcher with the given coalescing window.
+    pub fn new(window_us: u64) -> Self {
+        LinkBatcher {
+            window_us,
+            open: HashMap::new(),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The coalescing window in simulated microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Adds a message to the link's open batch, opening one if the link is
+    /// idle. Returns `Some(flush_at_us)` when this call opened the batch —
+    /// the caller must schedule a flush event at that time and eventually
+    /// [`drain`](LinkBatcher::drain) the link. Returns `None` when the
+    /// message joined an already-open batch whose flush is already
+    /// scheduled.
+    pub fn enqueue(&mut self, link: LinkKey, bytes: u64, payload: T, now_us: u64) -> Option<u64> {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        let queue = self.open.entry(link).or_default();
+        queue.push(PendingMessage { bytes, payload });
+        if queue.len() == 1 {
+            self.stats.batches += 1;
+            Some(now_us.saturating_add(self.window_us))
+        } else {
+            None
+        }
+    }
+
+    /// Closes the link's open batch and returns its messages in enqueue
+    /// order. Called when the flush event fires; the link becomes idle.
+    pub fn drain(&mut self, link: LinkKey) -> Vec<PendingMessage<T>> {
+        self.open.remove(&link).unwrap_or_default()
+    }
+
+    /// Messages currently waiting in the link's open batch.
+    pub fn pending(&self, link: LinkKey) -> usize {
+        self.open.get(&link).map_or(0, Vec::len)
+    }
+
+    /// Lifetime totals.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+}
+
+/// Arrival offsets (µs after the flush instant) for a pipelined batch.
+///
+/// The batch pays `latency_us` once — the caller supplies it, jittered or
+/// not — and then members serialize back-to-back at link bandwidth:
+/// member *i* arrives at `latency_us + Σ_{j≤i} ser(bytes_j)`, where
+/// `ser(b)` is the model's serialization time (its mean one-way time minus
+/// the fixed latency, so MTU fragmentation overhead is preserved).
+///
+/// A singleton batch therefore costs exactly one unbatched send; a batch
+/// of *k* saves `(k−1)·latency_us` over *k* individual sends.
+pub fn pipelined_arrivals(net: &NetworkModel, latency_us: f64, sizes: &[u64]) -> Vec<f64> {
+    let mut arrivals = Vec::with_capacity(sizes.len());
+    let mut cursor = latency_us;
+    for &bytes in sizes {
+        cursor += (net.mean_time_us(bytes) - net.latency_us).max(0.0);
+        arrivals.push(cursor);
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkKey {
+        (MachineId::CLIENT, MachineId(1))
+    }
+
+    #[test]
+    fn first_message_opens_window_followers_join() {
+        let mut b: LinkBatcher<&str> = LinkBatcher::new(50);
+        assert_eq!(b.enqueue(link(), 100, "a", 200), Some(250));
+        assert_eq!(b.enqueue(link(), 200, "b", 210), None);
+        assert_eq!(b.enqueue(link(), 300, "c", 249), None);
+        assert_eq!(b.pending(link()), 3);
+        let batch = b.drain(link());
+        assert_eq!(
+            batch.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            ["a", "b", "c"],
+            "drain preserves enqueue order"
+        );
+        assert_eq!(b.pending(link()), 0);
+        // Idle again: a new window opens.
+        assert_eq!(b.enqueue(link(), 10, "d", 400), Some(450));
+    }
+
+    #[test]
+    fn links_batch_independently() {
+        let forward = (MachineId::CLIENT, MachineId(1));
+        let reverse = (MachineId(1), MachineId::CLIENT);
+        let mut b: LinkBatcher<u8> = LinkBatcher::new(10);
+        assert!(b.enqueue(forward, 1, 0, 0).is_some());
+        assert!(
+            b.enqueue(reverse, 1, 1, 0).is_some(),
+            "each direction of a link is its own batch"
+        );
+        assert_eq!(b.drain(forward).len(), 1);
+        assert_eq!(b.drain(reverse).len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b: LinkBatcher<()> = LinkBatcher::new(10);
+        b.enqueue(link(), 100, (), 0);
+        b.enqueue(link(), 50, (), 5);
+        b.drain(link());
+        b.enqueue(link(), 25, (), 100);
+        b.drain(link());
+        let stats = b.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.bytes, 175);
+        assert!((stats.mean_batch_size() - 1.5).abs() < 1e-12);
+        assert_eq!(BatchStats::default().mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn zero_window_flushes_at_now() {
+        let mut b: LinkBatcher<()> = LinkBatcher::new(0);
+        assert_eq!(b.enqueue(link(), 1, (), 777), Some(777));
+    }
+
+    #[test]
+    fn pipelined_arrivals_are_monotone_and_singleton_matches_unbatched() {
+        let net = NetworkModel::ethernet_10baset();
+        let lat = net.latency_us;
+        let single = pipelined_arrivals(&net, lat, &[4096]);
+        assert_eq!(single.len(), 1);
+        assert!(
+            (single[0] - net.mean_time_us(4096)).abs() < 1e-9,
+            "a singleton batch costs exactly one unbatched send"
+        );
+        let sizes = [100, 5000, 64, 20_000];
+        let arrivals = pipelined_arrivals(&net, lat, &sizes);
+        for pair in arrivals.windows(2) {
+            assert!(pair[0] < pair[1], "pipelined arrivals are monotone");
+        }
+    }
+
+    #[test]
+    fn batching_saves_latency_over_individual_sends() {
+        let net = NetworkModel::ethernet_10baset();
+        let sizes = [256u64; 8];
+        let batched_last = *pipelined_arrivals(&net, net.latency_us, &sizes)
+            .last()
+            .unwrap();
+        let individual_sum: f64 = sizes.iter().map(|&b| net.mean_time_us(b)).sum();
+        let saving = individual_sum - batched_last;
+        let expected = (sizes.len() - 1) as f64 * net.latency_us;
+        assert!(
+            (saving - expected).abs() < 1e-6,
+            "a batch of k saves (k-1) latencies: saving={saving} expected={expected}"
+        );
+    }
+
+    #[test]
+    fn pipelining_preserves_mtu_fragmentation_cost() {
+        let net = NetworkModel::ethernet_10baset().with_mtu(1_500);
+        let arrivals = pipelined_arrivals(&net, net.latency_us, &[1_000_000]);
+        assert!(
+            (arrivals[0] - net.mean_time_us(1_000_000)).abs() < 1e-9,
+            "serialization component must include per-packet overhead"
+        );
+    }
+}

@@ -20,10 +20,14 @@
 //! * [`health`] — per-link circuit breakers (closed/open/half-open) fed by
 //!   call outcomes, with deterministic probe scheduling on the simulated
 //!   clock; the failure-detection half of the self-healing runtime.
+//! * [`batch`] — per-link coalescing of cut-crossing messages within a
+//!   scheduling window: one latency + pipelined serialization per batch,
+//!   the transport discipline of the fleet-scale serving harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod faults;
 pub mod health;
 pub mod marshal;
@@ -31,6 +35,7 @@ pub mod network;
 pub mod profiler;
 pub mod transport;
 
+pub use batch::{BatchStats, LinkBatcher, PendingMessage};
 pub use faults::{CallPolicy, Fault, FaultPlan, FaultStats, LinkSelector, TimeWindow};
 pub use health::{BreakerDecision, BreakerPolicy, BreakerState, BreakerTransition, HealthMonitor};
 pub use marshal::{message_reply_size, message_request_size, value_size};

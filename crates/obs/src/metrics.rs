@@ -75,7 +75,27 @@ struct HistCore {
 #[derive(Clone)]
 pub struct Histogram(Arc<HistCore>);
 
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.bounds())
+            .field("counts", &self.bucket_counts())
+            .field("sum", &self.sum())
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
 impl Histogram {
+    /// Creates a free-standing histogram with the given finite bucket
+    /// bounds (strictly increasing). Registry-owned histograms come from
+    /// [`Registry::histogram`]; this constructor serves callers that
+    /// aggregate off-registry — e.g. per-shard latency histograms merged
+    /// with [`Histogram::merge_from`] before publication.
+    pub fn with_bounds(bounds: Vec<u64>) -> Histogram {
+        Histogram::new(bounds)
+    }
+
     fn new(bounds: Vec<u64>) -> Histogram {
         let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
         Histogram(Arc::new(HistCore {
@@ -121,6 +141,68 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
+    /// within the bucket containing the target rank.
+    ///
+    /// Bucket `k` covers `(bounds[k-1], bounds[k]]` (bucket 0 covers
+    /// `[0, bounds[0]]`), so the estimate interpolates between those edges
+    /// under a uniform-within-bucket assumption — the usual
+    /// Prometheus-style `histogram_quantile` estimator. With exponential
+    /// bounds the worst-case relative error is the bucket width; callers
+    /// who need tighter tails should register finer bounds.
+    ///
+    /// Observations in the overflow bucket clamp to the largest finite
+    /// bound. An empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * count as f64;
+        let counts = self.bucket_counts();
+        let bounds = self.bounds();
+        let mut cumulative = 0u64;
+        for (idx, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative + n;
+            if (next as f64) >= target {
+                if idx >= bounds.len() {
+                    // Overflow bucket: no finite upper edge to interpolate
+                    // toward — clamp.
+                    return bounds.last().copied().unwrap_or(0) as f64;
+                }
+                let lower = if idx == 0 { 0 } else { bounds[idx - 1] } as f64;
+                let upper = bounds[idx] as f64;
+                let fraction = (target - cumulative as f64) / n as f64;
+                return lower + fraction.clamp(0.0, 1.0) * (upper - lower);
+            }
+            cumulative = next;
+        }
+        bounds.last().copied().unwrap_or(0) as f64
+    }
+
+    /// Folds another histogram's observations into this one by summing
+    /// per-bucket counts. Bucket addition is commutative and associative,
+    /// so merging per-shard histograms in any order yields identical
+    /// counts — the property the serving harness's determinism rests on.
+    ///
+    /// Both histograms must have identical bounds.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds(),
+            other.bounds(),
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
     }
 }
 
@@ -346,6 +428,93 @@ mod tests {
         let hist = doc.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(hist.get("counts").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_distribution_interpolate() {
+        // 0..1000 uniformly into linear buckets: every estimate should land
+        // within one bucket width of the exact quantile.
+        let hist = Histogram::new((1..=10).map(|k| k * 100).collect());
+        for v in 0..1000u64 {
+            hist.observe(v);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = hist.quantile(q);
+            assert!(
+                (est - exact).abs() <= 100.0 + 1.0,
+                "uniform q={q}: estimate {est} too far from {exact}"
+            );
+        }
+        // Within a single bucket the estimator is exact up to the uniform
+        // assumption, which holds here: p50 of 0..1000 is 500.
+        assert!((hist.quantile(0.5) - 500.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn quantiles_of_exponential_buckets_bound_relative_error() {
+        // A deterministic geometric-ish distribution over exponential
+        // buckets: exact quantiles computed from the raw sample must be
+        // bracketed by the containing bucket's edges.
+        let bounds = exponential_bounds(64, 16);
+        let hist = Histogram::new(bounds.clone());
+        let mut samples = Vec::new();
+        let mut x = 1u64;
+        for i in 0..4096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 1 + (x >> 33) % (64 << (i % 8)); // spread across 8 octaves
+            samples.push(v);
+            hist.observe(v);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = samples[((q * samples.len() as f64) as usize).min(samples.len() - 1)];
+            let est = hist.quantile(q);
+            // The containing bucket spans [lower, 2·lower], so the estimate
+            // can be off by at most one octave either way.
+            assert!(
+                est >= exact as f64 / 2.0 && est <= exact as f64 * 2.0,
+                "q={q}: estimate {est} outside octave of exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let hist = Histogram::new(exponential_bounds(64, 4));
+        assert_eq!(hist.quantile(0.5), 0.0, "empty histogram reports 0");
+        hist.observe(u64::MAX); // overflow bucket only
+        assert_eq!(hist.quantile(0.99), (64u64 << 3) as f64, "overflow clamps");
+        // Single finite observation: every quantile lands in its bucket.
+        let one = Histogram::new(vec![10, 20, 30]);
+        one.observe(15);
+        let p50 = one.quantile(0.5);
+        assert!(p50 > 10.0 && p50 <= 20.0);
+        assert!(one.quantile(1.0) <= 20.0);
+    }
+
+    #[test]
+    fn merge_from_sums_counts_and_is_order_independent() {
+        let bounds = exponential_bounds(64, 8);
+        let build = |values: &[u64]| {
+            let h = Histogram::new(bounds.clone());
+            for &v in values {
+                h.observe(v);
+            }
+            h
+        };
+        let a = build(&[1, 100, 5000]);
+        let b = build(&[64, 64, 900_000]);
+        let ab = build(&[]);
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let ba = build(&[]);
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        assert_eq!(ab.sum(), a.sum() + b.sum());
+        assert_eq!(ab.count(), 6);
     }
 
     #[test]

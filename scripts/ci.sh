@@ -173,6 +173,32 @@ diff <(grep '^  machine' "$TMP/place_plain.txt") <(grep '^  machine' "$TMP/place
 grep -q "replicas: [1-9]" "$TMP/place_replicate.txt" \
   || { echo "--replicate found no legal replica on the annotated app"; exit 1; }
 
+echo "==> serving-harness smoke (coign serve vs committed expectation, --jobs cross-check)"
+# The serve summary is fully simulated, so it must be byte-identical for a
+# given seed — across machines (the committed expectation) and across
+# worker counts. Reuses the gen-3 image profiled above. Regenerate after
+# an intentional change with:
+#   scripts/ci.sh --regen-fault-expectations
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 \
+  > "$TMP/serve_gen_3.txt"
+if [[ "${1:-}" == "--regen-fault-expectations" ]]; then
+  cp "$TMP/serve_gen_3.txt" "scripts/expected/serve_gen_3.txt"
+  echo "regenerated scripts/expected/serve_gen_3.txt"
+else
+  diff -u "scripts/expected/serve_gen_3.txt" "$TMP/serve_gen_3.txt" \
+    || { echo "serve summary drifted for gen seed 3"; exit 1; }
+fi
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 --jobs 4 \
+  > "$TMP/serve_gen_3_jobs4.txt"
+cmp "$TMP/serve_gen_3.txt" "$TMP/serve_gen_3_jobs4.txt" \
+  || { echo "serve summary differs between --jobs 1 and --jobs 4"; exit 1; }
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 --no-batch \
+  > "$TMP/serve_gen_3_nobatch.txt"
+if cmp -s "$TMP/serve_gen_3.txt" "$TMP/serve_gen_3_nobatch.txt"; then
+  echo "serve --no-batch produced an identical summary; batching is inert"
+  exit 1
+fi
+
 echo "==> perf smoke (BENCH_coign.json)"
 # Records the perf trajectory: profile replay (sequential vs parallel
 # workers), marshal-size cache hit rate, and the network sweep cold vs
