@@ -1051,6 +1051,19 @@ pub struct ServeCliOptions {
     pub window_us: u64,
     /// Emit the machine-readable JSON record instead of the human report.
     pub json: bool,
+    /// `--timeline PATH`: write the simulated-time series there (`.csv`
+    /// extension selects CSV, anything else JSON; `-` appends a sparkline
+    /// dashboard to the report instead of writing a file).
+    pub timeline: Option<String>,
+    /// `--timeline-window US`: width of the telemetry windows. Distinct
+    /// from `--window`, which is the batch coalescing window.
+    pub timeline_window_us: u64,
+    /// `--slo-p99-us N`: evaluate a per-window p99 latency target and
+    /// report violations plus worst-window attribution.
+    pub slo_p99_us: Option<u64>,
+    /// `--trace-sample N`: emit causal spans for every Nth session into
+    /// the global `--trace` file (0 = no session tracing).
+    pub trace_sample: u64,
 }
 
 impl Default for ServeCliOptions {
@@ -1064,6 +1077,16 @@ impl Default for ServeCliOptions {
             batching: true,
             window_us: base.window_us,
             json: false,
+            timeline: None,
+            // 100ms of simulated time per window: long serve runs span
+            // minutes of simulated time, so this keeps the series around a
+            // thousand points with enough completions per window (tens)
+            // for the windowed p99 to be statistically meaningful — and
+            // keeps recorder overhead low. Narrow with --timeline-window
+            // for burst forensics.
+            timeline_window_us: 100_000,
+            slo_p99_us: None,
+            trace_sample: 0,
         }
     }
 }
@@ -1115,6 +1138,11 @@ pub fn cmd_serve_observed(
     // for the named network, exactly like `coign analyze` would.
     let net_profile = NetworkProfile::measure(&network, PROFILE_SAMPLES, SEED);
     let distribution = choose_distribution(app.as_ref(), &record.profile, &net_profile)?;
+    // Telemetry only runs when something consumes it: a timeline sink or
+    // an SLO target turns the windowed recorder on; otherwise the serve
+    // hot path stays recording-free and the output bytes stay identical to
+    // a build without telemetry at all.
+    let want_timeline = opts.timeline.is_some() || opts.slo_p99_us.is_some();
     let serve_opts = coign::ServeOptions {
         sessions: opts.sessions,
         shards: opts.shards,
@@ -1122,9 +1150,21 @@ pub fn cmd_serve_observed(
         seed: opts.seed,
         batching: opts.batching,
         window_us: opts.window_us,
+        timeline_window_us: if want_timeline {
+            opts.timeline_window_us.max(1)
+        } else {
+            0
+        },
+        trace_sample: opts.trace_sample,
         ..coign::ServeOptions::default()
     };
-    let report = coign::serve::serve(&record.profile, &distribution, &network, &serve_opts)?;
+    let (report, timeline) = coign::serve::serve_traced(
+        &record.profile,
+        &distribution,
+        &network,
+        &serve_opts,
+        obs.map(|o| &*o.tracer),
+    )?;
     if let Some(o) = obs {
         o.registry
             .counter("coign_serve_sessions_total")
@@ -1163,16 +1203,41 @@ pub fn cmd_serve_observed(
             .histogram("coign_serve_session_latency_us", report.latency.bounds())
             .merge_from(&report.latency);
     }
-    if opts.json {
-        Ok(format!(
+    // The SLO verdict rides on the timeline's per-window latency
+    // histograms; the dashboard (`--timeline -`) appends after the report
+    // in either mode, and file sinks pick their format by extension.
+    let slo = match (opts.slo_p99_us, timeline.as_ref()) {
+        (Some(target), Some(series)) => Some(series.slo(target)),
+        _ => None,
+    };
+    let mut dashboard = None;
+    if let (Some(sink), Some(series)) = (opts.timeline.as_deref(), timeline.as_ref()) {
+        if sink == "-" {
+            dashboard = Some(series.dashboard());
+        } else {
+            let rendered = if sink.ends_with(".csv") {
+                series.to_csv()
+            } else {
+                series.to_json()
+            };
+            std::fs::write(sink, rendered)
+                .map_err(|e| ComError::App(format!("cannot write timeline {sink}: {e}")))?;
+        }
+    }
+    let mut out = if opts.json {
+        let slo_field = slo
+            .as_ref()
+            .map(|s| format!(",\"slo\":{}", s.render_json()))
+            .unwrap_or_default();
+        format!(
             "{{\"scenario\":\"{scenario}\",\"network\":\"{network_name}\",\"seed\":{},\
-             \"window_us\":{},\"report\":{}}}\n",
+             \"window_us\":{},\"report\":{}{slo_field}}}\n",
             opts.seed,
             opts.window_us,
             report.summary(true).trim_end(),
-        ))
+        )
     } else {
-        Ok(format!(
+        let mut human = format!(
             "serve scenario={scenario} network={network_name} seed={} sessions={} \
              shards={} window={}us\n{}",
             opts.seed,
@@ -1180,8 +1245,16 @@ pub fn cmd_serve_observed(
             opts.shards,
             opts.window_us,
             report.summary(false),
-        ))
+        );
+        if let Some(s) = &slo {
+            human.push_str(&s.render_human());
+        }
+        human
+    };
+    if let Some(dash) = dashboard {
+        out.push_str(&dash);
     }
+    Ok(out)
 }
 
 /// `coign gen --seed S [--size small|medium|large] [--emit <dir>] [--json]`

@@ -42,6 +42,13 @@ USAGE:
         [--window US]                   per-link batch coalescing window (simulated us)
         [--no-batch]                    send every cut-crossing message alone
         [--json]                        emit the machine-readable serving record
+        [--timeline <out|->]            write the simulated-time series (.csv for CSV,
+                                        else JSON; - appends a sparkline dashboard)
+        [--timeline-window US]          telemetry window width (default 100000 us)
+        [--slo-p99-us N]                report per-window p99 SLO violations and the
+                                        worst window's dominant link/class
+        [--trace-sample N]              with --trace: emit causal spans for every Nth
+                                        session (session/call/batch_wait/link_transit)
   coign gen        --seed N              generate a seeded synthetic application
         [--size small|medium|large]     topology size class (default small)
         [--emit <dir>]                  write the instrumented image into <dir>
@@ -241,6 +248,34 @@ fn parse_serve_args(rest: &[String]) -> Result<(String, ServeCliOptions), String
             }
             "--no-batch" => opts.batching = false,
             "--json" => opts.json = true,
+            "--timeline" => {
+                let value = it.next().ok_or("--timeline needs a path argument (or -)")?;
+                opts.timeline = Some(value.to_string());
+            }
+            "--timeline-window" => {
+                let value = it
+                    .next()
+                    .ok_or("--timeline-window needs a number argument (us)")?;
+                opts.timeline_window_us = value
+                    .parse()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("bad timeline window `{value}`"))?;
+            }
+            "--slo-p99-us" => {
+                let value = it.next().ok_or("--slo-p99-us needs a number argument")?;
+                opts.slo_p99_us = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad slo target `{value}`"))?,
+                );
+            }
+            "--trace-sample" => {
+                let value = it.next().ok_or("--trace-sample needs a number argument")?;
+                opts.trace_sample = value
+                    .parse()
+                    .map_err(|_| format!("bad trace sample rate `{value}`"))?;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `coign serve`"));
             }

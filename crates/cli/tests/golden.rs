@@ -281,6 +281,70 @@ fn serve_json_output_matches_golden_file() {
 }
 
 #[test]
+fn serve_timeline_json_matches_golden_file() {
+    // The timeline is pure simulated time (windows, busy-µs, per-window
+    // quantiles), so its bytes are pinned too. Regenerate with
+    //
+    //   cargo run -p coign-cli --bin coign -- serve gen:42 g_main --sessions 2000 \
+    //       --timeline crates/cli/tests/golden/serve_gen42_timeline.json
+    let img = resolve_image_spec("gen:42").expect("gen:42 materializes");
+    let sink =
+        std::env::temp_dir().join(format!("coign_golden_timeline_{}.json", std::process::id()));
+    let opts = ServeCliOptions {
+        sessions: 2_000,
+        timeline: Some(sink.display().to_string()),
+        ..ServeCliOptions::default()
+    };
+    let run = cmd_serve(&img, "g_main", "ethernet", &opts);
+    let written = std::fs::read_to_string(&sink);
+    std::fs::remove_file(&sink).ok();
+    run.expect("serve succeeds");
+    let written = written.expect("serve wrote the timeline file");
+    let golden = include_str!("golden/serve_gen42_timeline.json");
+    assert_eq!(
+        written, golden,
+        "`coign serve --timeline` drifted from the committed golden output; \
+         if the change is intentional, regenerate it (see the test body)"
+    );
+    assert!(golden.starts_with("{\"window_us\":100000,\"windows\":["));
+    assert!(golden.contains("\"latency_us\""));
+    assert!(golden.contains("\"links\":[{\"link\":\"0->1\""));
+}
+
+#[test]
+fn serve_timeline_is_byte_identical_across_jobs() {
+    // Per-shard series merge in shard order, so the exported timeline —
+    // like the summary — must not depend on the worker-thread count.
+    let img = resolve_image_spec("gen:42").expect("gen:42 materializes");
+    let render = |jobs: usize| {
+        let sink = std::env::temp_dir().join(format!(
+            "coign_golden_timeline_j{jobs}_{}.csv",
+            std::process::id()
+        ));
+        let opts = ServeCliOptions {
+            sessions: 2_000,
+            jobs,
+            timeline: Some(sink.display().to_string()),
+            slo_p99_us: Some(4_000),
+            ..ServeCliOptions::default()
+        };
+        let out = cmd_serve(&img, "g_main", "ethernet", &opts).expect("serve succeeds");
+        let written = std::fs::read_to_string(&sink).expect("timeline file written");
+        std::fs::remove_file(&sink).ok();
+        out + &written
+    };
+    let base = render(1);
+    assert!(base.contains("slo: target p99<=4000us"));
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            base,
+            render(jobs),
+            "serve timeline changed between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
 fn serve_summary_is_byte_identical_across_jobs() {
     // `--jobs` picks the worker-thread count, never the schedule: the
     // rendered summary must not change with it (mirrors chaos/explore).

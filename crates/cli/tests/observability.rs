@@ -21,7 +21,8 @@
 
 use coign_cli::{
     cmd_analyze_observed, cmd_instrument, cmd_profile, cmd_profile_observed, cmd_run,
-    cmd_run_observed, cmd_sweep_observed, RunFaults,
+    cmd_run_observed, cmd_serve_observed, cmd_sweep_observed, resolve_image_spec, RunFaults,
+    ServeCliOptions,
 };
 use coign_obs::{validate_chrome_trace, Obs};
 use std::path::{Path, PathBuf};
@@ -298,4 +299,59 @@ fn binary_writes_trace_and_metrics_files() {
     for p in [image, trace_path, json_path, prom_path] {
         std::fs::remove_file(&p).ok();
     }
+}
+
+#[test]
+fn serve_session_trace_is_sampled_valid_and_jobs_independent() {
+    // `--trace --trace-sample N`: sampled sessions emit causal spans
+    // (session/call/batch_wait/link_transit plus batch spans tied by flow
+    // ids), buffered per shard and merged in shard order — so the exported
+    // trace must not depend on the worker-thread count.
+    let img = resolve_image_spec("gen:42").expect("gen:42 materializes");
+    let render = |jobs: usize| {
+        let obs = fresh_obs();
+        let opts = ServeCliOptions {
+            sessions: 2_000,
+            jobs,
+            trace_sample: 100,
+            ..ServeCliOptions::default()
+        };
+        let out = cmd_serve_observed(&img, "g_main", "ethernet", &opts, Some(&obs))
+            .expect("serve succeeds");
+        (out, obs.tracer.export_chrome_json())
+    };
+    let (out_one, trace_one) = render(1);
+    for jobs in [2, 4] {
+        assert_eq!(
+            (out_one.clone(), trace_one.clone()),
+            render(jobs),
+            "serve trace changed between --jobs 1 and --jobs {jobs}"
+        );
+    }
+    let summary = validate_chrome_trace(&trace_one).expect("serve trace validates");
+    assert!(summary.has_span("serve"), "pipeline phase span present");
+    for span in ["call", "batch_wait", "link_transit", "batch"] {
+        assert!(summary.has_span(span), "missing serve span `{span}`");
+    }
+    // Every 100th of 2000 global session ids: sessions 0, 100, ... 1900.
+    let sampled: Vec<_> = summary
+        .span_names
+        .iter()
+        .filter(|n| n.starts_with("session:"))
+        .collect();
+    assert_eq!(sampled.len(), 20, "sample rate must pick every Nth session");
+
+    // Without --trace-sample the serve trace carries only the phase span.
+    let obs = fresh_obs();
+    let opts = ServeCliOptions {
+        sessions: 2_000,
+        ..ServeCliOptions::default()
+    };
+    cmd_serve_observed(&img, "g_main", "ethernet", &opts, Some(&obs)).expect("serve succeeds");
+    let summary = validate_chrome_trace(&obs.tracer.export_chrome_json())
+        .expect("unsampled serve trace validates");
+    assert!(
+        !summary.has_span("call"),
+        "no session spans without sampling"
+    );
 }

@@ -36,9 +36,11 @@
 use crate::analysis::Distribution;
 use crate::profile::IccProfile;
 use coign_com::{ComError, ComResult, EventQueue, MachineId};
-use coign_dcom::batch::{LinkBatcher, LinkKey};
+use coign_dcom::batch::{FlushReason, LinkBatcher, LinkKey};
 use coign_dcom::NetworkModel;
 use coign_obs::metrics::{exponential_bounds, Histogram};
+use coign_obs::timeseries::{TimeSeries, WindowCounts};
+use coign_obs::trace::{TraceArg, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -77,6 +79,13 @@ pub struct ServeOptions {
     pub arrival_spacing_us: u64,
     /// Cap on the per-session call script (heaviest profile edges win).
     pub script_cap: usize,
+    /// Timeline telemetry window width, simulated µs (`0` = no timeline —
+    /// the default, which keeps the hot path free of recording entirely).
+    pub timeline_window_us: u64,
+    /// Causal-tracing sample rate: every Nth session (by fleet-global id)
+    /// emits `session`/`call`/`batch_wait`/`link_transit` spans when a
+    /// tracer is supplied to [`serve_traced`] (`0` = no session tracing).
+    pub trace_sample: u64,
 }
 
 impl Default for ServeOptions {
@@ -90,6 +99,8 @@ impl Default for ServeOptions {
             window_us: 150,
             arrival_spacing_us: 100,
             script_cap: 48,
+            timeline_window_us: 0,
+            trace_sample: 0,
         }
     }
 }
@@ -103,6 +114,8 @@ struct CallSpec {
     request_bytes: u64,
     /// Simulated server compute charged per call, µs.
     compute_us: u64,
+    /// Callee classification (raw id), for timeline compute attribution.
+    to_class: u32,
 }
 
 /// Builds the session script: the profile's heaviest `script_cap` edges in
@@ -129,6 +142,7 @@ fn build_script(
                 link: (from != to).then_some((from, to)),
                 request_bytes: avg_bytes,
                 compute_us: 5 + avg_bytes / 2048,
+                to_class: key.to.0,
             }
         })
         .collect()
@@ -139,6 +153,9 @@ fn build_script(
 struct SessionState {
     /// Arrival instant (for the end-to-end latency observation).
     arrival_us: u64,
+    /// Instant the session's in-flight remote call was issued (trace
+    /// context: lets the flush/deliver event reconstruct the call span).
+    issued_us: u64,
     /// Next index into the shared call script.
     next_call: u32,
     /// Slot in the shard's session pool.
@@ -152,13 +169,15 @@ enum Event {
     Arrive(u32),
     /// A session issues its next scripted call.
     Issue(u32),
-    /// An open batch on a link flushes (batching mode only).
-    Flush(LinkKey),
+    /// An open batch on a link flushes (batching mode only). `gated` is
+    /// true when the flush was held past its window for the link to free.
+    Flush { link: LinkKey, gated: bool },
     /// An unbatched request datagram reaches the server (unbatched mode).
     Deliver {
         session: u32,
         compute_us: u64,
         server: MachineId,
+        to_class: u32,
     },
 }
 
@@ -170,10 +189,16 @@ struct ShardReport {
     remote_messages: u64,
     batches: u64,
     batched_bytes: u64,
+    window_flushes: u64,
+    link_free_flushes: u64,
     pool_hits: u64,
     pool_misses: u64,
     horizon_us: u64,
     latency: Histogram,
+    /// The shard's timeline slice, when telemetry is on.
+    series: Option<TimeSeries>,
+    /// The shard's buffered trace events, when session tracing is on.
+    trace: Option<Tracer>,
 }
 
 /// The merged, deterministic result of a serving run.
@@ -193,6 +218,13 @@ pub struct ServeReport {
     pub batches: u64,
     /// Total marshaled bytes across batched requests.
     pub batched_bytes: u64,
+    /// Batches whose coalescing window expired before the link freed.
+    /// Diagnostic only — never rendered in [`ServeReport::summary`], whose
+    /// bytes are pinned by golden tests.
+    pub window_flushes: u64,
+    /// Batches held open past their window until the link freed up.
+    /// Diagnostic only, like `window_flushes`.
+    pub link_free_flushes: u64,
     /// Sessions that reused pooled component state.
     pub pool_hits: u64,
     /// Sessions that paid full instantiation (= peak pool size summed
@@ -331,9 +363,43 @@ fn run_shard(
     opts: &ServeOptions,
     shard: usize,
     shard_sessions: u64,
+    base_session: u64,
+    tracer: Option<&Tracer>,
 ) -> ShardReport {
     let shard_seed = opts.seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut rng = StdRng::seed_from_u64(shard_seed);
+    // Telemetry is observation-only: the hooks below never touch the RNG
+    // streams or the schedule, so a telemetry-on run replays the exact
+    // event sequence of a telemetry-off run.
+    let mut series = (opts.timeline_window_us > 0).then(|| {
+        TimeSeries::new(
+            opts.timeline_window_us,
+            exponential_bounds(LATENCY_BUCKET_BASE, LATENCY_BUCKET_COUNT),
+        )
+    });
+    // Sampled sessions are chosen by fleet-global id so the sampled set is
+    // independent of the shard split; each shard buffers its spans in a
+    // child tracer, merged back in shard order for byte identity.
+    let trace = match tracer {
+        Some(t) if t.is_enabled() && opts.trace_sample > 0 => Some(t.child()),
+        _ => None,
+    };
+    let sample = opts.trace_sample.max(1);
+    // Sampling is keyed on the *global* session id so the sampled set is
+    // independent of how sessions land on shards. Precomputed per shard:
+    // the check runs once per batch member, and a table lookup beats a
+    // 64-bit modulo on that path.
+    let sampled_table: Vec<bool> = if trace.is_some() {
+        (0..shard_sessions)
+            .map(|s| (base_session + s).is_multiple_of(sample))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let sampled = |s: u32| sampled_table[s as usize];
+    // Shard-local batch sequence; flow ids stay globally unique because the
+    // shard index occupies the high bits.
+    let mut batch_seq: u64 = 0;
     // Think times are drawn tens of millions of times per run — they get a
     // dedicated splitmix64 stream instead of the (much slower) shard
     // StdRng, which stays reserved for network-jitter draws.
@@ -379,26 +445,72 @@ fn run_shard(
         arrival += rng.gen_range(1..=spacing * 2);
     }
 
+    // Scratch reused across Flush events: per-batch compute charged to the
+    // recorder in one hook call per distinct class instead of one per member.
+    // Class ids are dense (classification indices), so a direct-indexed
+    // accumulator plus a touched list keeps the per-member cost at two adds.
+    let max_class = script.iter().map(|c| c.to_class).max().unwrap_or(0) as usize;
+    let mut class_us: Vec<u64> = vec![0; max_class + 1];
+    let mut class_touched: Vec<u32> = Vec::new();
+    // Counters for the current event-time window, staged in shard-local
+    // state and folded into the recorder once per window crossing. Event
+    // pop time is monotone, so the stage flushes exactly once per window.
+    let telem = series.is_some();
+    let mut acc = WindowCounts::default();
+    let mut acc_at: u64 = 0;
+    let mut acc_end: u64 = 0;
+    let mut pops = 0u64;
+
     // One closure-free event loop: each arm mutates only shard state.
     while let Some((now, event)) = queue.pop() {
+        if telem {
+            if now >= acc_end {
+                if acc_end > 0 {
+                    if let Some(ts) = series.as_mut() {
+                        ts.add_counts(acc_at, &acc);
+                    }
+                    acc = WindowCounts::default();
+                }
+                acc_at = now;
+                acc_end = (now / opts.timeline_window_us + 1) * opts.timeline_window_us;
+            }
+            // Sampled every 64 pops: the depth series is a per-window peak
+            // estimate, and a fixed stride keeps it deterministic while
+            // staying off the hot path.
+            pops = pops.wrapping_add(1);
+            if pops & 63 == 0 {
+                acc.queue_depth_peak = acc.queue_depth_peak.max(queue.len() as u64);
+            }
+        }
         match event {
             Event::Arrive(s) => {
-                let (slot, cost) = match free_slots.pop() {
+                let (slot, cost, miss) = match free_slots.pop() {
                     Some(slot) => {
                         pool_hits += 1;
-                        (slot, ATTACH_US)
+                        (slot, ATTACH_US, false)
                     }
                     None => {
                         let slot = slots_created;
                         slots_created += 1;
-                        (slot, INSTANTIATE_US)
+                        (slot, INSTANTIATE_US, true)
                     }
                 };
                 sessions[s as usize] = SessionState {
                     arrival_us: now,
+                    issued_us: 0,
                     next_call: 0,
                     slot,
                 };
+                if telem {
+                    // Live sessions = every slot ever created minus the ones
+                    // sitting on the free list (the slot just popped/created
+                    // is live by now).
+                    acc.arrivals += 1;
+                    acc.pool_misses += u64::from(miss);
+                    acc.pool_live_peak = acc
+                        .pool_live_peak
+                        .max(u64::from(slots_created) - free_slots.len() as u64);
+                }
                 queue.schedule(now + cost, Event::Issue(s));
             }
             Event::Issue(s) => {
@@ -408,12 +520,38 @@ fn run_shard(
                 // every call through the event heap. The heap only sees the
                 // next cut-crossing call (or the session's completion).
                 let mut t = now;
+                let mut run_calls = 0u64;
+                let mut run_locals = 0u64;
                 loop {
                     let idx = sessions[s as usize].next_call as usize;
                     if idx >= script.len() {
                         // Session done: observe end-to-end latency, recycle
                         // the slot.
-                        latency.observe(t - sessions[s as usize].arrival_us);
+                        let arrival_us = sessions[s as usize].arrival_us;
+                        let lat_us = t - arrival_us;
+                        latency.observe(lat_us);
+                        if telem {
+                            acc.calls += run_calls;
+                            acc.local_calls += run_locals;
+                            acc.remote_messages += run_calls - run_locals;
+                            if let Some(ts) = series.as_mut() {
+                                ts.on_completion(t, lat_us);
+                            }
+                        }
+                        if let Some(tr) = trace.as_ref() {
+                            if sampled(s) {
+                                let gid = base_session + u64::from(s);
+                                tr.complete_at(
+                                    format!("session:{gid}"),
+                                    arrival_us,
+                                    lat_us,
+                                    vec![
+                                        ("session", TraceArg::U64(gid)),
+                                        ("calls", TraceArg::U64(script.len() as u64)),
+                                    ],
+                                );
+                            }
+                        }
                         free_slots.push(sessions[s as usize].slot);
                         completed += 1;
                         horizon = horizon.max(t);
@@ -424,11 +562,23 @@ fn run_shard(
                     match call.link {
                         None => {
                             local_calls += 1;
+                            run_calls += 1;
+                            run_locals += 1;
                             sessions[s as usize].next_call += 1;
                             t += LOCAL_CALL_US + think_us(&mut think_state);
                         }
                         Some(link) => {
                             remote_messages += 1;
+                            run_calls += 1;
+                            sessions[s as usize].issued_us = t;
+                            if telem {
+                                // The whole inline run — its local calls plus
+                                // this crossing call — staged for the run's
+                                // start window.
+                                acc.calls += run_calls;
+                                acc.local_calls += run_locals;
+                                acc.remote_messages += run_calls - run_locals;
+                            }
                             if opts.batching {
                                 if let Some(flush_at) =
                                     batcher.enqueue(link, call.request_bytes, s, t)
@@ -440,9 +590,10 @@ fn run_shard(
                                     // is later. Under load batches grow to
                                     // match the link's drain rate.
                                     let li = link_slot(&mut link_free, link);
+                                    let gated = link_free[li].1 > flush_at;
                                     queue.schedule(
                                         flush_at.max(link_free[li].1),
-                                        Event::Flush(link),
+                                        Event::Flush { link, gated },
                                     );
                                 }
                             } else {
@@ -456,12 +607,30 @@ fn run_shard(
                                 let xfer = ser_us(net, call.request_bytes);
                                 link_free[li].1 = depart + xfer as u64;
                                 let lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                                if let Some(ts) = series.as_mut() {
+                                    ts.on_batch_flush(depart, 1);
+                                    ts.on_link_busy(depart, (link.0 .0, link.1 .0), xfer as u64);
+                                }
+                                if let Some(tr) = trace.as_ref() {
+                                    if sampled(s) {
+                                        tr.complete_at(
+                                            "link_transit",
+                                            depart,
+                                            (xfer + lat) as u64,
+                                            vec![(
+                                                "session",
+                                                TraceArg::U64(base_session + u64::from(s)),
+                                            )],
+                                        );
+                                    }
+                                }
                                 queue.schedule(
                                     depart + (xfer + lat) as u64,
                                     Event::Deliver {
                                         session: s,
                                         compute_us: call.compute_us,
                                         server: link.1,
+                                        to_class: call.to_class,
                                     },
                                 );
                             }
@@ -470,9 +639,14 @@ fn run_shard(
                     }
                 }
             }
-            Event::Flush(link) => {
+            Event::Flush { link, gated } => {
                 let batch = batcher.drain(link);
                 debug_assert!(!batch.is_empty(), "flush fired on an idle link");
+                batcher.note_flush(if gated {
+                    FlushReason::LinkFreed
+                } else {
+                    FlushReason::WindowExpired
+                });
                 // A batch is one datagram: the link is occupied for a single
                 // per-datagram overhead plus every member's payload, and the
                 // batch pays one latency draw each way. Amortizing the
@@ -484,6 +658,14 @@ fn run_shard(
                 let li = link_slot(&mut link_free, link);
                 let depart = now.max(link_free[li].1);
                 let mut cursor = depart as f64 + ser_us(net, 0);
+                // Flow id tying a batch's members to the batch span: shard
+                // in the high bits, shard-local sequence below.
+                let flow = ((shard as u64) << 40) | batch_seq;
+                batch_seq += 1;
+                let mut traced_members = 0u64;
+                // Server compute begins at the first member's service start;
+                // the batch's whole compute bill is charged there per class.
+                let mut compute_at = u64::MAX;
                 for msg in &batch {
                     // Members arrive pipelined: each becomes visible to the
                     // server as soon as its own payload bytes land.
@@ -497,6 +679,50 @@ fn run_shard(
                     let reply_at =
                         machine_now[server] as f64 + reply_lat + ser_us(net, REPLY_BYTES);
                     let s = msg.payload;
+                    if telem {
+                        compute_at = compute_at.min(start);
+                        if spec.compute_us > 0 {
+                            let slot = &mut class_us[spec.to_class as usize];
+                            if *slot == 0 {
+                                class_touched.push(spec.to_class);
+                            }
+                            *slot += spec.compute_us;
+                        }
+                    }
+                    if let Some(tr) = trace.as_ref() {
+                        if sampled(s) {
+                            traced_members += 1;
+                            let gid = base_session + u64::from(s);
+                            let issued = sessions[s as usize].issued_us;
+                            tr.complete_at(
+                                "call",
+                                issued,
+                                (reply_at as u64).saturating_sub(issued),
+                                vec![
+                                    ("session", TraceArg::U64(gid)),
+                                    ("flow", TraceArg::U64(flow)),
+                                ],
+                            );
+                            tr.complete_at(
+                                "batch_wait",
+                                issued,
+                                depart.saturating_sub(issued),
+                                vec![
+                                    ("session", TraceArg::U64(gid)),
+                                    ("flow", TraceArg::U64(flow)),
+                                ],
+                            );
+                            tr.complete_at(
+                                "link_transit",
+                                depart,
+                                arrival.saturating_sub(depart),
+                                vec![
+                                    ("session", TraceArg::U64(gid)),
+                                    ("flow", TraceArg::U64(flow)),
+                                ],
+                            );
+                        }
+                    }
                     finish_call(
                         &mut sessions[s as usize],
                         &mut queue,
@@ -505,12 +731,44 @@ fn run_shard(
                         &mut think_state,
                     );
                 }
+                if let Some(ts) = series.as_mut() {
+                    for &class in &class_touched {
+                        ts.on_class_busy(compute_at, class, class_us[class as usize]);
+                        class_us[class as usize] = 0;
+                    }
+                    class_touched.clear();
+                    acc.batches += 1;
+                    acc.batch_members += batch.len() as u64;
+                    ts.on_link_busy(
+                        depart,
+                        (link.0 .0, link.1 .0),
+                        (cursor as u64).saturating_sub(depart),
+                    );
+                }
+                if traced_members > 0 {
+                    if let Some(tr) = trace.as_ref() {
+                        tr.complete_at(
+                            "batch",
+                            depart,
+                            (cursor as u64).saturating_sub(depart),
+                            vec![
+                                (
+                                    "link",
+                                    TraceArg::Str(format!("{}->{}", link.0 .0, link.1 .0)),
+                                ),
+                                ("members", TraceArg::U64(batch.len() as u64)),
+                                ("flow", TraceArg::U64(flow)),
+                            ],
+                        );
+                    }
+                }
                 link_free[li].1 = cursor as u64;
             }
             Event::Deliver {
                 session,
                 compute_us,
                 server,
+                to_class,
             } => {
                 // The datagram queues FIFO at its target replica, then the
                 // reply travels back as its own send (own latency draw).
@@ -518,14 +776,36 @@ fn run_shard(
                 let start = machine_now[slot].max(now);
                 machine_now[slot] = start + compute_us;
                 let back = net.sample_time_us(REPLY_BYTES, &mut rng);
+                let done = machine_now[slot] + back as u64;
+                if let Some(ts) = series.as_mut() {
+                    ts.on_class_busy(start, to_class, compute_us);
+                }
+                if let Some(tr) = trace.as_ref() {
+                    if sampled(session) {
+                        let issued = sessions[session as usize].issued_us;
+                        tr.complete_at(
+                            "call",
+                            issued,
+                            done.saturating_sub(issued),
+                            vec![("session", TraceArg::U64(base_session + u64::from(session)))],
+                        );
+                    }
+                }
                 finish_call(
                     &mut sessions[session as usize],
                     &mut queue,
                     session,
-                    machine_now[slot] + back as u64,
+                    done,
                     &mut think_state,
                 );
             }
+        }
+    }
+
+    // Fold the last staged window (the loop only flushes on a crossing).
+    if acc_end > 0 {
+        if let Some(ts) = series.as_mut() {
+            ts.add_counts(acc_at, &acc);
         }
     }
 
@@ -538,10 +818,14 @@ fn run_shard(
         remote_messages,
         batches: stats.batches + unbatched_batches,
         batched_bytes: stats.bytes + unbatched_bytes,
+        window_flushes: stats.window_flushes,
+        link_free_flushes: stats.link_free_flushes,
         pool_hits,
         pool_misses: u64::from(slots_created),
         horizon_us: horizon.max(queue.now_us()),
         latency,
+        series,
+        trace,
     }
 }
 
@@ -587,6 +871,22 @@ pub fn serve(
     network: &NetworkModel,
     opts: &ServeOptions,
 ) -> ComResult<ServeReport> {
+    serve_traced(profile, distribution, network, opts, None).map(|(report, _)| report)
+}
+
+/// [`serve`] with telemetry: when `opts.timeline_window_us > 0` the second
+/// return value carries the fleet timeline (per-shard series merged in
+/// shard order), and when `opts.trace_sample > 0` and `tracer` is an
+/// enabled [`Tracer`], sampled sessions emit causal spans into it (each
+/// shard buffers into a child tracer, merged back in shard order). Both
+/// outputs — and the report itself — stay byte-identical across `jobs`.
+pub fn serve_traced(
+    profile: &IccProfile,
+    distribution: &Distribution,
+    network: &NetworkModel,
+    opts: &ServeOptions,
+    tracer: Option<&Tracer>,
+) -> ComResult<(ServeReport, Option<TimeSeries>)> {
     if profile.edges.is_empty() {
         return Err(ComError::App(
             "profile carries no traffic — run `coign profile` first".to_string(),
@@ -605,6 +905,16 @@ pub fn serve(
             opts.sessions / shards as u64 + u64::from((i as u64) < opts.sessions % shards as u64)
         })
         .collect();
+    // Fleet-global id of each shard's first session (trace sampling is
+    // keyed on global ids so the sampled set survives re-sharding).
+    let bases: Vec<u64> = per_shard
+        .iter()
+        .scan(0u64, |acc, &n| {
+            let base = *acc;
+            *acc += n;
+            Some(base)
+        })
+        .collect();
     let slots: Vec<Mutex<Option<ShardReport>>> = (0..shards).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let jobs = opts.jobs.max(1).min(shards);
@@ -615,7 +925,7 @@ pub fn serve(
                 if i >= shards {
                     break;
                 }
-                let report = run_shard(&script, network, opts, i, per_shard[i]);
+                let report = run_shard(&script, network, opts, i, per_shard[i], bases[i], tracer);
                 *slots[i].lock().expect("serve shard slot") = Some(report);
             });
         }
@@ -633,6 +943,8 @@ pub fn serve(
         remote_messages: 0,
         batches: 0,
         batched_bytes: 0,
+        window_flushes: 0,
+        link_free_flushes: 0,
         pool_hits: 0,
         pool_misses: 0,
         horizon_us: 0,
@@ -640,6 +952,7 @@ pub fn serve(
         batching: opts.batching,
         requested_sessions: opts.sessions,
     };
+    let mut timeline: Option<TimeSeries> = None;
     for slot in slots {
         let shard = slot
             .into_inner()
@@ -651,12 +964,25 @@ pub fn serve(
         merged.remote_messages += shard.remote_messages;
         merged.batches += shard.batches;
         merged.batched_bytes += shard.batched_bytes;
+        merged.window_flushes += shard.window_flushes;
+        merged.link_free_flushes += shard.link_free_flushes;
         merged.pool_hits += shard.pool_hits;
         merged.pool_misses += shard.pool_misses;
         merged.horizon_us = merged.horizon_us.max(shard.horizon_us);
         merged.latency.merge_from(&shard.latency);
+        // Shard order, not completion order: both merges below are what
+        // keep timeline and trace bytes independent of --jobs.
+        if let Some(shard_series) = shard.series {
+            match timeline.as_mut() {
+                Some(t) => t.merge_from(&shard_series),
+                None => timeline = Some(shard_series),
+            }
+        }
+        if let (Some(parent), Some(child)) = (tracer, shard.trace.as_ref()) {
+            parent.merge_from(child);
+        }
     }
-    Ok(merged)
+    Ok((merged, timeline))
 }
 
 #[cfg(test)]
@@ -665,6 +991,7 @@ mod tests {
     use crate::classifier::ClassificationId;
     use crate::profile::size_bucket;
     use coign_com::Iid;
+    use coign_obs::timeseries::Window;
     use std::collections::HashMap;
 
     /// A small synthetic profile: a client-side viewer chatting with a
@@ -835,6 +1162,113 @@ mod tests {
         );
         assert!(p50 > 0.0);
         assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+    }
+
+    #[test]
+    fn flush_reasons_partition_batches_and_no_batch_never_opens_one() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let batched = serve(&profile, &dist, &net, &opts(2_000, 2, true)).unwrap();
+        assert_eq!(
+            batched.window_flushes + batched.link_free_flushes,
+            batched.batches,
+            "every flushed batch has exactly one reason"
+        );
+        assert!(batched.window_flushes > 0, "idle links flush on the window");
+        let unbatched = serve(&profile, &dist, &net, &opts(2_000, 2, false)).unwrap();
+        assert_eq!(
+            unbatched.window_flushes + unbatched.link_free_flushes,
+            0,
+            "--no-batch must never open a batch"
+        );
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_simulation() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let off = serve(&profile, &dist, &net, &opts(2_000, 2, true)).unwrap();
+        let tracer = Tracer::enabled();
+        let (on, timeline) = serve_traced(
+            &profile,
+            &dist,
+            &net,
+            &ServeOptions {
+                timeline_window_us: 10_000,
+                trace_sample: 100,
+                ..opts(2_000, 2, true)
+            },
+            Some(&tracer),
+        )
+        .unwrap();
+        assert_eq!(
+            off.summary(false) + &off.summary(true),
+            on.summary(false) + &on.summary(true),
+            "telemetry must be observation-only"
+        );
+        let timeline = timeline.expect("timeline requested");
+        assert!(!tracer.is_empty(), "sampled sessions must emit spans");
+        // Timeline totals agree with the merged report.
+        let windows = timeline.windows();
+        assert_eq!(windows.iter().map(|w| w.arrivals).sum::<u64>(), on.sessions);
+        assert_eq!(
+            windows.iter().map(|w| w.completions).sum::<u64>(),
+            on.sessions
+        );
+        assert_eq!(windows.iter().map(|w| w.calls).sum::<u64>(), on.calls);
+        assert_eq!(
+            windows.iter().map(|w| w.remote_messages).sum::<u64>(),
+            on.remote_messages
+        );
+        assert_eq!(windows.iter().map(|w| w.batches).sum::<u64>(), on.batches);
+        assert_eq!(
+            windows.iter().map(|w| w.pool_misses).sum::<u64>(),
+            on.pool_misses
+        );
+        assert_eq!(
+            windows.iter().map(Window::latency_count).sum::<u64>(),
+            on.sessions
+        );
+    }
+
+    #[test]
+    fn timeline_and_trace_are_byte_identical_across_jobs() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let render = |jobs: usize| {
+            let tracer = Tracer::enabled();
+            let (report, timeline) = serve_traced(
+                &profile,
+                &dist,
+                &net,
+                &ServeOptions {
+                    timeline_window_us: 10_000,
+                    trace_sample: 50,
+                    ..opts(2_000, jobs, true)
+                },
+                Some(&tracer),
+            )
+            .unwrap();
+            let timeline = timeline.expect("timeline requested");
+            report.summary(true)
+                + &timeline.to_json()
+                + &timeline.to_csv()
+                + &timeline.dashboard()
+                + &timeline.slo(5_000).render_human()
+                + &tracer.export_chrome_json()
+        };
+        let one = render(1);
+        for jobs in [2usize, 4, 8] {
+            assert_eq!(one, render(jobs), "telemetry must not depend on --jobs");
+        }
+        let trace_doc = &one[one.find("{\"traceEvents\"").expect("trace doc")..];
+        let summary = coign_obs::trace::validate_chrome_trace(trace_doc)
+            .expect("sampled serve trace validates");
+        assert!(summary.has_span("call"));
+        assert!(summary.has_span("batch_wait"));
+        assert!(summary.has_span("link_transit"));
+        assert!(summary.has_span("batch"));
+        assert!(summary.span_names.iter().any(|n| n.starts_with("session:")));
     }
 
     #[test]

@@ -128,6 +128,7 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,
     now_us: u64,
+    high_water: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -143,6 +144,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             seq: 0,
             now_us: 0,
+            high_water: 0,
         }
     }
 
@@ -152,6 +154,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
             now_us: 0,
+            high_water: 0,
         }
     }
 
@@ -166,6 +169,7 @@ impl<T> EventQueue<T> {
             seq,
             payload,
         }));
+        self.high_water = self.high_water.max(self.heap.len());
         at_us
     }
 
@@ -200,6 +204,14 @@ impl<T> EventQueue<T> {
     /// Whether the agenda is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The queue-depth hook for telemetry: the most pending events the
+    /// agenda has ever held. Tracked in `schedule` (one `max` per push),
+    /// so samplers read it for free instead of instrumenting every push
+    /// site themselves.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -282,6 +294,23 @@ mod tests {
         q.pop();
         assert_eq!(q.schedule_in(25, ()), 125);
         assert_eq!(q.pop(), Some((125, ())));
+    }
+
+    #[test]
+    fn event_queue_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water_mark(), 0);
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        q.schedule(30, "c");
+        assert_eq!(q.high_water_mark(), 3);
+        q.pop();
+        q.pop();
+        // The mark remembers the peak, not the current depth.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.high_water_mark(), 3);
+        q.schedule(40, "d");
+        assert_eq!(q.high_water_mark(), 3, "peak only moves on a new high");
     }
 
     #[test]

@@ -42,6 +42,21 @@ pub struct PendingMessage<T> {
     pub payload: T,
 }
 
+/// Why a batch flushed: the two bounds of the Nagle-style discipline.
+///
+/// The batcher itself only knows the window; the caller schedules the
+/// actual flush at `max(window_close, link_free)` and therefore knows
+/// which bound won. It reports the reason back via
+/// [`LinkBatcher::note_flush`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The coalescing window expired on an idle link.
+    WindowExpired,
+    /// The link was still transmitting when the window closed; the batch
+    /// kept coalescing until the link freed up.
+    LinkFreed,
+}
+
 /// Running totals over a batcher's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStats {
@@ -51,6 +66,10 @@ pub struct BatchStats {
     pub messages: u64,
     /// Total marshaled bytes enqueued.
     pub bytes: u64,
+    /// Flushes fired because the window expired ([`FlushReason::WindowExpired`]).
+    pub window_flushes: u64,
+    /// Flushes held open until the link freed ([`FlushReason::LinkFreed`]).
+    pub link_free_flushes: u64,
 }
 
 impl BatchStats {
@@ -135,6 +154,16 @@ impl<T> LinkBatcher<T> {
         self.open.get(&link).map_or(0, Vec::len)
     }
 
+    /// Records why a flush fired. The caller — who scheduled the flush at
+    /// `max(window_close, link_free)` and so knows which bound won —
+    /// reports the reason when it drains the link.
+    pub fn note_flush(&mut self, reason: FlushReason) {
+        match reason {
+            FlushReason::WindowExpired => self.stats.window_flushes += 1,
+            FlushReason::LinkFreed => self.stats.link_free_flushes += 1,
+        }
+    }
+
     /// Lifetime totals.
     pub fn stats(&self) -> BatchStats {
         self.stats
@@ -215,6 +244,40 @@ mod tests {
         assert_eq!(stats.bytes, 175);
         assert!((stats.mean_batch_size() - 1.5).abs() < 1e-12);
         assert_eq!(BatchStats::default().mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn flush_reasons_accumulate_separately() {
+        let mut b: LinkBatcher<()> = LinkBatcher::new(10);
+        b.enqueue(link(), 1, (), 0);
+        b.drain(link());
+        b.note_flush(FlushReason::WindowExpired);
+        b.enqueue(link(), 1, (), 50);
+        b.drain(link());
+        b.note_flush(FlushReason::LinkFreed);
+        b.enqueue(link(), 1, (), 90);
+        b.drain(link());
+        b.note_flush(FlushReason::LinkFreed);
+        let stats = b.stats();
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.window_flushes, 1);
+        assert_eq!(stats.link_free_flushes, 2);
+        assert_eq!(
+            stats.window_flushes + stats.link_free_flushes,
+            stats.batches,
+            "every flush has exactly one reason"
+        );
+    }
+
+    #[test]
+    fn untouched_batcher_reports_no_flushes() {
+        // The `--no-batch` invariant: a batcher the caller never feeds
+        // opens no batch and records no flush of either kind.
+        let b: LinkBatcher<u32> = LinkBatcher::new(150);
+        let stats = b.stats();
+        assert_eq!(stats.batches, 0);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.window_flushes + stats.link_free_flushes, 0);
     }
 
     #[test]

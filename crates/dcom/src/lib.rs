@@ -35,7 +35,7 @@ pub mod network;
 pub mod profiler;
 pub mod transport;
 
-pub use batch::{BatchStats, LinkBatcher, PendingMessage};
+pub use batch::{BatchStats, FlushReason, LinkBatcher, PendingMessage};
 pub use faults::{CallPolicy, Fault, FaultPlan, FaultStats, LinkSelector, TimeWindow};
 pub use health::{BreakerDecision, BreakerPolicy, BreakerState, BreakerTransition, HealthMonitor};
 pub use marshal::{message_reply_size, message_request_size, value_size};

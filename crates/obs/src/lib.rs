@@ -42,10 +42,12 @@
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod timeseries;
 pub mod trace;
 
 pub use flight::{FlightEntry, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use timeseries::{SloReport, TimeSeries};
 pub use trace::{validate_chrome_trace, PhaseSpan, TraceArg, TraceSummary, Tracer};
 
 use std::sync::{Arc, OnceLock};

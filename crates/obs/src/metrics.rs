@@ -154,36 +154,18 @@ impl Histogram {
     /// who need tighter tails should register finer bounds.
     ///
     /// Observations in the overflow bucket clamp to the largest finite
-    /// bound. An empty histogram reports 0.
+    /// bound. An empty histogram reports 0; `q` outside `[0, 1]` (including
+    /// NaN) is clamped rather than extrapolated. Use
+    /// [`try_quantile`](Histogram::try_quantile) to distinguish "empty"
+    /// from "p-whatever is 0".
     pub fn quantile(&self, q: f64) -> f64 {
-        let count = self.count();
-        if count == 0 {
-            return 0.0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let target = q * count as f64;
-        let counts = self.bucket_counts();
-        let bounds = self.bounds();
-        let mut cumulative = 0u64;
-        for (idx, &n) in counts.iter().enumerate() {
-            if n == 0 {
-                continue;
-            }
-            let next = cumulative + n;
-            if (next as f64) >= target {
-                if idx >= bounds.len() {
-                    // Overflow bucket: no finite upper edge to interpolate
-                    // toward — clamp.
-                    return bounds.last().copied().unwrap_or(0) as f64;
-                }
-                let lower = if idx == 0 { 0 } else { bounds[idx - 1] } as f64;
-                let upper = bounds[idx] as f64;
-                let fraction = (target - cumulative as f64) / n as f64;
-                return lower + fraction.clamp(0.0, 1.0) * (upper - lower);
-            }
-            cumulative = next;
-        }
-        bounds.last().copied().unwrap_or(0) as f64
+        self.try_quantile(q).unwrap_or(0.0)
+    }
+
+    /// [`quantile`](Histogram::quantile) that reports `None` on an empty
+    /// histogram instead of a fabricated 0.
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(self.bounds(), &self.bucket_counts(), q)
     }
 
     /// Folds another histogram's observations into this one by summing
@@ -204,6 +186,42 @@ impl Histogram {
         self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
         self.0.count.fetch_add(other.count(), Ordering::Relaxed);
     }
+}
+
+/// Quantile estimation over raw bucket counts, shared by [`Histogram`]
+/// and the windowed snapshots in [`crate::timeseries`] (whose per-window
+/// deltas are plain count vectors, not atomic histograms).
+///
+/// `counts` holds `bounds.len() + 1` non-cumulative entries, the last
+/// being the overflow bucket. Returns `None` when every bucket is empty;
+/// `q` is clamped into `[0, 1]` (NaN clamps to 0) before interpolating.
+pub fn quantile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> Option<f64> {
+    let count: u64 = counts.iter().sum();
+    if count == 0 {
+        return None;
+    }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let target = q * count as f64;
+    let mut cumulative = 0u64;
+    for (idx, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let next = cumulative + n;
+        if (next as f64) >= target {
+            if idx >= bounds.len() {
+                // Overflow bucket: no finite upper edge to interpolate
+                // toward — clamp.
+                return Some(bounds.last().copied().unwrap_or(0) as f64);
+            }
+            let lower = if idx == 0 { 0 } else { bounds[idx - 1] } as f64;
+            let upper = bounds[idx] as f64;
+            let fraction = (target - cumulative as f64) / n as f64;
+            return Some(lower + fraction.clamp(0.0, 1.0) * (upper - lower));
+        }
+        cumulative = next;
+    }
+    Some(bounds.last().copied().unwrap_or(0) as f64)
 }
 
 /// Exponential bucket bounds mirroring the paper's ICC message-size
@@ -492,6 +510,31 @@ mod tests {
         let p50 = one.quantile(0.5);
         assert!(p50 > 10.0 && p50 <= 20.0);
         assert!(one.quantile(1.0) <= 20.0);
+    }
+
+    #[test]
+    fn try_quantile_distinguishes_empty_from_zero() {
+        let hist = Histogram::new(vec![10, 20]);
+        assert_eq!(hist.try_quantile(0.5), None, "empty histogram is None");
+        hist.observe(0);
+        let p = hist.try_quantile(0.5).expect("one observation");
+        assert!((0.0..=10.0).contains(&p));
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let hist = Histogram::new(vec![10, 20, 30]);
+        for v in [5, 15, 25] {
+            hist.observe(v);
+        }
+        // Out-of-range q clamps to the endpoints instead of extrapolating.
+        assert_eq!(hist.quantile(-3.0), hist.quantile(0.0));
+        assert_eq!(hist.quantile(7.5), hist.quantile(1.0));
+        assert!(hist.quantile(1.0) <= 30.0);
+        // NaN is not a probability: it clamps to the low endpoint, never
+        // poisons the estimate.
+        assert_eq!(hist.quantile(f64::NAN), hist.quantile(0.0));
+        assert!(hist.quantile(f64::NAN).is_finite());
     }
 
     #[test]

@@ -99,6 +99,9 @@ enum Phase {
     Begin,
     End,
     Instant,
+    /// A complete span (`ph: "X"`): one event carrying `ts` + `dur`, used
+    /// for simulated-time spans whose extent is known at record time.
+    Complete,
 }
 
 impl Phase {
@@ -107,6 +110,7 @@ impl Phase {
             Phase::Begin => "B",
             Phase::End => "E",
             Phase::Instant => "i",
+            Phase::Complete => "X",
         }
     }
 }
@@ -118,6 +122,8 @@ struct TraceEvent {
     cat: &'static str,
     ph: Phase,
     ts: u64,
+    /// Duration for complete (`X`) events; unused otherwise.
+    dur: u64,
     tid: u32,
     args: Vec<(&'static str, TraceArg)>,
 }
@@ -132,6 +138,9 @@ impl TraceEvent {
         out.push_str(self.ph.code());
         out.push_str("\",\"ts\":");
         out.push_str(&self.ts.to_string());
+        if self.ph == Phase::Complete {
+            out.push_str(&format!(",\"dur\":{}", self.dur));
+        }
         out.push_str(&format!(",\"pid\":{PID},\"tid\":{}", self.tid));
         if self.ph == Phase::Instant {
             // Thread-scoped instant, required by the Chrome trace format.
@@ -265,6 +274,7 @@ impl Tracer {
                 cat: "pipeline",
                 ph: Phase::Begin,
                 ts: self.tick(),
+                dur: 0,
                 tid: TRACK_PIPELINE,
                 args,
             });
@@ -288,6 +298,7 @@ impl Tracer {
             cat: "pipeline",
             ph: Phase::Instant,
             ts,
+            dur: 0,
             tid: TRACK_PIPELINE,
             args,
         });
@@ -304,6 +315,34 @@ impl Tracer {
             cat: "runtime",
             ph: Phase::Instant,
             ts: at_us,
+            dur: 0,
+            tid: TRACK_RUNTIME,
+            args,
+        });
+    }
+
+    /// Records a complete (`X`) span on the runtime track: a span whose
+    /// begin and duration are both simulated-clock microseconds, known at
+    /// record time. This is the shape session/call/batch spans take in the
+    /// serving harness — the DES knows a span's full extent when the
+    /// completing event fires, so no begin/end pairing is needed, and
+    /// overlapping spans from concurrent sessions coexist on one track.
+    pub fn complete_at(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        at_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, TraceArg)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            name: name.into(),
+            cat: "runtime",
+            ph: Phase::Complete,
+            ts: at_us,
+            dur: dur_us,
             tid: TRACK_RUNTIME,
             args,
         });
@@ -359,6 +398,7 @@ impl Drop for PhaseSpan<'_> {
             cat: "pipeline",
             ph: Phase::End,
             ts,
+            dur: 0,
             tid: TRACK_PIPELINE,
             args,
         });
@@ -536,6 +576,29 @@ mod tests {
             let _span = tracer.phase_span("sweep");
         }
         assert!(tracer.export_chrome_json().contains("host_us"));
+    }
+
+    #[test]
+    fn complete_spans_carry_duration_and_validate() {
+        let tracer = Tracer::enabled();
+        tracer.complete_at("session:42", 1_000, 350, vec![("flow", TraceArg::U64(7))]);
+        tracer.complete_at("batch_wait", 1_000, 150, vec![]);
+        let json = tracer.export_chrome_json();
+        assert!(json.contains("\"ph\":\"X\",\"ts\":1000,\"dur\":350"));
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        assert!(summary.has_span("session:42"));
+        assert!(summary.has_span("batch_wait"));
+    }
+
+    #[test]
+    fn merge_from_keeps_runtime_complete_span_timestamps() {
+        let parent = Tracer::enabled();
+        let child = parent.child();
+        child.complete_at("link_transit", 900, 55, vec![]);
+        parent.merge_from(&child);
+        assert!(parent
+            .export_chrome_json()
+            .contains("\"ts\":900,\"dur\":55"));
     }
 
     #[test]

@@ -199,6 +199,30 @@ if cmp -s "$TMP/serve_gen_3.txt" "$TMP/serve_gen_3_nobatch.txt"; then
   exit 1
 fi
 
+echo "==> serve telemetry smoke (--timeline bytes, --jobs cross-check, --slo-p99-us)"
+# The timeline is recorded on the simulated clock and merged in shard
+# order, so its bytes are pinned exactly like the summary. Regenerate
+# after an intentional change with scripts/ci.sh --regen-fault-expectations.
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 \
+  --timeline "$TMP/serve_gen_3_timeline.json" > /dev/null
+if [[ "${1:-}" == "--regen-fault-expectations" ]]; then
+  cp "$TMP/serve_gen_3_timeline.json" "scripts/expected/serve_gen_3_timeline.json"
+  echo "regenerated scripts/expected/serve_gen_3_timeline.json"
+else
+  diff -u "scripts/expected/serve_gen_3_timeline.json" "$TMP/serve_gen_3_timeline.json" \
+    || { echo "serve timeline drifted for gen seed 3"; exit 1; }
+fi
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 --jobs 4 \
+  --timeline "$TMP/serve_gen_3_timeline_jobs4.json" > /dev/null
+cmp "$TMP/serve_gen_3_timeline.json" "$TMP/serve_gen_3_timeline_jobs4.json" \
+  || { echo "serve timeline differs between --jobs 1 and --jobs 4"; exit 1; }
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 \
+  --slo-p99-us 1 > "$TMP/serve_gen_3_slo.txt"
+grep -q "^slo: target p99<=1us:" "$TMP/serve_gen_3_slo.txt" \
+  || { echo "serve --slo-p99-us printed no SLO block"; exit 1; }
+grep -q "worst window" "$TMP/serve_gen_3_slo.txt" \
+  || { echo "serve --slo-p99-us attributed no worst window"; exit 1; }
+
 echo "==> perf smoke (BENCH_coign.json)"
 # Records the perf trajectory: profile replay (sequential vs parallel
 # workers), marshal-size cache hit rate, and the network sweep cold vs
