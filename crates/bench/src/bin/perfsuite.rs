@@ -18,7 +18,7 @@
 use coign::classifier::{ClassifierKind, InstanceClassifier};
 use coign::multiway::{
     analyze_multiway_with_replication, anchor_unpinned_machines, derive_tier_constraints,
-    ReplicationPlan,
+    replicate_for_distribution, ReplicaRouter, ReplicationPlan,
 };
 use coign::recovery::RecoveryConfig;
 use coign::runtime::{
@@ -26,9 +26,11 @@ use coign::runtime::{
     profile_scenarios_parallel, run_distributed, run_distributed_recovering,
 };
 use coign::sweep::{sweep, SweepGrid, SweepMode};
+use coign::Application;
 use coign_apps::scenarios::app_by_name;
 use coign_com::MachineId;
 use coign_dcom::{CallPolicy, FaultPlan, NetworkModel, NetworkProfile, TimeWindow};
+use coign_obs::metrics::quantile_from_buckets;
 use coign_obs::Obs;
 use std::sync::Arc;
 use std::time::Instant;
@@ -478,6 +480,150 @@ fn main() {
         telemetry_overhead * 100.0
     );
 
+    // 10. Degraded serving: a 100k-session run under a seeded fault plan
+    // — a permanent machine death plus message loss and latency spikes —
+    // with replica-aware failover installed. The image is gen:3 (the
+    // degraded-serve CI smoke's image) rather than section 8's gen:42:
+    // gen:3 is the small generated app whose replication-legality pass
+    // yields profitable replicas, so a machine death exercises the O(1)
+    // re-point path, not just degraded-mode shedding. The plan's horizon
+    // comes from a fault-free probe run, the same idiom `coign serve
+    // --fault-seed` uses. The windowed timeline splits the p99 into
+    // before/during/after-recovery segments (split at the first and last
+    // recovery epoch) so the degradation and the recovery are visible in
+    // the record, not just the aggregate; availability must hold a 0.85
+    // floor even while the machine is dead, and at least one call must be
+    // served by a surviving replica.
+    let deg_app =
+        coign_gen::GeneratedApp::new(coign_gen::GenSpec::new(3, coign_gen::GenSize::Small));
+    let deg_classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+    let deg_profile = profile_scenarios(&deg_app, &["g_main"], &deg_classifier)
+        .expect("gen:3 profile for the degraded serving run");
+    let deg_dist =
+        choose_distribution(&deg_app, &deg_profile, &net_profile).expect("gen:3 analysis");
+    let probe = coign::serve::serve(
+        &deg_profile,
+        &deg_dist,
+        &NetworkModel::ethernet_10baset(),
+        &serve_opts,
+    )
+    .expect("fault-free probe run");
+    let mut victims: Vec<MachineId> = deg_dist
+        .placement
+        .values()
+        .copied()
+        .filter(|m| *m != MachineId::CLIENT)
+        .collect();
+    victims.sort();
+    victims.dedup();
+    let degraded_plan = FaultPlan::seeded(42, probe.horizon_us, &victims);
+    assert!(
+        !degraded_plan.is_empty(),
+        "the seeded plan must schedule at least a machine death"
+    );
+    let degraded_replicas = {
+        let deg_rt = coign_com::ComRuntime::single_machine();
+        deg_app.register(&deg_rt);
+        let deg_registry = deg_rt.registry();
+        let mut deg_sink = coign::lint::DiagnosticSink::new();
+        let deg_report = coign::lint::analyze_replication(deg_registry, &mut deg_sink);
+        let deg_plan = ReplicationPlan::from_report(&deg_report, &deg_profile, deg_registry);
+        let deg_machines = deg_dist
+            .placement
+            .values()
+            .map(|m| m.0 as usize + 1)
+            .max()
+            .unwrap_or(2)
+            .max(2);
+        let replicas = replicate_for_distribution(
+            &deg_profile,
+            &net_profile,
+            &deg_dist,
+            deg_machines,
+            &deg_plan,
+            &[],
+        );
+        assert!(
+            !replicas.is_empty(),
+            "gen:3 must yield profitable replicas for the failover path"
+        );
+        Some(ReplicaRouter::new(&deg_dist, &replicas))
+    };
+    let degraded_opts = coign::ServeOptions {
+        timeline_window_us: 100_000,
+        faults: degraded_plan,
+        replicas: degraded_replicas.clone(),
+        ..serve_opts.clone()
+    };
+    let ((degraded, degraded_series), degraded_ms) = timed_min_ms(|| {
+        coign::serve::serve_traced(
+            &deg_profile,
+            &deg_dist,
+            &NetworkModel::ethernet_10baset(),
+            &degraded_opts,
+            None,
+        )
+        .expect("degraded serving run")
+    });
+    assert_eq!(
+        degraded.sessions, serve_opts.sessions,
+        "a faulted serve must still drain every session"
+    );
+    let dfaults = degraded
+        .faults
+        .as_ref()
+        .expect("a non-empty plan must produce a fault report");
+    let availability = dfaults.availability(degraded.calls);
+    assert!(
+        availability >= 0.85,
+        "availability {availability:.4} fell through the 0.85 floor under \
+         machine death with failover installed"
+    );
+    assert!(
+        !dfaults.dead_machines.is_empty(),
+        "the scheduled machine death was never declared"
+    );
+    let degraded_failovers = dfaults.failovers;
+    let degraded_replica_served = dfaults.replica_served;
+    assert!(
+        degraded_failovers > 0,
+        "the death must re-point at least one classification at a replica"
+    );
+    assert!(
+        degraded_replica_served > 0,
+        "no call was served by a surviving replica"
+    );
+    let recovery_epochs = dfaults.recovery_epochs.len();
+    let first_epoch_us = *dfaults
+        .recovery_epochs
+        .first()
+        .expect("machine death opens at least one recovery epoch");
+    let last_epoch_us = *dfaults.recovery_epochs.last().expect("nonempty");
+    let series = degraded_series.expect("timeline requested");
+    let bounds = series.latency_bounds().to_vec();
+    let windows = series.windows();
+    let first_idx = (first_epoch_us / degraded_opts.timeline_window_us) as usize;
+    let last_idx = (last_epoch_us / degraded_opts.timeline_window_us) as usize;
+    let p99_over = |lo: usize, hi: usize| -> f64 {
+        let mut merged = vec![0u64; bounds.len() + 1];
+        for w in windows.get(lo..hi.min(windows.len())).unwrap_or(&[]) {
+            for (m, c) in merged.iter_mut().zip(&w.latency_counts) {
+                *m += *c;
+            }
+        }
+        quantile_from_buckets(&bounds, &merged, 0.99).unwrap_or(0.0)
+    };
+    let p99_before_us = p99_over(0, first_idx);
+    let p99_during_us = p99_over(first_idx, last_idx + 1);
+    let p99_after_us = p99_over(last_idx + 1, windows.len());
+    let degraded_dead = dfaults
+        .dead_machines
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let degraded_replicated = degraded_replicas.is_some();
+
     // `profile.speedup` can sit below 1.0 on a single-core host — the
     // parallel path then only adds thread setup over the sequential replay
     // — so the field records the trajectory instead of asserting a floor.
@@ -518,12 +664,30 @@ fn main() {
          \"telemetry\":{{\"windows\":{telemetry_windows},\
          \"worst_window_p99_us\":{worst_window_p99:.1},\
          \"trace_spans\":{trace_spans},\"telemetry_ms\":{telemetry_ms:.3},\
-         \"overhead_frac\":{telemetry_overhead:.4},\"summary_identical\":true}}}}",
+         \"overhead_frac\":{telemetry_overhead:.4},\"summary_identical\":true}},\
+         \"degraded_serve\":{{\"sessions\":{},\"calls\":{},\
+         \"availability\":{availability:.4},\
+         \"failed_calls\":{},\"timeouts\":{},\"retries\":{},\"drops\":{},\
+         \"replicated\":{degraded_replicated},\
+         \"failovers\":{degraded_failovers},\
+         \"replica_served\":{degraded_replica_served},\
+         \"recovery_epochs\":{recovery_epochs},\
+         \"first_epoch_us\":{first_epoch_us},\
+         \"dead_machines\":[{degraded_dead}],\
+         \"p99_us\":{{\"before\":{p99_before_us:.1},\"during\":{p99_during_us:.1},\
+         \"after\":{p99_after_us:.1}}},\
+         \"degraded_ms\":{degraded_ms:.3}}}}}",
         SCENARIOS.len(),
         cold.points.len(),
         cold_ms / warm_ms,
         coign_gen::calibration::KS_TOLERANCE,
         serve_opts.shards,
+        degraded.sessions,
+        degraded.calls,
+        dfaults.stats.failed_calls,
+        dfaults.stats.timeouts,
+        dfaults.stats.retries,
+        dfaults.stats.drops,
     );
     std::fs::write(&out, format!("{json}\n")).expect("write benchmark output");
     println!("wrote {out}");
@@ -540,7 +704,11 @@ fn main() {
          serve {serve_sessions} session(s) in {serve_ms:.1} ms \
          ({serve_calls_per_sec:.0} calls/s wall, mean batch {mean_batch:.1}, \
          batching speedup {batching_speedup:.2}x); \
-         telemetry {telemetry_windows} window(s), {trace_spans} span(s) at {:.1}% overhead",
+         telemetry {telemetry_windows} window(s), {trace_spans} span(s) at {:.1}% overhead; \
+         degraded serve availability {availability:.4} through {recovery_epochs} recovery \
+         epoch(s) ({degraded_failovers} failover(s), {degraded_replica_served} replica-served \
+         call(s); p99 {p99_before_us:.0}/{p99_during_us:.0}/{p99_after_us:.0} us \
+         before/during/after) in {degraded_ms:.1} ms",
         hit_rate * 100.0,
         trace_overhead * 100.0,
         telemetry_overhead * 100.0

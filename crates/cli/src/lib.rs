@@ -29,6 +29,7 @@ use coign::analysis::Distribution;
 use coign::application::Application;
 use coign::classifier::{ClassifierKind, InstanceClassifier};
 use coign::config::RuntimeMode;
+use coign::multiway::{replicate_for_distribution, ReplicaRouter, ReplicationPlan};
 use coign::recovery::RecoveryConfig;
 use coign::report;
 use coign::rewriter;
@@ -730,6 +731,11 @@ pub struct ChaosOptions {
     pub trials: usize,
     /// Worker threads (1 = sequential; the summary does not depend on it).
     pub jobs: usize,
+    /// `--replicate`: install the lint-derived replica routing table, so
+    /// machine-death trials whose victims are fully replica-covered
+    /// recover by pure failover (no solve) — and the invariant checker
+    /// enforces exactly that.
+    pub replicate: bool,
 }
 
 impl Default for ChaosOptions {
@@ -738,6 +744,7 @@ impl Default for ChaosOptions {
             seed: 0,
             trials: 8,
             jobs: 1,
+            replicate: false,
         }
     }
 }
@@ -812,6 +819,7 @@ fn chaos_trial(
     master_seed: u64,
     horizon_us: u64,
     index: usize,
+    replicas: Option<&ReplicaRouter>,
     obs: Option<&Obs>,
 ) -> ComResult<ChaosTrial> {
     let trial_seed = master_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -835,7 +843,10 @@ fn chaos_trial(
         plan,
         CallPolicy::default(),
         trial_seed,
-        RecoveryConfig::default(),
+        RecoveryConfig {
+            replicas: replicas.cloned(),
+            ..RecoveryConfig::default()
+        },
         obs,
     )?;
     let coord = &run.coordinator;
@@ -869,10 +880,21 @@ fn chaos_trial(
             "VIOLATED"
         }
     };
-    // Invariant: recovery re-solves are warm-started from the base flow.
+    // Invariant: recovery re-solves are warm-started from the base flow —
+    // and a recovery whose every event resolved by replica failover must
+    // not have run any solve at all.
+    let events = coord.events();
+    let via_replicas = events.iter().filter(|e| e.via_replicas).count();
     if coord.recovery_count() > 0 {
-        if coord.warm_solves() == 0 {
+        let solver_recoveries = events.len() - via_replicas;
+        if solver_recoveries > 0 && coord.warm_solves() == 0 {
             violations.push("recovery re-solve was not warm-started".to_string());
+        }
+        if solver_recoveries == 0 && coord.warm_solves() != 0 {
+            violations.push(format!(
+                "{} warm solve(s) despite replica-covered failover",
+                coord.warm_solves()
+            ));
         }
         if coord.cold_solves() != 1 {
             violations.push(format!(
@@ -881,7 +903,7 @@ fn chaos_trial(
             ));
         }
     }
-    let line = format!(
+    let mut line = format!(
         "trial {index:02} faults=[{faults_desc}] outcome={outcome} recoveries={} epoch={} \
          warm={} migrations={} redelivered={} replayed={} double={} placement={placement}",
         coord.recovery_count(),
@@ -892,6 +914,14 @@ fn chaos_trial(
         coord.replayed_completions(),
         coord.double_executions(),
     );
+    // Replica columns only render when a router is installed, keeping the
+    // classic summary bytes untouched.
+    if replicas.is_some() {
+        line.push_str(&format!(
+            " failovers={} via_replicas={via_replicas}",
+            coord.replica_failovers(),
+        ));
+    }
     Ok(ChaosTrial {
         line,
         outcome,
@@ -960,6 +990,14 @@ pub fn cmd_chaos_observed(
     )?;
     probe.outcome?;
     let horizon_us = probe.report.clock_us.max(1);
+    // With `--replicate`, every trial runs with the same lint-derived
+    // routing table a serve fleet would install.
+    let replicas = if opts.replicate {
+        let net_profile = NetworkProfile::measure(&network, PROFILE_SAMPLES, SEED);
+        derive_replica_router(app.as_ref(), &record.profile, &net_profile, &distribution)
+    } else {
+        None
+    };
 
     let jobs = opts.jobs.max(1).min(opts.trials.max(1));
     let slots: Vec<std::sync::Mutex<Option<ComResult<ChaosTrial>>>> = (0..opts.trials)
@@ -983,6 +1021,7 @@ pub fn cmd_chaos_observed(
                     opts.seed,
                     horizon_us,
                     i,
+                    replicas.as_ref(),
                     obs,
                 );
                 *slots[i].lock().expect("chaos slot") = Some(trial);
@@ -991,8 +1030,14 @@ pub fn cmd_chaos_observed(
     });
 
     let mut out = format!(
-        "chaos scenario={scenario} network={network_name} seed={} trials={}\n",
-        opts.seed, opts.trials
+        "chaos scenario={scenario} network={network_name} seed={} trials={}{}\n",
+        opts.seed,
+        opts.trials,
+        if replicas.is_some() {
+            " replicate=on"
+        } else {
+            ""
+        },
     );
     let (mut ok, mut recovered, mut failed) = (0usize, 0usize, 0usize);
     let (mut recoveries, mut migrations) = (0u64, 0u64);
@@ -1064,6 +1109,15 @@ pub struct ServeCliOptions {
     /// `--trace-sample N`: emit causal spans for every Nth session into
     /// the global `--trace` file (0 = no session tracing).
     pub trace_sample: u64,
+    /// `--fault-plan FILE`: inject faults per the textual plan (see
+    /// [`FaultPlan::parse`]); `None` leaves the wire perfect.
+    pub fault_plan: Option<PathBuf>,
+    /// `--fault-seed N`: synthesize a seeded chaos plan over the run's
+    /// fault-free horizon (0 = no faults; ignored under `--fault-plan`).
+    pub fault_seed: u64,
+    /// `--replicate`: serve lint-proved immutable classes from replica
+    /// copies, so a machine death fails over without a re-solve.
+    pub replicate: bool,
 }
 
 impl Default for ServeCliOptions {
@@ -1087,8 +1141,44 @@ impl Default for ServeCliOptions {
             timeline_window_us: 100_000,
             slo_p99_us: None,
             trace_sample: 0,
+            fault_plan: None,
+            fault_seed: 0,
+            replicate: false,
         }
     }
+}
+
+/// Derives the replica routing table for a realized distribution: the
+/// stage-4/5 lints prove which classes are immutable
+/// ([`coign::lint::analyze_replication`]), the greedy pass copies them
+/// where a copy pays ([`replicate_for_distribution`]), and the router
+/// indexes the result home-first. `None` when no class is provably
+/// replicable or no copy strictly reduces modeled cut traffic.
+fn derive_replica_router(
+    app: &dyn Application,
+    profile: &coign::IccProfile,
+    net_profile: &NetworkProfile,
+    distribution: &Distribution,
+) -> Option<ReplicaRouter> {
+    let rt = ComRuntime::single_machine();
+    app.register(&rt);
+    let registry = rt.registry();
+    let mut sink = coign::lint::DiagnosticSink::new();
+    let report = coign::lint::analyze_replication(registry, &mut sink);
+    let plan = ReplicationPlan::from_report(&report, profile, registry);
+    let machines = distribution
+        .placement
+        .values()
+        .map(|m| m.0 as usize + 1)
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let replicas =
+        replicate_for_distribution(profile, net_profile, distribution, machines, &plan, &[]);
+    if replicas.is_empty() {
+        return None;
+    }
+    Some(ReplicaRouter::new(distribution, &replicas))
 }
 
 /// `coign serve <image> <scenario> [network] [--sessions N] [--shards K]
@@ -1138,6 +1228,59 @@ pub fn cmd_serve_observed(
     // for the named network, exactly like `coign analyze` would.
     let net_profile = NetworkProfile::measure(&network, PROFILE_SAMPLES, SEED);
     let distribution = choose_distribution(app.as_ref(), &record.profile, &net_profile)?;
+    // The fault plan: an explicit file wins; otherwise a non-zero
+    // `--fault-seed` synthesizes the seeded chaos mix over the run's own
+    // fault-free horizon — measured by a probe run, exactly like `coign
+    // chaos` fixes its fault windows — with every non-client machine a
+    // victim. Both paths are deterministic per seed, so the faulted
+    // summary stays byte-identical across `--jobs`.
+    let plan = match (&opts.fault_plan, opts.fault_seed) {
+        (Some(plan_path), _) => {
+            let text = std::fs::read_to_string(plan_path)
+                .map_err(|e| ComError::App(format!("cannot read {}: {e}", plan_path.display())))?;
+            FaultPlan::parse(&text)?
+        }
+        (None, 0) => FaultPlan::none(),
+        (None, fault_seed) => {
+            let mut victims: Vec<MachineId> = distribution
+                .placement
+                .values()
+                .copied()
+                .filter(|m| *m != MachineId::CLIENT)
+                .collect();
+            victims.sort();
+            victims.dedup();
+            let probe = coign::serve::serve(
+                &record.profile,
+                &distribution,
+                &network,
+                &coign::ServeOptions {
+                    sessions: opts.sessions,
+                    shards: opts.shards,
+                    jobs: opts.jobs,
+                    seed: opts.seed,
+                    batching: opts.batching,
+                    window_us: opts.window_us,
+                    ..coign::ServeOptions::default()
+                },
+            )?;
+            FaultPlan::seeded(fault_seed, probe.horizon_us, &victims)
+        }
+    };
+    // Replicas only matter once something can die; deriving them under a
+    // clean wire would change nothing but still cost a lint pass.
+    let replicas = if opts.replicate && !plan.is_empty() {
+        derive_replica_router(app.as_ref(), &record.profile, &net_profile, &distribution)
+    } else {
+        None
+    };
+    let inject_desc = plan
+        .faults()
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("; ");
+    let replicated = replicas.is_some();
     // Telemetry only runs when something consumes it: a timeline sink or
     // an SLO target turns the windowed recorder on; otherwise the serve
     // hot path stays recording-free and the output bytes stay identical to
@@ -1156,6 +1299,8 @@ pub fn cmd_serve_observed(
             0
         },
         trace_sample: opts.trace_sample,
+        faults: plan.clone(),
+        replicas,
         ..coign::ServeOptions::default()
     };
     let (report, timeline) = coign::serve::serve_traced(
@@ -1229,9 +1374,14 @@ pub fn cmd_serve_observed(
             .as_ref()
             .map(|s| format!(",\"slo\":{}", s.render_json()))
             .unwrap_or_default();
+        let inject_field = if plan.is_empty() {
+            String::new()
+        } else {
+            format!(",\"inject\":\"{inject_desc}\",\"replicated\":{replicated}")
+        };
         format!(
             "{{\"scenario\":\"{scenario}\",\"network\":\"{network_name}\",\"seed\":{},\
-             \"window_us\":{},\"report\":{}{slo_field}}}\n",
+             \"window_us\":{}{inject_field},\"report\":{}{slo_field}}}\n",
             opts.seed,
             opts.window_us,
             report.summary(true).trim_end(),
@@ -1239,13 +1389,16 @@ pub fn cmd_serve_observed(
     } else {
         let mut human = format!(
             "serve scenario={scenario} network={network_name} seed={} sessions={} \
-             shards={} window={}us\n{}",
-            opts.seed,
-            opts.sessions,
-            opts.shards,
-            opts.window_us,
-            report.summary(false),
+             shards={} window={}us\n",
+            opts.seed, opts.sessions, opts.shards, opts.window_us,
         );
+        if !plan.is_empty() {
+            human.push_str(&format!(
+                "inject: {inject_desc}{}\n",
+                if replicated { " [replicated]" } else { "" }
+            ));
+        }
+        human.push_str(&report.summary(false));
         if let Some(s) = &slo {
             human.push_str(&s.render_human());
         }
@@ -1299,6 +1452,9 @@ pub struct ExploreCliOptions {
     pub jobs: usize,
     /// Master seed for per-interleaving fault seeds.
     pub seed: u64,
+    /// Run every interleaving with the lint-derived replica routing table
+    /// installed, with the no-solve-failover invariants armed.
+    pub with_replicas: bool,
 }
 
 impl Default for ExploreCliOptions {
@@ -1311,6 +1467,7 @@ impl Default for ExploreCliOptions {
             with_drift: false,
             jobs: 1,
             seed: 0,
+            with_replicas: false,
         }
     }
 }
@@ -1351,6 +1508,7 @@ pub fn cmd_explore(
         with_drift: opts.with_drift,
         jobs: opts.jobs,
         seed: opts.seed,
+        with_replicas: opts.with_replicas,
     };
     coign_gen::explore::explore(spec, scenario, &gen_opts).map(|report| report.summary)
 }
@@ -1784,6 +1942,7 @@ mod tests {
             seed: 7,
             trials: 6,
             jobs: 1,
+            replicate: false,
         };
         let a = cmd_chaos(&path, "o_oldtb3", "ethernet", &opts).unwrap();
         let b = cmd_chaos(&path, "o_oldtb3", "ethernet", &opts).unwrap();
@@ -1832,6 +1991,7 @@ mod tests {
                 seed: 7,
                 trials: 8,
                 jobs: 2,
+                replicate: false,
             },
         )
         .unwrap();
@@ -1841,6 +2001,92 @@ mod tests {
         );
         assert!(summary.contains("warm=1"), "summary: {summary}");
         assert!(summary.contains("invariants: ok"), "summary: {summary}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_fault_seed_is_deterministic_and_transparent_at_zero() {
+        let path = temp_image("servefault");
+        cmd_instrument("octarine", &path).unwrap();
+        cmd_profile(&path, &["o_oldtb3"], 1).unwrap();
+        let base = ServeCliOptions {
+            sessions: 500,
+            shards: 2,
+            seed: 7,
+            ..ServeCliOptions::default()
+        };
+        // fault_seed 0 is the explicit zero-fault seed: no inject line, no
+        // fault counters — byte-identical to a build with no fault layer.
+        let clean = cmd_serve(&path, "o_oldtb3", "ethernet", &base).unwrap();
+        assert!(!clean.contains("inject:"), "{clean}");
+        assert!(!clean.contains("faults:"), "{clean}");
+        let faulted = ServeCliOptions {
+            fault_seed: 11,
+            replicate: true,
+            ..base.clone()
+        };
+        let a = cmd_serve(&path, "o_oldtb3", "ethernet", &faulted).unwrap();
+        assert!(a.contains("inject: down "), "{a}");
+        assert!(a.contains("faults: "), "{a}");
+        for jobs in [2, 4] {
+            let b = cmd_serve(
+                &path,
+                "o_oldtb3",
+                "ethernet",
+                &ServeCliOptions {
+                    jobs,
+                    ..faulted.clone()
+                },
+            )
+            .unwrap();
+            assert_eq!(a, b, "faulted summary differs at jobs={jobs}");
+        }
+        // A plan file drives the same machinery; the JSON record carries
+        // the injected plan.
+        let plan_path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!("coign_serve_plan_{}.fplan", std::process::id()));
+            std::fs::write(&p, "loss 0.05\n").unwrap();
+            p
+        };
+        let json = cmd_serve(
+            &path,
+            "o_oldtb3",
+            "ethernet",
+            &ServeCliOptions {
+                fault_plan: Some(plan_path.clone()),
+                json: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(json.contains("\"inject\":\"loss 0.05 * ..\""), "{json}");
+        assert!(json.contains("\"faults\":{"), "{json}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&plan_path).ok();
+    }
+
+    #[test]
+    fn chaos_replicate_runs_clean_and_marks_the_summary() {
+        let path = temp_image("chaosrep");
+        cmd_instrument("octarine", &path).unwrap();
+        cmd_profile(&path, &["o_oldwp7"], 1).unwrap();
+        cmd_analyze(&path, "ethernet").unwrap();
+        let summary = cmd_chaos(
+            &path,
+            "o_oldwp7",
+            "ethernet",
+            &ChaosOptions {
+                seed: 7,
+                trials: 4,
+                jobs: 2,
+                replicate: true,
+            },
+        )
+        .unwrap();
+        assert!(summary.contains("replicate=on"), "{summary}");
+        assert!(summary.contains("via_replicas="), "{summary}");
+        assert!(summary.contains("invariants: ok"), "{summary}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -34,6 +34,8 @@ USAGE:
         [--seed N]                      plans over N trials with the self-healing
         [--trials N]                    runtime, invariants checked per trial; the
         [--jobs N]                      summary is byte-identical per seed and jobs
+        [--replicate]                   install lint-derived replicas: covered machine
+                                        deaths must fail over with zero solves
   coign serve      <image> <scenario> [network]   fleet-scale serving harness:
         [--sessions N]                  simulated sessions (default 10000) multiplexed
         [--shards K]                    over K independently-clocked event shards
@@ -49,6 +51,12 @@ USAGE:
                                         worst window's dominant link/class
         [--trace-sample N]              with --trace: emit causal spans for every Nth
                                         session (session/call/batch_wait/link_transit)
+        [--fault-plan FILE]             inject faults per FILE on the simulated wire
+                                        (loss/spike/partition/down lines)
+        [--fault-seed N]                synthesize a seeded chaos plan over the run's
+                                        fault-free horizon (0 = perfect wire)
+        [--replicate]                   serve immutable classes from replica copies:
+                                        machine death fails over without a re-solve
   coign gen        --seed N              generate a seeded synthetic application
         [--size small|medium|large]     topology size class (default small)
         [--emit <dir>]                  write the instrumented image into <dir>
@@ -61,6 +69,8 @@ USAGE:
         [--thresholds F,F,...]          around recovery epochs, checking exactly-once,
         [--drift]                       placement-validity, and replication-legality
         [--seed N] [--jobs N]           invariants; violations minimize to a replay line
+        [--replicate]                   install lint-derived replicas: covered deaths
+                                        must fail over with zero solves
   coign show       <image>              inspect the configuration record
   coign hotspots   <image> [top]        communication hot spots & caching candidates
   coign script     <image> <script>     profile a scripted scenario (octarine)
@@ -193,6 +203,7 @@ fn parse_chaos_args(rest: &[String]) -> Result<(String, ChaosOptions), String> {
                     .filter(|n| *n >= 1)
                     .ok_or_else(|| format!("bad job count `{value}`"))?;
             }
+            "--replicate" => opts.replicate = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `coign chaos`"));
             }
@@ -276,6 +287,17 @@ fn parse_serve_args(rest: &[String]) -> Result<(String, ServeCliOptions), String
                     .parse()
                     .map_err(|_| format!("bad trace sample rate `{value}`"))?;
             }
+            "--fault-plan" => {
+                let value = it.next().ok_or("--fault-plan needs a file argument")?;
+                opts.fault_plan = Some(PathBuf::from(value));
+            }
+            "--fault-seed" => {
+                let value = it.next().ok_or("--fault-seed needs a number argument")?;
+                opts.fault_seed = value
+                    .parse()
+                    .map_err(|_| format!("bad fault seed `{value}`"))?;
+            }
+            "--replicate" => opts.replicate = true,
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}` for `coign serve`"));
             }
@@ -373,6 +395,7 @@ fn parse_explore_args(rest: &[String]) -> Result<(String, ExploreCliOptions), St
                 opts.thresholds = thresholds;
             }
             "--drift" => opts.with_drift = true,
+            "--replicate" => opts.with_replicas = true,
             "--seed" => {
                 let value = it.next().ok_or("--seed needs a number argument")?;
                 opts.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;

@@ -17,7 +17,7 @@ use crate::profile::IccProfile;
 use coign_com::{ClassRegistry, ComError, ComResult, MachineId};
 use coign_dcom::NetworkProfile;
 use coign_flow::{multiway_cut, refine_assignment, FlowNetwork, MaxFlowAlgorithm, INFINITE};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// A placement constraint for multiway partitioning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -397,6 +397,202 @@ fn plan_replicas(
     replicas
 }
 
+/// Re-runs the greedy replica selection for an *existing* distribution —
+/// the recovery path's "replication re-run over survivors". The home
+/// assignment is taken from the distribution as-is (homes never move
+/// here); non-remotable classifications stay unconstrained-copy-free as
+/// in [`analyze_multiway_with_replication`]; and no replica lands on a
+/// machine in `dead`. Deterministic for a given profile and distribution.
+pub fn replicate_for_distribution(
+    profile: &IccProfile,
+    network: &NetworkProfile,
+    distribution: &Distribution,
+    machine_count: usize,
+    plan: &ReplicationPlan,
+    dead: &[MachineId],
+) -> Vec<Replica> {
+    let graph = IccGraph::build(profile, network);
+    let assignment: Vec<usize> = graph
+        .nodes
+        .iter()
+        .map(|class| distribution.machine_of(*class).0 as usize)
+        .collect();
+    let mut constrained: HashSet<usize> = HashSet::new();
+    for (a, b) in &graph.non_remotable {
+        constrained.insert(*a);
+        constrained.insert(*b);
+    }
+    plan_replicas(&graph, &assignment, machine_count, plan, &constrained)
+        .into_iter()
+        .filter(|r| !dead.contains(&r.machine))
+        .collect()
+}
+
+/// What [`ReplicaRouter::drop_machine`] did to the copy sets when a
+/// machine died.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaFailover {
+    /// Classifications whose *home* died and were re-homed to their
+    /// lowest-id surviving replica (class, new home). Sorted by class.
+    pub rehomed: Vec<(ClassificationId, MachineId)>,
+    /// Classifications that lost their last copy — only a re-solve can
+    /// place these again. Sorted.
+    pub orphaned: Vec<ClassificationId>,
+    /// Replica copies (not homes) dropped with the machine.
+    pub replicas_dropped: usize,
+}
+
+impl ReplicaFailover {
+    /// True when every classification on the dead machine had a surviving
+    /// copy — recovery needs no solve at all.
+    pub fn is_complete(&self) -> bool {
+        self.orphaned.is_empty()
+    }
+}
+
+/// O(1) per-call replica routing: every classification's surviving copies
+/// (home first), with deterministic nearest-surviving selection.
+///
+/// The router is the cheap-local-reaction half of replica-aware recovery:
+/// when a machine dies, read-only traffic re-resolves to a surviving copy
+/// without any solve — prefer the live home, else a copy on the *caller's*
+/// machine (the call becomes local), else the lowest-id surviving machine.
+/// All state is plain sorted maps, so identical call sequences route
+/// identically on every shard.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicaRouter {
+    /// Copy machines per classification: home first, then replica
+    /// machines in ascending id order.
+    copies: BTreeMap<ClassificationId, Vec<MachineId>>,
+}
+
+impl ReplicaRouter {
+    /// Builds a router from a home placement plus the replicas a
+    /// placement pass chose (empty slice = no replication: every class
+    /// has exactly its home copy).
+    pub fn new(distribution: &Distribution, replicas: &[Replica]) -> Self {
+        let mut copies: BTreeMap<ClassificationId, Vec<MachineId>> = distribution
+            .placement
+            .iter()
+            .map(|(class, machine)| (*class, vec![*machine]))
+            .collect();
+        let mut sorted: Vec<&Replica> = replicas.iter().collect();
+        sorted.sort_by_key(|r| (r.class, r.machine));
+        for replica in sorted {
+            let set = copies.entry(replica.class).or_default();
+            if !set.contains(&replica.machine) {
+                set.push(replica.machine);
+            }
+        }
+        ReplicaRouter { copies }
+    }
+
+    /// True when no classification has more than its home copy.
+    pub fn has_replicas(&self) -> bool {
+        self.copies.values().any(|set| set.len() > 1)
+    }
+
+    /// Number of classifications that currently have at least one extra
+    /// copy beyond their home.
+    pub fn replicated_class_count(&self) -> usize {
+        self.copies.values().filter(|set| set.len() > 1).count()
+    }
+
+    /// The classification's copies, home first (empty when unknown).
+    pub fn copies_of(&self, class: ClassificationId) -> &[MachineId] {
+        self.copies.get(&class).map_or(&[], Vec::as_slice)
+    }
+
+    /// Routes a call to `class` from `caller`, avoiding `dead` machines:
+    /// the live home, else a surviving copy on the caller's own machine,
+    /// else the lowest-id surviving copy. `None` when the class is
+    /// unknown or every copy is dead.
+    pub fn route(
+        &self,
+        class: ClassificationId,
+        caller: MachineId,
+        dead: &BTreeSet<MachineId>,
+    ) -> Option<MachineId> {
+        let copies = self.copies.get(&class)?;
+        let home = *copies.first()?;
+        if !dead.contains(&home) {
+            return Some(home);
+        }
+        let mut best: Option<MachineId> = None;
+        for &machine in &copies[1..] {
+            if dead.contains(&machine) {
+                continue;
+            }
+            if machine == caller {
+                return Some(machine);
+            }
+            if best.is_none_or(|b| machine < b) {
+                best = Some(machine);
+            }
+        }
+        best
+    }
+
+    /// Removes every copy on `dead`: replica copies are dropped, and a
+    /// classification whose *home* died is re-homed to its lowest-id
+    /// surviving replica (or reported orphaned when none survives). The
+    /// returned summary is what the recovery layer needs to decide
+    /// between pure failover and a re-solve.
+    pub fn drop_machine(&mut self, dead: MachineId) -> ReplicaFailover {
+        let mut failover = ReplicaFailover::default();
+        for (class, copies) in self.copies.iter_mut() {
+            let home_died = copies.first() == Some(&dead);
+            let before = copies.len();
+            copies.retain(|m| *m != dead);
+            let dropped = before - copies.len();
+            if home_died {
+                failover.replicas_dropped += dropped.saturating_sub(1);
+                // Promote the lowest-id surviving replica to home.
+                copies.sort();
+                match copies.first() {
+                    Some(&new_home) => failover.rehomed.push((*class, new_home)),
+                    None => failover.orphaned.push(*class),
+                }
+            } else {
+                failover.replicas_dropped += dropped;
+            }
+        }
+        failover
+    }
+
+    /// The current home of a classification (`None` when orphaned or
+    /// unknown).
+    pub fn home_of(&self, class: ClassificationId) -> Option<MachineId> {
+        self.copies.get(&class)?.first().copied()
+    }
+
+    /// Re-bases the router on a freshly solved placement — the re-solve
+    /// half of replica-aware recovery. Homes are taken from `placement`;
+    /// surviving replicas keep serving unless they sit on a dead machine
+    /// or became redundant (co-located with the new home). Classes the
+    /// new placement no longer mentions are dropped.
+    pub fn rebase(
+        &mut self,
+        placement: &HashMap<ClassificationId, MachineId>,
+        dead: &BTreeSet<MachineId>,
+    ) {
+        let mut rebased: BTreeMap<ClassificationId, Vec<MachineId>> = BTreeMap::new();
+        for (class, &home) in placement {
+            let mut copies = vec![home];
+            if let Some(old) = self.copies.get(class) {
+                for &machine in old.iter() {
+                    if machine != home && !dead.contains(&machine) && !copies.contains(&machine) {
+                        copies.push(machine);
+                    }
+                }
+                copies[1..].sort();
+            }
+            rebased.insert(*class, copies);
+        }
+        self.copies = rebased;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +890,107 @@ mod tests {
         // five remaining machines: not enough anchors to go around.
         let err = anchor_unpinned_machines(&profile, &network(), &constraints, 6).unwrap_err();
         assert!(err.to_string().contains("no free classification"));
+    }
+
+    fn router_fixture() -> ReplicaRouter {
+        // Homes: 1→m0, 2→m1, 3→m2. Replicas: class 2 on m0 and m2.
+        let mut placement = HashMap::new();
+        placement.insert(c(1), MachineId(0));
+        placement.insert(c(2), MachineId(1));
+        placement.insert(c(3), MachineId(2));
+        let distribution = Distribution {
+            placement,
+            predicted_comm_us: 0.0,
+            network_name: "test".to_string(),
+        };
+        let replicas = [
+            Replica {
+                class: c(2),
+                machine: MachineId(2),
+                gain_us: 1.0,
+            },
+            Replica {
+                class: c(2),
+                machine: MachineId(0),
+                gain_us: 2.0,
+            },
+        ];
+        ReplicaRouter::new(&distribution, &replicas)
+    }
+
+    #[test]
+    fn router_prefers_home_then_local_copy_then_lowest_id() {
+        let router = router_fixture();
+        assert!(router.has_replicas());
+        assert_eq!(
+            router.copies_of(c(2)),
+            [MachineId(1), MachineId(0), MachineId(2)],
+            "home first, then replicas ascending"
+        );
+        let none = BTreeSet::new();
+        // Live home wins even when a local copy exists.
+        assert_eq!(router.route(c(2), MachineId(0), &none), Some(MachineId(1)));
+        let dead: BTreeSet<_> = [MachineId(1)].into();
+        // Home dead: a copy on the caller's machine makes the call local.
+        assert_eq!(router.route(c(2), MachineId(2), &dead), Some(MachineId(2)));
+        // No local copy: lowest-id survivor.
+        assert_eq!(router.route(c(2), MachineId(3), &dead), Some(MachineId(0)));
+        // A class with only its home copy dies with its machine.
+        assert_eq!(router.route(c(1), MachineId(2), &dead), Some(MachineId(0)));
+        let dead0: BTreeSet<_> = [MachineId(0)].into();
+        assert_eq!(router.route(c(1), MachineId(2), &dead0), None);
+        // Unknown classes route nowhere.
+        assert_eq!(router.route(c(9), MachineId(0), &none), None);
+    }
+
+    #[test]
+    fn drop_machine_rehomes_replicated_classes_and_orphans_the_rest() {
+        let mut router = router_fixture();
+        // Machine 1 dies: class 2's home — re-homed to its lowest
+        // surviving replica (m0); nothing else lived there.
+        let failover = router.drop_machine(MachineId(1));
+        assert_eq!(failover.rehomed, vec![(c(2), MachineId(0))]);
+        assert!(failover.orphaned.is_empty());
+        assert_eq!(failover.replicas_dropped, 0);
+        assert!(failover.is_complete());
+        assert_eq!(router.home_of(c(2)), Some(MachineId(0)));
+        assert_eq!(router.copies_of(c(2)), [MachineId(0), MachineId(2)]);
+        // Machine 2 dies next: class 2 loses a replica, class 3 — home
+        // only, no copies — is orphaned.
+        let failover = router.drop_machine(MachineId(2));
+        assert_eq!(failover.rehomed, vec![]);
+        assert_eq!(failover.orphaned, vec![c(3)]);
+        assert_eq!(failover.replicas_dropped, 1);
+        assert!(!failover.is_complete());
+        assert_eq!(router.home_of(c(3)), None);
+    }
+
+    #[test]
+    fn replicate_for_distribution_matches_the_placement_pass_and_skips_dead() {
+        let profile = shared_dictionary_profile();
+        let constraints = two_machine_anchors();
+        let plan = ReplicationPlan {
+            replicable: vec![c(2)],
+        };
+        let placed =
+            analyze_multiway_with_replication(&profile, &network(), &constraints, 2, &plan)
+                .unwrap();
+        let rerun =
+            replicate_for_distribution(&profile, &network(), &placed.distribution, 2, &plan, &[]);
+        assert_eq!(rerun, placed.replicas, "re-run over all-alive == original");
+        let replica_machine = placed.replicas[0].machine;
+        let survivors_only = replicate_for_distribution(
+            &profile,
+            &network(),
+            &placed.distribution,
+            2,
+            &plan,
+            &[replica_machine],
+        );
+        assert!(
+            survivors_only.is_empty(),
+            "no replica may land on a dead machine"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::constraints::Constraint;
 use crate::drift::DriftMonitor;
 use crate::factory::ComponentFactory;
 use crate::icc::IccGraph;
+use crate::multiway::ReplicaRouter;
 use coign_com::{ComError, ComResult, ComRuntime, MachineId, Value};
 use coign_dcom::{value_size, BreakerPolicy, HealthMonitor};
 use coign_flow::{min_cut_warm, FlowNetwork, INFINITE};
@@ -72,6 +73,12 @@ pub struct RecoveryConfig {
     /// to leave drift-triggered recovery off (machine-death recovery is
     /// always on).
     pub drift_threshold: Option<f64>,
+    /// Replica routing table for the placement (home + legal copies per
+    /// classification), or `None` for the classic one-authoritative-copy
+    /// model. With replicas installed, a machine death whose every
+    /// resident classification still has a surviving copy recovers by
+    /// pure failover — no solve at all.
+    pub replicas: Option<ReplicaRouter>,
 }
 
 /// What tripped a recovery.
@@ -105,6 +112,12 @@ pub struct RecoveryEvent {
     pub dead_machine: Option<MachineId>,
     /// Live instances relocated to realize the new cut.
     pub migrations: u64,
+    /// Live instances re-pointed to a surviving replica (no state moved —
+    /// the copy was already there).
+    pub failovers: u64,
+    /// True when the recovery resolved by replica failover alone, without
+    /// any solve (neither warm nor cold).
+    pub via_replicas: bool,
     /// Placement epoch after this recovery (starts at 0, +1 per recovery).
     pub epoch: u64,
 }
@@ -361,6 +374,8 @@ pub struct RecoveryCoordinator {
     epoch: AtomicU64,
     events: Mutex<Vec<RecoveryEvent>>,
     dead: Mutex<BTreeSet<MachineId>>,
+    replicas: Mutex<Option<ReplicaRouter>>,
+    replica_failovers: AtomicU64,
     migrations: AtomicU64,
     migrated_state_bytes: AtomicU64,
     replayed_completions: AtomicU64,
@@ -400,6 +415,8 @@ impl RecoveryCoordinator {
             epoch: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
             dead: Mutex::new(BTreeSet::new()),
+            replicas: Mutex::new(None),
+            replica_failovers: AtomicU64::new(0),
             migrations: AtomicU64::new(0),
             migrated_state_bytes: AtomicU64::new(0),
             replayed_completions: AtomicU64::new(0),
@@ -434,6 +451,25 @@ impl RecoveryCoordinator {
     /// Machines currently declared dead.
     pub fn dead_machines(&self) -> Vec<MachineId> {
         self.dead.lock().iter().copied().collect()
+    }
+
+    /// Installs a replica routing table (home + legal copies per
+    /// classification), making machine-death recovery replica-aware: a
+    /// death fully covered by surviving copies recovers by pure failover,
+    /// and re-solves re-base the surviving replicas on the new placement.
+    pub fn install_replicas(&self, router: ReplicaRouter) {
+        *self.replicas.lock() = Some(router);
+    }
+
+    /// Snapshot of the current replica routing table, if one is installed.
+    pub fn replica_router(&self) -> Option<ReplicaRouter> {
+        self.replicas.lock().clone()
+    }
+
+    /// Live instances re-pointed to surviving replicas across all
+    /// recoveries (failover moves no state — the copy already existed).
+    pub fn replica_failovers(&self) -> u64 {
+        self.replica_failovers.load(Ordering::Relaxed)
     }
 
     /// Live instances migrated across all recoveries.
@@ -563,10 +599,30 @@ impl RecoveryCoordinator {
         recovered
     }
 
-    /// One full recovery: warm re-solve, placement validation, factory
-    /// swap, instance migration, epoch bump, event + observability.
+    /// One full recovery. A machine death whose every resident
+    /// classification still has a surviving replica resolves by pure
+    /// failover — no solve at all, the cheap-local-reaction path. Every
+    /// other case takes the classic path: warm re-solve, placement
+    /// validation, factory swap, instance migration. Both paths bump the
+    /// epoch and emit an event; a re-solve re-bases surviving replicas on
+    /// the new placement so later deaths keep failing over.
     fn recover(&self, rt: &ComRuntime, trigger: RecoveryTrigger, dead: Option<MachineId>) -> bool {
         let dead = dead.or_else(|| self.current_dead());
+        if trigger == RecoveryTrigger::MachineDeath {
+            if let Some(machine) = dead {
+                let mut replicas = self.replicas.lock();
+                if let Some(router) = replicas.as_mut() {
+                    let failover = router.drop_machine(machine);
+                    if failover.is_complete() {
+                        drop(replicas);
+                        return self.fail_over(rt, machine, &failover);
+                    }
+                    // Some classification lost its last copy: fall through
+                    // to the re-solve. The router already dropped the dead
+                    // machine's copies and is re-based below.
+                }
+            }
+        }
         let placement = match self.solver.lock().solve(dead) {
             Ok(placement) => placement,
             Err(_) => return false,
@@ -610,12 +666,18 @@ impl RecoveryCoordinator {
             migrations += 1;
         }
         self.migrations.fetch_add(migrations, Ordering::Relaxed);
+        if let Some(router) = self.replicas.lock().as_mut() {
+            let dead_set = self.dead.lock().clone();
+            router.rebase(&placement, &dead_set);
+        }
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let event = RecoveryEvent {
             at_us: rt.clock().now_us(),
             trigger,
             dead_machine: dead,
             migrations,
+            failovers: 0,
+            via_replicas: false,
             epoch,
         };
         self.events.lock().push(event);
@@ -643,6 +705,90 @@ impl RecoveryCoordinator {
         true
     }
 
+    /// The no-solve recovery path: every classification homed on the dead
+    /// machine has a surviving replica, so the placement and the live
+    /// instances re-point to those copies. No flow network is touched and
+    /// no state moves — the copies already hold it — which is why the
+    /// failover is O(1) in the graph size.
+    fn fail_over(
+        &self,
+        rt: &ComRuntime,
+        machine: MachineId,
+        failover: &crate::multiway::ReplicaFailover,
+    ) -> bool {
+        let mut placement = self.factory.placement_snapshot();
+        for (class, new_home) in &failover.rehomed {
+            placement.insert(*class, *new_home);
+        }
+        if validate_placement(
+            &placement,
+            &self.constraints,
+            &self.non_remotable,
+            Some(machine),
+        )
+        .is_err()
+        {
+            return false;
+        }
+        let survivor = if machine == MachineId::CLIENT {
+            MachineId::SERVER
+        } else {
+            MachineId::CLIENT
+        };
+        self.factory.retarget_pins(machine, survivor);
+        self.factory.swap_placement(placement.clone());
+        let mut failovers = 0u64;
+        for instance in rt.instances_snapshot() {
+            let class = self
+                .classifier
+                .classification_of(instance.id)
+                .unwrap_or(ClassificationId::ROOT);
+            let target = placement
+                .get(&class)
+                .copied()
+                .unwrap_or_else(|| self.factory.placement_for(class, instance.clsid));
+            if instance.machine() == target {
+                continue;
+            }
+            // The surviving replica already holds the state on the target
+            // machine: the instance record re-points without marshaling,
+            // wire time, or clock charge.
+            instance.set_machine(target);
+            failovers += 1;
+        }
+        self.replica_failovers
+            .fetch_add(failovers, Ordering::Relaxed);
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let event = RecoveryEvent {
+            at_us: rt.clock().now_us(),
+            trigger: RecoveryTrigger::MachineDeath,
+            dead_machine: Some(machine),
+            migrations: 0,
+            failovers,
+            via_replicas: true,
+            epoch,
+        };
+        self.events.lock().push(event);
+        if let Some(obs) = &self.obs {
+            obs.tracer.instant_at(
+                "failover",
+                event.at_us,
+                vec![
+                    ("dead_machine", TraceArg::U64(u64::from(machine.0))),
+                    ("failovers", TraceArg::U64(failovers)),
+                    ("epoch", TraceArg::U64(epoch)),
+                ],
+            );
+            obs.recorder.record(
+                event.at_us,
+                "failover",
+                format!("dead={machine} failovers={failovers} epoch={epoch}"),
+            );
+            obs.recorder.dump("Recovery");
+        }
+        true
+    }
+
     /// Adds the coordinator's counters to a metrics registry.
     pub fn record_metrics(&self, registry: &coign_obs::Registry) {
         registry
@@ -657,6 +803,9 @@ impl RecoveryCoordinator {
         registry
             .counter("coign_recovery_migrations_total")
             .add(self.migration_count());
+        registry
+            .counter("coign_recovery_replica_failovers_total")
+            .add(self.replica_failovers());
         registry
             .counter("coign_recovery_migrated_state_bytes")
             .add(self.migrated_state_bytes());
@@ -777,6 +926,111 @@ mod tests {
     fn migration_state_tree_is_remotable_and_sized() {
         let bytes = value_size(&migration_state_tree()).unwrap();
         assert!(bytes > MIGRATION_STATE_BLOB_BYTES);
+    }
+
+    /// Shared scaffolding for the replica-aware recovery tests: the
+    /// document graph's base placement (root, viewer on the client;
+    /// reader, storage on the server) with a coordinator whose breaker
+    /// trips on the first MachineDown outcome.
+    fn replica_fixture(
+        replicas: &[crate::multiway::Replica],
+    ) -> (ComRuntime, Arc<HealthMonitor>, Arc<RecoveryCoordinator>) {
+        use crate::classifier::ClassifierKind;
+        let (graph, constraints) = document_graph();
+        let rt = ComRuntime::client_server();
+        let classifier = Arc::new(InstanceClassifier::new(ClassifierKind::Ifcb));
+        let mut base = HashMap::new();
+        base.insert(ClassificationId::ROOT, MachineId::CLIENT);
+        base.insert(c(1), MachineId::CLIENT);
+        base.insert(c(2), MachineId::SERVER);
+        base.insert(c(3), MachineId::SERVER);
+        let factory = Arc::new(ComponentFactory::new(base.clone(), MachineId::CLIENT, 2));
+        let health = Arc::new(HealthMonitor::new(BreakerPolicy {
+            failure_threshold: 1,
+            ..BreakerPolicy::default()
+        }));
+        let coordinator = RecoveryCoordinator::new(
+            &graph,
+            &constraints,
+            factory,
+            classifier,
+            health.clone(),
+            None,
+            None,
+        )
+        .unwrap();
+        let distribution = crate::analysis::Distribution {
+            placement: base,
+            predicted_comm_us: 0.0,
+            network_name: "test".to_string(),
+        };
+        coordinator.install_replicas(ReplicaRouter::new(&distribution, replicas));
+        (rt, health, coordinator)
+    }
+
+    #[test]
+    fn full_replica_cover_recovers_by_failover_without_any_solve() {
+        use crate::multiway::Replica;
+        // Every server-homed classification has a client replica: the
+        // death must resolve by pure failover, with zero solves beyond
+        // the base cold one.
+        let replicas = [
+            Replica {
+                class: c(2),
+                machine: MachineId::CLIENT,
+                gain_us: 1.0,
+            },
+            Replica {
+                class: c(3),
+                machine: MachineId::CLIENT,
+                gain_us: 1.0,
+            },
+        ];
+        let (rt, health, coordinator) = replica_fixture(&replicas);
+        let down = ComError::MachineDown(MachineId::SERVER);
+        let _ = health.on_failure(MachineId::CLIENT, MachineId::SERVER, &down, 0);
+        assert!(coordinator.on_call_failure(&rt, &down));
+        let events = coordinator.events();
+        assert_eq!(events.len(), 1, "events: {events:?}");
+        assert!(events[0].via_replicas, "recovery must be the no-solve path");
+        assert_eq!(events[0].migrations, 0, "failover moves no state");
+        assert_eq!(events[0].dead_machine, Some(MachineId::SERVER));
+        assert_eq!(coordinator.warm_solves(), 0, "no warm solve either");
+        assert_eq!(coordinator.cold_solves(), 1, "only the base solve");
+        coordinator.validate().unwrap();
+        let router = coordinator.replica_router().unwrap();
+        assert_eq!(router.home_of(c(2)), Some(MachineId::CLIENT));
+        assert_eq!(router.home_of(c(3)), Some(MachineId::CLIENT));
+    }
+
+    #[test]
+    fn orphaned_classification_falls_back_to_the_warm_resolve() {
+        use crate::multiway::Replica;
+        // Only the reader has a replica; the storage loses its last copy
+        // with the server, so the coordinator must warm re-solve — and
+        // then re-base the router on the solved placement.
+        let replicas = [Replica {
+            class: c(2),
+            machine: MachineId::CLIENT,
+            gain_us: 1.0,
+        }];
+        let (rt, health, coordinator) = replica_fixture(&replicas);
+        let down = ComError::MachineDown(MachineId::SERVER);
+        let _ = health.on_failure(MachineId::CLIENT, MachineId::SERVER, &down, 0);
+        assert!(coordinator.on_call_failure(&rt, &down));
+        let events = coordinator.events();
+        assert_eq!(events.len(), 1, "events: {events:?}");
+        assert!(!events[0].via_replicas, "an orphan forces the solve path");
+        assert_eq!(coordinator.warm_solves(), 1, "re-solve warm-starts");
+        assert_eq!(coordinator.cold_solves(), 1);
+        coordinator.validate().unwrap();
+        // The router re-based: every home is on the survivor, and no copy
+        // references the dead machine.
+        let router = coordinator.replica_router().unwrap();
+        for class in [ClassificationId::ROOT, c(1), c(2), c(3)] {
+            assert_eq!(router.home_of(class), Some(MachineId::CLIENT));
+            assert!(!router.copies_of(class).contains(&MachineId::SERVER));
+        }
     }
 
     /// Regression: a drift fire and a breaker machine-death declaration

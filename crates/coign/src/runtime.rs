@@ -869,6 +869,9 @@ pub fn run_distributed_recovering_observed(
         drift,
         obs.cloned(),
     )?;
+    if let Some(router) = config.replicas {
+        coordinator.install_replicas(router);
+    }
     rte.set_recovery(coordinator.clone());
     rt.add_hook(rte.clone());
 

@@ -34,15 +34,20 @@
 //! traffic shape profiling observed, multiplied by the session count.
 
 use crate::analysis::Distribution;
+use crate::classifier::ClassificationId;
+use crate::multiway::ReplicaRouter;
 use crate::profile::IccProfile;
 use coign_com::{ComError, ComResult, EventQueue, MachineId};
 use coign_dcom::batch::{FlushReason, LinkBatcher, LinkKey};
-use coign_dcom::NetworkModel;
+use coign_dcom::{
+    BreakerDecision, BreakerPolicy, CallPolicy, FaultPlan, FaultStats, HealthMonitor, NetworkModel,
+};
 use coign_obs::metrics::{exponential_bounds, Histogram};
 use coign_obs::timeseries::{TimeSeries, WindowCounts};
 use coign_obs::trace::{TraceArg, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -86,6 +91,17 @@ pub struct ServeOptions {
     /// emits `session`/`call`/`batch_wait`/`link_transit` spans when a
     /// tracer is supplied to [`serve_traced`] (`0` = no session tracing).
     pub trace_sample: u64,
+    /// Scheduled faults injected on the simulated clock. An empty plan
+    /// constructs no fault state at all, so the run is byte-identical to
+    /// a build without the fault layer.
+    pub faults: FaultPlan,
+    /// Timeout/retry/backoff policy crossing calls follow when `faults`
+    /// is non-empty.
+    pub policy: CallPolicy,
+    /// Replica routing table for failover: when a machine is declared
+    /// dead, calls targeting it re-resolve to a surviving copy in O(1)
+    /// instead of failing. `None` = no replicas (degraded mode only).
+    pub replicas: Option<ReplicaRouter>,
 }
 
 impl Default for ServeOptions {
@@ -101,6 +117,9 @@ impl Default for ServeOptions {
             script_cap: 48,
             timeline_window_us: 0,
             trace_sample: 0,
+            faults: FaultPlan::none(),
+            policy: CallPolicy::default(),
+            replicas: None,
         }
     }
 }
@@ -160,6 +179,9 @@ struct SessionState {
     next_call: u32,
     /// Slot in the shard's session pool.
     slot: u32,
+    /// Failed attempts on the current scripted call (fault runs only;
+    /// always 0 when the plan is empty).
+    attempts: u32,
 }
 
 /// Shard event payloads. `u32` session ids are shard-local.
@@ -181,6 +203,128 @@ enum Event {
     },
 }
 
+/// Per-shard fault-layer runtime, constructed only when the run carries a
+/// non-empty [`FaultPlan`]. Each shard owns its own copy (share-nothing):
+/// a dedicated fault RNG stream (never the jitter stream — transparency),
+/// a circuit-breaker monitor that declares machines dead deterministically,
+/// the shard's view of the dead set, and a replica router for O(1)
+/// failover.
+struct FaultRt {
+    plan: FaultPlan,
+    policy: CallPolicy,
+    /// Dedicated fault stream: loss draws and backoff jitter only. The
+    /// shard's jitter RNG is untouched by the fault layer.
+    rng: StdRng,
+    health: HealthMonitor,
+    router: Option<ReplicaRouter>,
+    /// Machines this shard's breakers have declared dead.
+    dead: BTreeSet<MachineId>,
+    stats: FaultStats,
+    /// Classifications re-pointed at surviving replicas at death instants.
+    failovers: u64,
+    /// Calls served by a replica instead of their (dead) home.
+    replica_served: u64,
+    /// Instants at which a machine was declared dead and routing was
+    /// re-pointed — one recovery epoch each.
+    recovery_epochs: Vec<u64>,
+}
+
+impl FaultRt {
+    /// The typed error severing `link` at `now_us`, if any: machine death
+    /// (plan-scheduled or breaker-declared) wins over a partition.
+    fn severed_error(&self, link: LinkKey, now_us: u64) -> Option<ComError> {
+        let (from, to) = link;
+        if self.dead.contains(&to) || self.plan.machine_down(to, now_us) {
+            return Some(ComError::MachineDown(to));
+        }
+        if self.dead.contains(&from) || self.plan.machine_down(from, now_us) {
+            return Some(ComError::MachineDown(from));
+        }
+        if self.plan.link_severed(from, to, now_us) {
+            return Some(ComError::Partitioned { from, to });
+        }
+        None
+    }
+
+    /// Routes a call whose home machine is dead: `Some(machine)` names the
+    /// surviving copy (possibly the caller's own machine), `None` means no
+    /// copy survives and the call is refused.
+    fn route(&self, to_class: u32, caller: MachineId) -> Option<MachineId> {
+        self.router
+            .as_ref()?
+            .route(ClassificationId(to_class), caller, &self.dead)
+    }
+}
+
+/// Declares `machine` dead at `now_us`: one new recovery epoch, replica
+/// failover re-pointing every classification homed there to a surviving
+/// copy, and a `failover` trace instant. Returns false when the machine
+/// was already dead.
+fn declare_dead(f: &mut FaultRt, machine: MachineId, now_us: u64, trace: Option<&Tracer>) -> bool {
+    if !f.dead.insert(machine) {
+        return false;
+    }
+    f.recovery_epochs.push(now_us);
+    let mut rehomed = 0u64;
+    if let Some(router) = f.router.as_mut() {
+        let failover = router.drop_machine(machine);
+        rehomed = failover.rehomed.len() as u64;
+    }
+    f.failovers += rehomed;
+    if let Some(tr) = trace {
+        tr.instant_at(
+            "failover",
+            now_us,
+            vec![
+                ("machine", TraceArg::U64(u64::from(machine.0))),
+                ("rehomed", TraceArg::U64(rehomed)),
+                ("epoch", TraceArg::U64(f.recovery_epochs.len() as u64)),
+            ],
+        );
+    }
+    true
+}
+
+/// One failed attempt under the call policy: charges `wait_us` (the
+/// timeout that exposed the failure; 0 for a breaker fast-fail), then
+/// either schedules a retry after a jittered backoff or — attempts
+/// exhausted — skips the call so the session still drains. Returns true
+/// on give-up (the call is now counted failed).
+fn retry_or_skip(
+    f: &mut FaultRt,
+    state: &mut SessionState,
+    queue: &mut EventQueue<Event>,
+    session: u32,
+    now_us: u64,
+    wait_us: u64,
+) -> bool {
+    state.attempts += 1;
+    if state.attempts > f.policy.max_retries {
+        f.stats.failed_calls += 1;
+        f.stats.wasted_us += wait_us;
+        state.attempts = 0;
+        state.next_call += 1;
+        queue.schedule(now_us + wait_us, Event::Issue(session));
+        true
+    } else {
+        f.stats.retries += 1;
+        let jitter = 1.0 + f.policy.backoff_jitter * f.rng.gen_range(-1.0f64..=1.0);
+        let backoff = (f.policy.backoff_us(state.attempts) as f64 * jitter) as u64;
+        f.stats.wasted_us += wait_us + backoff;
+        queue.schedule(now_us + wait_us + backoff, Event::Issue(session));
+        false
+    }
+}
+
+/// One shard's fault-layer outcome, merged into [`ServeFaultReport`].
+struct ShardFault {
+    stats: FaultStats,
+    failovers: u64,
+    replica_served: u64,
+    recovery_epochs: Vec<u64>,
+    dead: Vec<u16>,
+}
+
 /// Deterministic aggregate of one shard's simulation.
 struct ShardReport {
     sessions: u64,
@@ -199,6 +343,37 @@ struct ShardReport {
     series: Option<TimeSeries>,
     /// The shard's buffered trace events, when session tracing is on.
     trace: Option<Tracer>,
+    /// The shard's fault-layer outcome, when the plan was non-empty.
+    fault: Option<ShardFault>,
+}
+
+/// The merged fault-layer outcome of a faulted serving run. `None` on
+/// [`ServeReport`] when the plan was empty — the summary then renders the
+/// exact pre-fault bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeFaultReport {
+    /// Transport-level fault counters summed across shards.
+    pub stats: FaultStats,
+    /// Classifications re-pointed at surviving replicas at death instants.
+    pub failovers: u64,
+    /// Calls served by a surviving replica instead of their dead home.
+    pub replica_served: u64,
+    /// Recovery-epoch instants (machine-death declarations), sorted
+    /// across shards.
+    pub recovery_epochs: Vec<u64>,
+    /// Machines declared dead by at least one shard, sorted unique.
+    pub dead_machines: Vec<u16>,
+}
+
+impl ServeFaultReport {
+    /// Fraction of scripted calls that completed (did not fail or get
+    /// refused), given the report's total call count.
+    pub fn availability(&self, calls: u64) -> f64 {
+        if calls == 0 {
+            return 1.0;
+        }
+        (calls - self.stats.failed_calls.min(calls)) as f64 / calls as f64
+    }
 }
 
 /// The merged, deterministic result of a serving run.
@@ -239,6 +414,8 @@ pub struct ServeReport {
     pub batching: bool,
     /// Session count the caller asked for (sanity echo).
     pub requested_sessions: u64,
+    /// Fault-layer outcome; `None` when the run carried no fault plan.
+    pub faults: Option<ServeFaultReport>,
 }
 
 impl ServeReport {
@@ -276,7 +453,7 @@ impl ServeReport {
             self.latency_quantile_us(0.95),
             self.latency_quantile_us(0.99),
         );
-        if json {
+        let mut out = if json {
             format!(
                 "{{\"sessions\":{},\"shards\":{},\"calls\":{},\"local_calls\":{},\
                  \"remote_messages\":{},\"batches\":{},\"batched_bytes\":{},\
@@ -327,7 +504,60 @@ impl ServeReport {
                 p95,
                 p99,
             )
+        };
+        // Fault lines are appended only for faulted runs, so the bytes
+        // above stay pinned to the pre-fault golden output.
+        if let Some(f) = &self.faults {
+            let dead = f
+                .dead_machines
+                .iter()
+                .map(u16::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            if json {
+                out.truncate(out.len() - 2); // re-open the object: drop "}\n"
+                out.push_str(&format!(
+                    ",\"faults\":{{\"timeouts\":{},\"retries\":{},\"drops\":{},\
+                     \"failed_calls\":{},\"refused\":{},\"wasted_us\":{},\
+                     \"availability\":{:.6},\"failovers\":{},\"replica_served\":{},\
+                     \"recovery_epochs\":{},\"dead\":[{}]}}}}\n",
+                    f.stats.timeouts,
+                    f.stats.retries,
+                    f.stats.drops,
+                    f.stats.failed_calls,
+                    f.stats.machine_down_errors,
+                    f.stats.wasted_us,
+                    f.availability(self.calls),
+                    f.failovers,
+                    f.replica_served,
+                    f.recovery_epochs.len(),
+                    dead,
+                ));
+            } else {
+                out.push_str(&format!(
+                    "faults: {} timeout(s), {} retry(ies), {} drop(s), {} failed call(s), {} refused; availability {:.4}\n\
+                     failover: {} replica-served call(s), {} rehomed classification(s), dead=[{}]\n",
+                    f.stats.timeouts,
+                    f.stats.retries,
+                    f.stats.drops,
+                    f.stats.failed_calls,
+                    f.stats.machine_down_errors,
+                    f.availability(self.calls),
+                    f.replica_served,
+                    f.failovers,
+                    dead,
+                ));
+                match f.recovery_epochs.first() {
+                    Some(first) => out.push_str(&format!(
+                        "recovery: {} epoch(s), first at {}us\n",
+                        f.recovery_epochs.len(),
+                        first,
+                    )),
+                    None => out.push_str("recovery: 0 epoch(s)\n"),
+                }
+            }
         }
+        out
     }
 }
 
@@ -410,6 +640,26 @@ fn run_shard(
         LATENCY_BUCKET_BASE,
         LATENCY_BUCKET_COUNT,
     ));
+    // The fault layer exists only when the plan schedules something: a
+    // zero-fault run constructs none of this state, touches no extra RNG
+    // stream, and replays the exact pre-fault event sequence.
+    let mut fault: Option<FaultRt> = (!opts.faults.is_empty()).then(|| FaultRt {
+        plan: opts.faults.clone(),
+        policy: opts.policy,
+        rng: StdRng::seed_from_u64(shard_seed ^ 0x5DEE_CE66_D154_21A5),
+        health: HealthMonitor::new(BreakerPolicy::default()),
+        router: opts.replicas.clone(),
+        dead: BTreeSet::new(),
+        stats: FaultStats::default(),
+        failovers: 0,
+        replica_served: 0,
+        recovery_epochs: Vec::new(),
+    });
+    if fault.is_some() {
+        if let Some(ts) = series.as_mut() {
+            ts.mark_faulted();
+        }
+    }
 
     let mut sessions: Vec<SessionState> = vec![SessionState::default(); shard_sessions as usize];
     // The session pool: a LIFO free list of instantiated slots. `slots`
@@ -500,6 +750,7 @@ fn run_shard(
                     issued_us: 0,
                     next_call: 0,
                     slot,
+                    attempts: 0,
                 };
                 if telem {
                     // Live sessions = every slot ever created minus the ones
@@ -558,7 +809,12 @@ fn run_shard(
                         break;
                     }
                     let call = script[idx];
-                    calls += 1;
+                    // Retries re-enter this arm for the same script slot;
+                    // only the first attempt counts as a scripted call.
+                    let first_attempt = sessions[s as usize].attempts == 0;
+                    if first_attempt {
+                        calls += 1;
+                    }
                     match call.link {
                         None => {
                             local_calls += 1;
@@ -567,9 +823,64 @@ fn run_shard(
                             sessions[s as usize].next_call += 1;
                             t += LOCAL_CALL_US + think_us(&mut think_state);
                         }
-                        Some(link) => {
+                        Some(spec_link) => {
+                            // Fault-aware resolution: a call homed on a dead
+                            // machine re-resolves to a surviving replica in
+                            // O(1) (possibly the caller's own machine), or
+                            // is refused when no copy survives.
+                            let mut link = spec_link;
+                            if let Some(f) = fault.as_mut() {
+                                if f.dead.contains(&link.1) {
+                                    match f.route(call.to_class, link.0) {
+                                        Some(target) if target == link.0 => {
+                                            // A surviving copy lives on the
+                                            // caller's machine: the crossing
+                                            // call degrades to a local one,
+                                            // compute running in-process.
+                                            f.replica_served += 1;
+                                            if telem {
+                                                acc.replica_served += 1;
+                                            }
+                                            local_calls += 1;
+                                            run_calls += 1;
+                                            run_locals += 1;
+                                            let st = &mut sessions[s as usize];
+                                            st.attempts = 0;
+                                            st.next_call += 1;
+                                            t += LOCAL_CALL_US
+                                                + call.compute_us
+                                                + think_us(&mut think_state);
+                                            continue;
+                                        }
+                                        Some(target) => {
+                                            f.replica_served += 1;
+                                            if telem {
+                                                acc.replica_served += 1;
+                                            }
+                                            link = (link.0, target);
+                                        }
+                                        None => {
+                                            // No surviving copy anywhere: the
+                                            // call is refused and the session
+                                            // moves on degraded.
+                                            f.stats.machine_down_errors += 1;
+                                            f.stats.failed_calls += 1;
+                                            if telem {
+                                                acc.degraded += 1;
+                                            }
+                                            let st = &mut sessions[s as usize];
+                                            st.attempts = 0;
+                                            st.next_call += 1;
+                                            t += think_us(&mut think_state);
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
                             remote_messages += 1;
-                            run_calls += 1;
+                            if first_attempt {
+                                run_calls += 1;
+                            }
                             sessions[s as usize].issued_us = t;
                             if telem {
                                 // The whole inline run — its local calls plus
@@ -578,6 +889,37 @@ fn run_shard(
                                 acc.calls += run_calls;
                                 acc.local_calls += run_locals;
                                 acc.remote_messages += run_calls - run_locals;
+                                // A retry is a physical re-send of a call
+                                // already counted.
+                                if !first_attempt {
+                                    acc.remote_messages += 1;
+                                }
+                            }
+                            // Breaker fast path: an open link refuses the
+                            // attempt immediately, replaying the error that
+                            // tripped it (no timeout charged).
+                            if let Some(f) = fault.as_mut() {
+                                if let BreakerDecision::FastFail(err) =
+                                    f.health.check(link.0, link.1, t)
+                                {
+                                    if matches!(err, ComError::MachineDown(_)) {
+                                        f.stats.machine_down_errors += 1;
+                                    } else {
+                                        f.stats.timeouts += 1;
+                                    }
+                                    let gave_up = retry_or_skip(
+                                        f,
+                                        &mut sessions[s as usize],
+                                        &mut queue,
+                                        s,
+                                        t,
+                                        0,
+                                    );
+                                    if telem && gave_up {
+                                        acc.degraded += 1;
+                                    }
+                                    break;
+                                }
                             }
                             if opts.batching {
                                 if let Some(flush_at) =
@@ -597,6 +939,47 @@ fn run_shard(
                                     );
                                 }
                             } else {
+                                // Unbatched datagrams meet the wire at send
+                                // time: a severed link or a loss draw fails
+                                // the attempt into the retry policy.
+                                if let Some(f) = fault.as_mut() {
+                                    let mut failure = f.severed_error(link, t);
+                                    if failure.is_none() {
+                                        let p = f.plan.loss_probability(link.0, link.1, t);
+                                        if p > 0.0 && f.rng.gen_bool(p) {
+                                            f.stats.drops += 1;
+                                            failure = Some(ComError::Timeout {
+                                                detail: format!(
+                                                    "{}→{} datagram lost",
+                                                    link.0 .0, link.1 .0
+                                                ),
+                                            });
+                                        }
+                                    }
+                                    if let Some(err) = failure {
+                                        f.stats.timeouts += 1;
+                                        let _ = f.health.on_failure(link.0, link.1, &err, t);
+                                        for machine in f.health.drain_opened_machines() {
+                                            if declare_dead(f, machine, t, trace.as_ref()) && telem
+                                            {
+                                                acc.recoveries += 1;
+                                            }
+                                        }
+                                        let wait = f.policy.timeout_us;
+                                        let gave_up = retry_or_skip(
+                                            f,
+                                            &mut sessions[s as usize],
+                                            &mut queue,
+                                            s,
+                                            t,
+                                            wait,
+                                        );
+                                        if telem && gave_up {
+                                            acc.degraded += 1;
+                                        }
+                                        break;
+                                    }
+                                }
                                 // Independent datagram: it occupies the link
                                 // for its payload plus a full per-datagram
                                 // overhead, and pays its own latency draw.
@@ -606,7 +989,11 @@ fn run_shard(
                                 let depart = t.max(link_free[li].1);
                                 let xfer = ser_us(net, call.request_bytes);
                                 link_free[li].1 = depart + xfer as u64;
-                                let lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                                let mut lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                                if let Some(f) = fault.as_mut() {
+                                    lat *= f.plan.latency_factor(link.0, link.1, depart);
+                                    let _ = f.health.on_success(link.0, link.1);
+                                }
                                 if let Some(ts) = series.as_mut() {
                                     ts.on_batch_flush(depart, 1);
                                     ts.on_link_busy(depart, (link.0 .0, link.1 .0), xfer as u64);
@@ -640,6 +1027,50 @@ fn run_shard(
                 }
             }
             Event::Flush { link, gated } => {
+                // Faulted wire first: a severed link fails the open batch as
+                // a unit — every member gets the typed error and re-resolves
+                // through the retry policy — and a loss draw loses the whole
+                // batch, since a batch is one datagram.
+                if let Some(f) = fault.as_mut() {
+                    let mut failure = f.severed_error(link, now);
+                    if failure.is_none() {
+                        let p = f.plan.loss_probability(link.0, link.1, now);
+                        if p > 0.0 && f.rng.gen_bool(p) {
+                            f.stats.drops += 1;
+                            failure = Some(ComError::Timeout {
+                                detail: format!("{}→{} batch lost", link.0 .0, link.1 .0),
+                            });
+                        }
+                    }
+                    if let Some(err) = failure {
+                        let wait = f.policy.timeout_us;
+                        // One wire event, one breaker observation: the batch
+                        // is a single datagram, however many members it
+                        // carries.
+                        let _ = f.health.on_failure(link.0, link.1, &err, now);
+                        let members = batcher.fail_open(link, &err);
+                        for (msg, _err) in &members {
+                            f.stats.timeouts += 1;
+                            let gave_up = retry_or_skip(
+                                f,
+                                &mut sessions[msg.payload as usize],
+                                &mut queue,
+                                msg.payload,
+                                now,
+                                wait,
+                            );
+                            if telem && gave_up {
+                                acc.degraded += 1;
+                            }
+                        }
+                        for machine in f.health.drain_opened_machines() {
+                            if declare_dead(f, machine, now, trace.as_ref()) && telem {
+                                acc.recoveries += 1;
+                            }
+                        }
+                        continue;
+                    }
+                }
                 let batch = batcher.drain(link);
                 debug_assert!(!batch.is_empty(), "flush fired on an idle link");
                 batcher.note_flush(if gated {
@@ -652,8 +1083,14 @@ fn run_shard(
                 // batch pays one latency draw each way. Amortizing the
                 // overhead and the draws across members is exactly what
                 // batching buys over `--no-batch`.
-                let lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
-                let reply_lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                let mut lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                let mut reply_lat = net.sample_time_us(0, &mut rng) - ser_us(net, 0);
+                if let Some(f) = fault.as_mut() {
+                    let factor = f.plan.latency_factor(link.0, link.1, now);
+                    lat *= factor;
+                    reply_lat *= factor;
+                    let _ = f.health.on_success(link.0, link.1);
+                }
                 let server = machine_slot(&mut machine_now, link.1);
                 let li = link_slot(&mut link_free, link);
                 let depart = now.max(link_free[li].1);
@@ -826,6 +1263,13 @@ fn run_shard(
         latency,
         series,
         trace,
+        fault: fault.map(|f| ShardFault {
+            stats: f.stats,
+            failovers: f.failovers,
+            replica_served: f.replica_served,
+            recovery_epochs: f.recovery_epochs,
+            dead: f.dead.iter().map(|m| m.0).collect(),
+        }),
     }
 }
 
@@ -839,6 +1283,7 @@ fn finish_call(
     think_state: &mut u64,
 ) {
     state.next_call += 1;
+    state.attempts = 0;
     queue.schedule(done_us + think_us(think_state), Event::Issue(session));
 }
 
@@ -951,6 +1396,7 @@ pub fn serve_traced(
         latency,
         batching: opts.batching,
         requested_sessions: opts.sessions,
+        faults: None,
     };
     let mut timeline: Option<TimeSeries> = None;
     for slot in slots {
@@ -981,6 +1427,21 @@ pub fn serve_traced(
         if let (Some(parent), Some(child)) = (tracer, shard.trace.as_ref()) {
             parent.merge_from(child);
         }
+        if let Some(sf) = shard.fault {
+            let agg = merged.faults.get_or_insert_with(ServeFaultReport::default);
+            agg.stats.absorb(&sf.stats);
+            agg.failovers += sf.failovers;
+            agg.replica_served += sf.replica_served;
+            agg.recovery_epochs.extend(sf.recovery_epochs);
+            agg.dead_machines.extend(sf.dead);
+        }
+    }
+    if let Some(f) = merged.faults.as_mut() {
+        // Shards declare deaths on independent clocks; a sorted union keeps
+        // the merged view deterministic and independent of merge order.
+        f.recovery_epochs.sort_unstable();
+        f.dead_machines.sort_unstable();
+        f.dead_machines.dedup();
     }
     Ok((merged, timeline))
 }
@@ -1277,5 +1738,180 @@ mod tests {
         let net = NetworkModel::ethernet_10baset();
         assert!(serve(&IccProfile::new(), &dist, &net, &opts(10, 1, true)).is_err());
         assert!(serve(&profile, &dist, &net, &opts(0, 1, true)).is_err());
+    }
+
+    /// A router giving the server-side store (class 2) a replica on the
+    /// client machine.
+    fn store_replica_router(dist: &Distribution) -> ReplicaRouter {
+        ReplicaRouter::new(
+            dist,
+            &[crate::multiway::Replica {
+                class: ClassificationId(2),
+                machine: MachineId::CLIENT,
+                gain_us: 0.0,
+            }],
+        )
+    }
+
+    /// Renders every deterministic byte a serve run produces.
+    fn render_all(
+        profile: &IccProfile,
+        dist: &Distribution,
+        net: &NetworkModel,
+        opts: &ServeOptions,
+    ) -> String {
+        let tracer = Tracer::enabled();
+        let (report, timeline) = serve_traced(profile, dist, net, opts, Some(&tracer)).unwrap();
+        let timeline = timeline.expect("timeline requested");
+        report.summary(false)
+            + &report.summary(true)
+            + &timeline.to_json()
+            + &timeline.to_csv()
+            + &timeline.dashboard()
+            + &tracer.export_chrome_json()
+    }
+
+    #[test]
+    fn zero_fault_plan_is_byte_transparent() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let telem = |jobs: usize| ServeOptions {
+            timeline_window_us: 10_000,
+            trace_sample: 100,
+            ..opts(2_000, jobs, true)
+        };
+        let baseline = render_all(&profile, &dist, &net, &telem(1));
+        // Installing the whole fault apparatus — an explicit empty plan, a
+        // policy, a replica router — must not move a single byte, whether
+        // sequential or parallel.
+        for jobs in [1usize, 4] {
+            let armed = ServeOptions {
+                faults: FaultPlan::none(),
+                policy: CallPolicy::default(),
+                replicas: Some(store_replica_router(&dist)),
+                ..telem(jobs)
+            };
+            assert_eq!(
+                baseline,
+                render_all(&profile, &dist, &net, &armed),
+                "zero-fault serving must be byte-identical (jobs={jobs})"
+            );
+        }
+        // The seeded shorthand's zero seed is the empty plan by contract.
+        assert!(FaultPlan::seeded(0, 1_000_000, &[MachineId::SERVER]).is_empty());
+    }
+
+    #[test]
+    fn machine_death_fails_over_to_replicas_and_drains_every_session() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let faulted = |jobs: usize| ServeOptions {
+            faults: FaultPlan::none()
+                .with_machine_down(MachineId::SERVER, coign_dcom::TimeWindow::from(50_000)),
+            replicas: Some(store_replica_router(&dist)),
+            timeline_window_us: 10_000,
+            trace_sample: 100,
+            ..opts(2_000, jobs, true)
+        };
+        let tracer = Tracer::enabled();
+        let (report, timeline) =
+            serve_traced(&profile, &dist, &net, &faulted(1), Some(&tracer)).unwrap();
+        assert_eq!(report.sessions, 2_000, "every session drains");
+        assert_eq!(report.latency.count(), 2_000);
+        let f = report.faults.as_ref().expect("fault report present");
+        assert_eq!(f.dead_machines, vec![1], "the server is declared dead");
+        assert!(
+            !f.recovery_epochs.is_empty(),
+            "death opens a recovery epoch"
+        );
+        assert!(f.stats.timeouts > 0, "in-flight batches fail on the wire");
+        assert!(
+            f.replica_served > 0,
+            "read traffic fails over to the client replica"
+        );
+        assert!(f.failovers > 0, "the store is rehomed");
+        assert!(
+            f.availability(report.calls) > 0.5,
+            "replica failover keeps most calls alive (availability={})",
+            f.availability(report.calls)
+        );
+        // The summary surfaces the grep-able fault lines.
+        let human = report.summary(false);
+        assert!(human.contains("failover: "), "{human}");
+        assert!(human.contains("recovery: "), "{human}");
+        // Telemetry carries the fault columns and at least one recovery.
+        let timeline = timeline.expect("timeline requested");
+        assert!(timeline.faulted());
+        let windows = timeline.windows();
+        assert!(windows.iter().map(|w| w.recoveries).sum::<u64>() >= 1);
+        assert!(windows.iter().map(|w| w.replica_served).sum::<u64>() > 0);
+        // The causal trace records the failover instant.
+        let doc = tracer.export_chrome_json();
+        assert!(doc.contains("\"failover\""), "trace carries the instant");
+        // Byte-identical across --jobs, faults and all.
+        let one = render_all(&profile, &dist, &net, &faulted(1));
+        for jobs in [2usize, 4] {
+            assert_eq!(
+                one,
+                render_all(&profile, &dist, &net, &faulted(jobs)),
+                "faulted serving must not depend on --jobs (jobs={jobs})"
+            );
+        }
+    }
+
+    #[test]
+    fn machine_death_without_replicas_degrades_but_still_drains() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let report = serve(
+            &profile,
+            &dist,
+            &net,
+            &ServeOptions {
+                faults: FaultPlan::none()
+                    .with_machine_down(MachineId::SERVER, coign_dcom::TimeWindow::from(50_000)),
+                ..opts(1_000, 2, true)
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sessions, 1_000, "sessions drain degraded");
+        let f = report.faults.as_ref().expect("fault report present");
+        assert_eq!(f.dead_machines, vec![1]);
+        assert_eq!(f.replica_served, 0, "no replicas to serve from");
+        assert!(f.stats.failed_calls > 0, "calls to the dead store fail");
+        assert!(
+            f.stats.machine_down_errors > 0,
+            "post-death calls are refused without a timeout"
+        );
+        assert!(f.availability(report.calls) < 1.0);
+    }
+
+    #[test]
+    fn message_loss_retries_under_the_policy_and_recovers() {
+        let (profile, dist) = fixture();
+        let net = NetworkModel::ethernet_10baset();
+        let report = serve(
+            &profile,
+            &dist,
+            &net,
+            &ServeOptions {
+                faults: FaultPlan::none().with_loss(0.1),
+                ..opts(1_000, 2, true)
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sessions, 1_000);
+        let f = report.faults.as_ref().expect("fault report present");
+        assert!(f.stats.drops > 0, "a 10% loss plan drops batches");
+        assert!(f.stats.retries > 0, "lost batches re-send under the policy");
+        // Retries absorb most loss; the residue is the breaker shedding
+        // load when consecutive batches vanish.
+        assert!(
+            f.availability(report.calls) > 0.97,
+            "retries absorb transient loss (availability={})",
+            f.availability(report.calls)
+        );
+        assert!(f.recovery_epochs.is_empty(), "loss alone kills no machine");
+        assert_eq!(f.failovers, 0);
     }
 }

@@ -27,7 +27,7 @@
 //! module synchronous, single-threaded, and trivially deterministic.
 
 use crate::network::NetworkModel;
-use coign_com::MachineId;
+use coign_com::{ComError, MachineId};
 use std::collections::HashMap;
 
 /// A directed machine-to-machine link.
@@ -70,6 +70,11 @@ pub struct BatchStats {
     pub window_flushes: u64,
     /// Flushes held open until the link freed ([`FlushReason::LinkFreed`]).
     pub link_free_flushes: u64,
+    /// Open batches failed as units because their link died
+    /// ([`LinkBatcher::fail_open`]).
+    pub failed_batches: u64,
+    /// Messages drained with a typed error from failed batches.
+    pub failed_messages: u64,
 }
 
 impl BatchStats {
@@ -147,6 +152,29 @@ impl<T> LinkBatcher<T> {
     /// order. Called when the flush event fires; the link becomes idle.
     pub fn drain(&mut self, link: LinkKey) -> Vec<PendingMessage<T>> {
         self.open.remove(&link).unwrap_or_default()
+    }
+
+    /// Fails the link's open batch because the link died (machine down or
+    /// partition) with the batch still coalescing. Every member is drained
+    /// in enqueue order, paired with a clone of the typed `error`, so the
+    /// caller can re-resolve each call (retry, failover) instead of
+    /// silently charging transit on a dead link. The link becomes idle; a
+    /// still-scheduled flush event will find nothing to drain. Failing an
+    /// idle link is a no-op.
+    pub fn fail_open(
+        &mut self,
+        link: LinkKey,
+        error: &ComError,
+    ) -> Vec<(PendingMessage<T>, ComError)> {
+        let members = self.open.remove(&link).unwrap_or_default();
+        if !members.is_empty() {
+            self.stats.failed_batches += 1;
+            self.stats.failed_messages += members.len() as u64;
+        }
+        members
+            .into_iter()
+            .map(|message| (message, error.clone()))
+            .collect()
     }
 
     /// Messages currently waiting in the link's open batch.
@@ -278,6 +306,38 @@ mod tests {
         assert_eq!(stats.batches, 0);
         assert_eq!(stats.messages, 0);
         assert_eq!(stats.window_flushes + stats.link_free_flushes, 0);
+    }
+
+    #[test]
+    fn fail_open_drains_members_with_the_typed_error() {
+        let mut b: LinkBatcher<u32> = LinkBatcher::new(50);
+        assert!(b.enqueue(link(), 100, 7, 0).is_some());
+        assert!(b.enqueue(link(), 200, 8, 10).is_none());
+        let dead = ComError::MachineDown(MachineId(1));
+        let failed = b.fail_open(link(), &dead);
+        assert_eq!(
+            failed
+                .iter()
+                .map(|(m, _)| (m.bytes, m.payload))
+                .collect::<Vec<_>>(),
+            [(100, 7), (200, 8)],
+            "members drain in enqueue order"
+        );
+        assert!(
+            failed.iter().all(|(_, e)| *e == dead),
+            "every member carries the typed link-death error"
+        );
+        assert_eq!(b.pending(link()), 0);
+        let stats = b.stats();
+        assert_eq!(stats.failed_batches, 1);
+        assert_eq!(stats.failed_messages, 2);
+        // Failing an idle link is a no-op and counts nothing.
+        assert!(b.fail_open(link(), &dead).is_empty());
+        assert_eq!(b.stats().failed_batches, 1);
+        // The link is idle again: the next message opens a fresh window,
+        // and the still-scheduled flush of the failed batch finds nothing.
+        assert!(b.enqueue(link(), 10, 9, 100).is_some());
+        assert_eq!(b.drain(link()).len(), 1);
     }
 
     #[test]

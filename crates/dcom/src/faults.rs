@@ -323,6 +323,52 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Synthesizes a deterministic chaos plan from a bare seed — the
+    /// `--fault-seed S` shorthand for callers that want reproducible
+    /// faults without writing a plan file.
+    ///
+    /// Seed 0 is the explicit zero-fault seed and returns the empty plan
+    /// (transparency: byte-identical to no fault layer at all). Any other
+    /// seed drives a splitmix64 stream that always schedules one
+    /// permanent `MachineDown` of a victim drawn from `victims` at a
+    /// point in `[horizon/8, horizon/2)`, plus optionally modest loss
+    /// (1–5 %, all links) and/or a latency spike (2–4×) — the same fault
+    /// mix `coign chaos` explores, but synthesized without an RNG crate
+    /// so any layer can reproduce it from the seed alone.
+    pub fn seeded(seed: u64, horizon_us: u64, victims: &[MachineId]) -> Self {
+        if seed == 0 || victims.is_empty() || horizon_us == 0 {
+            return FaultPlan::none();
+        }
+        let mut state = seed;
+        let victim = victims[(splitmix64(&mut state) % victims.len() as u64) as usize];
+        let lo = horizon_us / 8;
+        let hi = (horizon_us / 2).max(lo + 1);
+        let at = lo + splitmix64(&mut state) % (hi - lo);
+        let mut plan = FaultPlan::none().with_machine_down(victim, TimeWindow::from(at));
+        if splitmix64(&mut state).is_multiple_of(2) {
+            let pct = 1 + splitmix64(&mut state) % 5;
+            plan = plan.with_loss(pct as f64 / 100.0);
+        }
+        if splitmix64(&mut state).is_multiple_of(2) {
+            let factor = 2 + splitmix64(&mut state) % 3;
+            let start = splitmix64(&mut state) % hi;
+            let len = (horizon_us / 8).max(1);
+            plan = plan.with_spike(factor as f64, TimeWindow::new(start, start + len));
+        }
+        plan
+    }
+}
+
+/// The splitmix64 step — the same generator the serve shards use for
+/// think-time streams, reproduced here so plan synthesis needs no RNG
+/// crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl std::fmt::Display for LinkSelector {
@@ -492,6 +538,16 @@ impl FaultStats {
         *self == FaultStats::default()
     }
 
+    /// Folds another stats block into this one (shard merging).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.drops += other.drops;
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.failed_calls += other.failed_calls;
+        self.machine_down_errors += other.machine_down_errors;
+        self.wasted_us += other.wasted_us;
+    }
+
     /// Absorbs these counters into a metrics registry under the
     /// `coign_fault_*` namespace.
     pub fn record_metrics(&self, registry: &coign_obs::Registry) {
@@ -645,6 +701,40 @@ mod tests {
     fn parse_ignores_comments_and_blank_lines() {
         let plan = FaultPlan::parse("\n# nothing\n   \n").unwrap();
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_zero_is_transparent() {
+        assert!(FaultPlan::seeded(0, 1_000_000, &[S]).is_empty());
+        assert!(FaultPlan::seeded(7, 1_000_000, &[]).is_empty());
+        assert!(FaultPlan::seeded(7, 0, &[S]).is_empty());
+        let horizon = 2_000_000;
+        for seed in [1u64, 7, 11, 42, u64::MAX] {
+            let plan = FaultPlan::seeded(seed, horizon, &[S, MachineId(2)]);
+            assert_eq!(
+                plan,
+                FaultPlan::seeded(seed, horizon, &[S, MachineId(2)]),
+                "seed {seed}: same seed, same plan"
+            );
+            let deaths: Vec<_> = plan
+                .faults()
+                .iter()
+                .filter_map(|f| match f {
+                    Fault::MachineDown { machine, window } => Some((*machine, *window)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(deaths.len(), 1, "seed {seed}: exactly one machine death");
+            let (victim, window) = deaths[0];
+            assert!(victim == S || victim == MachineId(2));
+            assert_ne!(victim, C, "the client is never the victim");
+            assert!(
+                window.from_us >= horizon / 8 && window.from_us < horizon / 2,
+                "seed {seed}: death at {} outside [horizon/8, horizon/2)",
+                window.from_us
+            );
+            assert_eq!(window.until_us, u64::MAX, "death is permanent");
+        }
     }
 
     #[test]

@@ -457,6 +457,94 @@ mod tests {
     }
 
     #[test]
+    fn probe_success_fully_closes_the_breaker() {
+        // The probe schedule is deterministic on the simulated clock: a
+        // breaker tripped at t probes exactly at t + probe_interval_us,
+        // and a full run of probe successes restores a *pristine-looking*
+        // closed breaker — the failure run restarts from zero.
+        let monitor = HealthMonitor::new(BreakerPolicy::default());
+        for at in [0, 10, 20] {
+            monitor.on_failure(C, S, &timeout(), at);
+        }
+        assert!(matches!(
+            monitor.check(C, S, 20_019),
+            BreakerDecision::FastFail(_)
+        ));
+        assert_eq!(
+            monitor.check(C, S, 20_020),
+            BreakerDecision::Probe,
+            "probe due exactly at trip + probe_interval"
+        );
+        assert_eq!(monitor.on_success(C, S), None);
+        assert_eq!(monitor.on_success(C, S), Some(BreakerTransition::Closed));
+        assert_eq!(monitor.link_state(C, S), BreakerState::Closed);
+        // Fully closed: a single new failure does not trip — the
+        // consecutive-failure counter reset with the close.
+        assert_eq!(monitor.on_failure(C, S, &timeout(), 30_000), (None, None));
+        assert_eq!(monitor.link_state(C, S), BreakerState::Closed);
+        assert_eq!(monitor.check(C, S, 30_001), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn probe_failure_reopens_with_the_backoff_reset() {
+        // A failed probe re-opens the breaker and re-arms the probe timer
+        // from the *failure* instant, not the original trip: the backoff
+        // resets deterministically each time a probe fails.
+        let policy = BreakerPolicy::default();
+        let interval = policy.probe_interval_us;
+        let monitor = HealthMonitor::new(policy);
+        for at in [0, 10, 20] {
+            monitor.on_failure(C, S, &timeout(), at);
+        }
+        let mut probe_at = 20 + interval;
+        for round in 0..3u64 {
+            assert_eq!(
+                monitor.check(C, S, probe_at),
+                BreakerDecision::Probe,
+                "round {round}: probe due exactly on schedule"
+            );
+            let fail_at = probe_at + 5;
+            let (transition, _) = monitor.on_failure(C, S, &timeout(), fail_at);
+            assert_eq!(
+                transition,
+                Some(BreakerTransition::Opened),
+                "round {round}: one probe failure re-opens immediately"
+            );
+            // Fast-fails until exactly fail_at + interval.
+            assert!(matches!(
+                monitor.check(C, S, fail_at + interval - 1),
+                BreakerDecision::FastFail(_)
+            ));
+            probe_at = fail_at + interval;
+        }
+        assert_eq!(monitor.stats().opens, 4);
+        assert_eq!(monitor.stats().probes, 3);
+    }
+
+    #[test]
+    fn probe_failure_with_machine_down_covers_the_mixed_kind_rule() {
+        // Mixed-kind sequence ending in a MachineDown probe failure: the
+        // HalfOpen→Open trip IS a MachineDown, so the machine must be
+        // declared dead on the spot even though only one MachineDown
+        // outcome ever reached the machine counter (fast-fails feed it
+        // nothing). Subsequent fast-fails replay the MachineDown error.
+        let monitor = HealthMonitor::new(BreakerPolicy::default());
+        for at in [0, 10, 20] {
+            monitor.on_failure(C, S, &ComError::Partitioned { from: C, to: S }, at);
+        }
+        assert_eq!(monitor.check(C, S, 40_020), BreakerDecision::Probe);
+        let (transition, opened) = monitor.on_failure(C, S, &ComError::MachineDown(S), 40_025);
+        assert_eq!(transition, Some(BreakerTransition::Opened));
+        assert_eq!(opened, Some(S), "the tripping MachineDown declares death");
+        assert!(monitor.machine_open(S));
+        assert_eq!(monitor.drain_opened_machines(), vec![S]);
+        match monitor.check(C, S, 40_030) {
+            BreakerDecision::FastFail(ComError::MachineDown(m)) => assert_eq!(m, S),
+            other => panic!("expected a machine-down fast-fail, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn machine_down_outcomes_open_the_machine_breaker_once() {
         let monitor = HealthMonitor::new(BreakerPolicy::default());
         let down = ComError::MachineDown(S);

@@ -45,6 +45,7 @@ use std::sync::Arc;
 use coign::analysis::Distribution;
 use coign::classifier::{ClassifierKind, InstanceClassifier};
 use coign::lint::{analyze_replication, DiagnosticSink};
+use coign::multiway::{replicate_for_distribution, ReplicaRouter, ReplicationPlan};
 use coign::recovery::RecoveryConfig;
 use coign::runtime::{choose_distribution, profile_scenarios, run_distributed_recovering};
 use coign::{Application, IccProfile};
@@ -82,6 +83,11 @@ pub struct ExploreOptions {
     pub jobs: usize,
     /// Master seed mixed into per-interleaving fault seeds.
     pub seed: u64,
+    /// Install the lint-derived replica routing table before every run, so
+    /// replica-covered machine deaths must recover by pure failover — and
+    /// the invariant battery additionally enforces that no solve (warm or
+    /// cold beyond the base) runs on that path.
+    pub with_replicas: bool,
 }
 
 impl Default for ExploreOptions {
@@ -95,6 +101,7 @@ impl Default for ExploreOptions {
             with_drift: false,
             jobs: 1,
             seed: 0,
+            with_replicas: false,
         }
     }
 }
@@ -128,6 +135,8 @@ struct RunStats {
     redelivered: u64,
     replayed: u64,
     doubles: u64,
+    failovers: u64,
+    via_replicas: u64,
     violations: Vec<String>,
 }
 
@@ -139,6 +148,7 @@ struct Harness {
     profile: IccProfile,
     network: NetworkModel,
     master_seed: u64,
+    replicas: Option<ReplicaRouter>,
 }
 
 impl Harness {
@@ -158,6 +168,7 @@ impl Harness {
                 ..BreakerPolicy::default()
             },
             drift_threshold: point.drift.then_some(DRIFT_THRESHOLD),
+            replicas: self.replicas.clone(),
         };
         let fault_seed = self.master_seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let run = run_distributed_recovering(
@@ -195,15 +206,36 @@ impl Harness {
         if let Err(detail) = coord.validate() {
             violations.push(format!("placement: {detail}"));
         }
+        let events = coord.events();
+        let via_replicas = events.iter().filter(|e| e.via_replicas).count() as u64;
         if coord.recovery_count() > 0 {
-            if coord.warm_solves() == 0 {
+            let solver_recoveries = events.len() as u64 - via_replicas;
+            if solver_recoveries > 0 && coord.warm_solves() == 0 {
                 violations.push("recovery re-solve was not warm-started".to_string());
+            }
+            if solver_recoveries == 0 && coord.warm_solves() != 0 {
+                violations.push(format!(
+                    "{} warm solve(s) despite replica-covered failover",
+                    coord.warm_solves()
+                ));
             }
             if coord.cold_solves() != 1 {
                 violations.push(format!(
                     "{} cold solve(s), expected exactly the base solve",
                     coord.cold_solves()
                 ));
+            }
+        }
+        // A no-solve failover re-points calls; it never moves state.
+        for event in events.iter().filter(|e| e.via_replicas) {
+            if event.migrations != 0 {
+                violations.push(format!(
+                    "replica failover migrated {} instance(s)",
+                    event.migrations
+                ));
+            }
+            if event.failovers == 0 {
+                violations.push("via_replicas recovery re-pointed nothing".to_string());
             }
         }
         // Exactly-once at the application level: the ledger can never see
@@ -244,6 +276,8 @@ impl Harness {
             redelivered: coord.redelivered_calls(),
             replayed: coord.replayed_completions(),
             doubles: coord.double_executions(),
+            failovers: coord.replica_failovers(),
+            via_replicas,
             violations,
         })
     }
@@ -353,6 +387,24 @@ pub fn explore(spec: GenSpec, scenario: &str, opts: &ExploreOptions) -> ComResul
         .filter(|class| replication.mutable_shared.contains(class))
         .collect();
 
+    // The replica routing table every interleaving runs under (empty
+    // unless asked for, or when no legal copy pays for itself).
+    let replicas = if opts.with_replicas {
+        let machines = distribution
+            .placement
+            .values()
+            .map(|m| m.0 as usize + 1)
+            .max()
+            .unwrap_or(2)
+            .max(2);
+        let plan = ReplicationPlan::from_report(&replication, &profile, rt.registry());
+        let chosen =
+            replicate_for_distribution(&profile, &net_profile, &distribution, machines, &plan, &[]);
+        (!chosen.is_empty()).then(|| ReplicaRouter::new(&distribution, &chosen))
+    } else {
+        None
+    };
+
     let harness = Harness {
         spec,
         scenario: scenario.to_string(),
@@ -361,6 +413,7 @@ pub fn explore(spec: GenSpec, scenario: &str, opts: &ExploreOptions) -> ComResul
         profile,
         network: opts.network.clone(),
         master_seed: opts.seed,
+        replicas,
     };
 
     // Fault-free probe fixes the horizon and proves the scenario healthy.
@@ -440,6 +493,7 @@ pub fn explore(spec: GenSpec, scenario: &str, opts: &ExploreOptions) -> ComResul
     let (mut ok, mut recovered, mut failed) = (0usize, 0usize, 0usize);
     let (mut recoveries, mut migrations) = (0u64, 0u64);
     let (mut redelivered, mut replayed, mut doubles) = (0u64, 0u64, 0u64);
+    let (mut failovers, mut via_replicas) = (0u64, 0u64);
     let mut violating: Vec<(SchedulePoint, Vec<String>)> = Vec::new();
     for (i, slot) in slots.into_iter().enumerate() {
         let stats = slot
@@ -456,6 +510,8 @@ pub fn explore(spec: GenSpec, scenario: &str, opts: &ExploreOptions) -> ComResul
         redelivered += stats.redelivered;
         replayed += stats.replayed;
         doubles += stats.doubles;
+        failovers += stats.failovers;
+        via_replicas += stats.via_replicas;
         if !stats.violations.is_empty() {
             violating.push((schedule[i], stats.violations));
         }
@@ -503,6 +559,15 @@ pub fn explore(spec: GenSpec, scenario: &str, opts: &ExploreOptions) -> ComResul
         "recoveries={recoveries} migrations={migrations} redelivered={redelivered} \
          replayed={replayed} double={doubles}\n"
     ));
+    if opts.with_replicas {
+        out.push_str(&format!(
+            "failover: routed={} failovers={failovers} via_replicas={via_replicas}\n",
+            match &harness.replicas {
+                Some(router) => format!("{} class(es)", router.replicated_class_count()),
+                None => "none".to_string(),
+            },
+        ));
+    }
     out.push_str(&format!(
         "ledger: {} commit(s) scripted per completed {scenario} run; exact on every completed run\n",
         app.expected_commits(scenario)
@@ -565,6 +630,33 @@ mod tests {
         assert_eq!(grid.len(), 256);
         let explicit = instant_grid(&Some(vec![30, 10, 30, 20]), 2, 1_000_000);
         assert_eq!(explicit, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn replicated_exploration_holds_the_failover_invariants() {
+        let opts = ExploreOptions {
+            faults_at: Some(vec![5_000, 15_000, 30_000]),
+            thresholds: vec![1, 3],
+            with_replicas: true,
+            jobs: 2,
+            ..ExploreOptions::default()
+        };
+        let report = explore(GenSpec::new(3, GenSize::Small), "g_main", &opts).unwrap();
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.interleavings, 6);
+        assert!(
+            report.summary.contains("failover: routed="),
+            "{}",
+            report.summary
+        );
+        // Byte-identical across --jobs, replicas installed or not.
+        let sequential = explore(
+            GenSpec::new(3, GenSize::Small),
+            "g_main",
+            &ExploreOptions { jobs: 1, ..opts },
+        )
+        .unwrap();
+        assert_eq!(report.summary, sequential.summary);
     }
 
     #[test]

@@ -62,6 +62,15 @@ pub struct Window {
     pub pool_live_peak: u64,
     /// Sessions that missed the pool and paid full instantiation.
     pub pool_misses: u64,
+    /// Recovery epochs opened in this window (machines declared dead).
+    /// Zero unless the run carried a fault plan.
+    pub recoveries: u64,
+    /// Calls that failed or were refused (served degraded). Zero unless
+    /// the run carried a fault plan.
+    pub degraded: u64,
+    /// Calls failed over to a surviving replica. Zero unless the run
+    /// carried a fault plan.
+    pub replica_served: u64,
     /// Link transmit busy-µs, by link, charged at departure time.
     pub link_busy_us: BTreeMap<RawLink, u64>,
     /// Server compute busy-µs by component classification, charged at
@@ -218,6 +227,12 @@ pub struct WindowCounts {
     pub batch_members: u64,
     /// Peak event-queue depth observed.
     pub queue_depth_peak: u64,
+    /// Recovery epochs opened (machines declared dead).
+    pub recoveries: u64,
+    /// Calls that failed or were refused (served degraded).
+    pub degraded: u64,
+    /// Calls failed over to a surviving replica.
+    pub replica_served: u64,
 }
 
 /// Per-window scalar counters, stored columnar (one flat vec of these) so
@@ -238,6 +253,9 @@ struct Scalars {
     queue_depth_peak: u32,
     pool_live_peak: u32,
     pool_misses: u32,
+    recoveries: u32,
+    degraded: u32,
+    replica_served: u32,
 }
 
 /// Saturate a staged `u64` count into a per-window `u32` cell.
@@ -273,6 +291,11 @@ pub struct TimeSeries {
     link_busy: BTreeMap<RawLink, Vec<u64>>,
     /// Busy-µs per classification, same layout as `link_busy`.
     class_busy: BTreeMap<u32, Vec<u64>>,
+    /// True when the recorded run carried an active fault layer. The
+    /// fault columns (`recoveries`, `degraded`, `replica_served`) render
+    /// only when set, so a fault-free run's exported bytes stay identical
+    /// to a recorder without the columns at all.
+    faulted: bool,
     // Caches of the window the last observation landed in, one per time
     // stream. Event-time hooks run at the simulation clock while busy-µs
     // hooks charge at departure/compute instants slightly in the future;
@@ -310,6 +333,7 @@ impl TimeSeries {
             latency_log: Vec::new(),
             link_busy: BTreeMap::new(),
             class_busy: BTreeMap::new(),
+            faulted: false,
             cursors: [WindowCursor::default(); 3],
         }
     }
@@ -317,6 +341,17 @@ impl TimeSeries {
     /// The window width in simulated µs.
     pub fn window_us(&self) -> u64 {
         self.window_us
+    }
+
+    /// Marks the series as carrying fault-layer activity: the fault
+    /// columns become part of every rendered window from here on.
+    pub fn mark_faulted(&mut self) {
+        self.faulted = true;
+    }
+
+    /// True when the series carries fault-layer columns.
+    pub fn faulted(&self) -> bool {
+        self.faulted
     }
 
     /// Number of recorded windows (windows with no activity are counted
@@ -350,6 +385,9 @@ impl TimeSeries {
             queue_depth_peak: u64::from(s.queue_depth_peak),
             pool_live_peak: u64::from(s.pool_live_peak),
             pool_misses: u64::from(s.pool_misses),
+            recoveries: u64::from(s.recoveries),
+            degraded: u64::from(s.degraded),
+            replica_served: u64::from(s.replica_served),
             link_busy_us: self
                 .link_busy
                 .iter()
@@ -548,6 +586,9 @@ impl TimeSeries {
         s.batches = s.batches.saturating_add(sat32(c.batches));
         s.batch_members = s.batch_members.saturating_add(sat32(c.batch_members));
         s.queue_depth_peak = s.queue_depth_peak.max(sat32(c.queue_depth_peak));
+        s.recoveries = s.recoveries.saturating_add(sat32(c.recoveries));
+        s.degraded = s.degraded.saturating_add(sat32(c.degraded));
+        s.replica_served = s.replica_served.saturating_add(sat32(c.replica_served));
     }
 
     /// Folds another shard's series into this one: counters and busy-µs
@@ -584,7 +625,11 @@ impl TimeSeries {
                 .saturating_add(theirs.queue_depth_peak);
             mine.pool_live_peak = mine.pool_live_peak.saturating_add(theirs.pool_live_peak);
             mine.pool_misses = mine.pool_misses.saturating_add(theirs.pool_misses);
+            mine.recoveries = mine.recoveries.saturating_add(theirs.recoveries);
+            mine.degraded = mine.degraded.saturating_add(theirs.degraded);
+            mine.replica_served = mine.replica_served.saturating_add(theirs.replica_served);
         }
+        self.faulted |= other.faulted;
         // Two sorted logs merge into one sorted log; entries are counted,
         // not positional, so the merge commutes.
         let mut merged = Vec::with_capacity(self.latency_log.len() + other.latency_log.len());
@@ -703,6 +748,12 @@ impl TimeSeries {
                 w.pool_misses,
                 w.busy_us(),
             ));
+            if self.faulted {
+                out.push_str(&format!(
+                    ",\"recoveries\":{},\"degraded\":{},\"replica_served\":{}",
+                    w.recoveries, w.degraded, w.replica_served,
+                ));
+            }
             out.push_str(",\"links\":[");
             for (i, ((from, to), us)) in w.link_busy_us.iter().enumerate() {
                 if i > 0 {
@@ -735,15 +786,19 @@ impl TimeSeries {
         let mut out = String::from(
             "window,start_us,arrivals,completions,calls,local_calls,remote_messages,\
              batches,mean_batch,queue_depth_peak,pool_live_peak,pool_misses,busy_us,\
-             top_link,top_link_busy_us,lat_count,p50_us,p95_us,p99_us\n",
+             top_link,top_link_busy_us,lat_count,p50_us,p95_us,p99_us",
         );
+        if self.faulted {
+            out.push_str(",recoveries,degraded,replica_served");
+        }
+        out.push('\n');
         for idx in 0..self.scalars.len() {
             let w = self.window(idx);
             let (top_link, top_us) = w
                 .dominant_link()
                 .map_or((String::new(), 0), |((f, t), us)| (format!("{f}->{t}"), us));
             out.push_str(&format!(
-                "{idx},{},{},{},{},{},{},{},{:.2},{},{},{},{},{top_link},{top_us},{},{:.1},{:.1},{:.1}\n",
+                "{idx},{},{},{},{},{},{},{},{:.2},{},{},{},{},{top_link},{top_us},{},{:.1},{:.1},{:.1}",
                 idx as u64 * self.window_us,
                 w.arrivals,
                 w.completions,
@@ -761,6 +816,13 @@ impl TimeSeries {
                 self.window_quantile_us(idx, 0.95),
                 self.window_quantile_us(idx, 0.99),
             ));
+            if self.faulted {
+                out.push_str(&format!(
+                    ",{},{},{}",
+                    w.recoveries, w.degraded, w.replica_served
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -778,7 +840,7 @@ impl TimeSeries {
         );
         let views: Vec<Window> = self.windows();
         type Row<'a> = (&'a str, Box<dyn Fn(usize, &Window) -> u64 + 'a>);
-        let rows: [Row<'_>; 6] = [
+        let mut rows: Vec<Row<'_>> = vec![
             ("arrivals", Box::new(|_, w| w.arrivals)),
             ("completions", Box::new(|_, w| w.completions)),
             ("remote_msgs", Box::new(|_, w| w.remote_messages)),
@@ -789,6 +851,10 @@ impl TimeSeries {
                 Box::new(|idx, _| self.window_quantile_us(idx, 0.99) as u64),
             ),
         ];
+        if self.faulted {
+            rows.push(("degraded", Box::new(|_, w| w.degraded)));
+            rows.push(("replica_srv", Box::new(|_, w| w.replica_served)));
+        }
         for (name, value) in rows {
             let values: Vec<u64> = views
                 .iter()
@@ -938,6 +1004,49 @@ mod tests {
         assert!(a.dashboard().contains("p99_us"));
         // Untouched window 2 still renders (fixed-width windows).
         assert!(a.to_json().contains("\"w\":2"));
+    }
+
+    #[test]
+    fn fault_columns_render_only_when_marked() {
+        let mut plain = series(100);
+        plain.on_arrival(5, false, 1);
+        plain.on_completion(150, 120);
+        let baseline_json = plain.to_json();
+        let baseline_csv = plain.to_csv();
+        assert!(!baseline_json.contains("recoveries"));
+        assert!(!baseline_csv.contains("degraded"));
+        assert!(!plain.dashboard().contains("replica_srv"));
+
+        let mut faulted = plain.clone();
+        faulted.mark_faulted();
+        assert!(faulted.to_json().contains("\"recoveries\":0"));
+        let header = faulted.to_csv().lines().next().unwrap().to_string();
+        assert!(header.ends_with("recoveries,degraded,replica_served"));
+        assert!(faulted.dashboard().contains("degraded"));
+        let counts = WindowCounts {
+            recoveries: 1,
+            degraded: 2,
+            replica_served: 3,
+            ..WindowCounts::default()
+        };
+        faulted.add_counts(10, &counts);
+        assert!(faulted
+            .to_json()
+            .contains("\"recoveries\":1,\"degraded\":2,\"replica_served\":3"));
+
+        // The flag survives merging in either position; merging only
+        // unfaulted series leaves the baseline bytes untouched.
+        let mut merged = series(100);
+        merged.merge_from(&plain);
+        assert!(!merged.faulted());
+        assert_eq!(merged.to_json(), baseline_json);
+        merged.merge_from(&faulted);
+        assert!(merged.faulted());
+        assert_eq!(
+            merged.window(0).degraded,
+            2,
+            "fault counters fold through merges"
+        );
     }
 
     #[test]

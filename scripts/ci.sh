@@ -223,6 +223,37 @@ grep -q "^slo: target p99<=1us:" "$TMP/serve_gen_3_slo.txt" \
 grep -q "worst window" "$TMP/serve_gen_3_slo.txt" \
   || { echo "serve --slo-p99-us attributed no worst window"; exit 1; }
 
+echo "==> degraded-serve smoke (fault injection + replica failover, --jobs cross-check)"
+# Under a seeded fault plan the serve summary must stay byte-identical per
+# seed — the fault RNG rides the shard seed, never the worker schedule —
+# and the run must actually exercise the failover path: a machine dies,
+# replica-covered calls re-resolve without a solve, and recovery epochs
+# land in the summary. Regenerate after an intentional change with:
+#   scripts/ci.sh --regen-fault-expectations
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 \
+  --fault-seed 7 --replicate > "$TMP/serve_gen_3_faults.txt"
+if [[ "${1:-}" == "--regen-fault-expectations" ]]; then
+  cp "$TMP/serve_gen_3_faults.txt" "scripts/expected/serve_gen_3_faults.txt"
+  echo "regenerated scripts/expected/serve_gen_3_faults.txt"
+else
+  diff -u "scripts/expected/serve_gen_3_faults.txt" "$TMP/serve_gen_3_faults.txt" \
+    || { echo "degraded serve summary drifted for gen seed 3"; exit 1; }
+fi
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 \
+  --fault-seed 7 --replicate --jobs 4 > "$TMP/serve_gen_3_faults_jobs4.txt"
+cmp "$TMP/serve_gen_3_faults.txt" "$TMP/serve_gen_3_faults_jobs4.txt" \
+  || { echo "degraded serve summary differs between --jobs 1 and --jobs 4"; exit 1; }
+grep -q "^failover: " "$TMP/serve_gen_3_faults.txt" \
+  || { echo "degraded serve reported no failover line"; exit 1; }
+grep -Eq "^recovery: [1-9][0-9]* epoch" "$TMP/serve_gen_3_faults.txt" \
+  || { echo "degraded serve recorded no recovery epoch"; exit 1; }
+# The zero-fault seed is the explicit transparency case: byte-identical to
+# the committed clean-wire expectation, inject line and all counters absent.
+"$BIN" serve "$TMP/gen-3-small.cimg" g_main ethernet --sessions 2000 --seed 7 \
+  --fault-seed 0 > "$TMP/serve_gen_3_fs0.txt"
+cmp "$TMP/serve_gen_3.txt" "$TMP/serve_gen_3_fs0.txt" \
+  || { echo "--fault-seed 0 perturbed the zero-fault serve summary"; exit 1; }
+
 echo "==> perf smoke (BENCH_coign.json)"
 # Records the perf trajectory: profile replay (sequential vs parallel
 # workers), marshal-size cache hit rate, and the network sweep cold vs
